@@ -1,0 +1,167 @@
+// E12 — the remaining workloads of the paper's abstract ("the language
+// has been tested on a variety of examples like: finite state machines,
+// multiplexors, adders, pattern matching, AM2901, dictionary machines,
+// systolic stacks"): instruction throughput of the AM2901 datapath,
+// operation throughput of the systolic stack, and query throughput of the
+// dictionary tree machine.
+#include "bench/bench_util.h"
+
+namespace zeus::bench {
+namespace {
+
+void BM_Am2901_Instructions(benchmark::State& state) {
+  BuiltDesign b = build(corpus::kAm2901, "alu");
+  Simulation sim(b.graph);
+  sim.setInput("cin", Logic::Zero);
+  for (const char* p : {"ram0in", "ram3in", "q0in", "q3in"}) {
+    sim.setInput(p, Logic::Zero);
+  }
+  // Preload registers 0 and 1 via D (DZ/ADD/RAMF).
+  sim.setInputUint("i", 7u | (0u << 3) | (3u << 6));
+  sim.setInputUint("aaddr", 0);
+  sim.setInputUint("baddr", 0);
+  sim.setInputUint("d", 3);
+  sim.step();
+  sim.setInputUint("baddr", 1);
+  sim.setInputUint("d", 5);
+  sim.step();
+  // Hot loop: F = A + B, write back to B (src AB=1, fn ADD=0, dst RAMF=3).
+  sim.setInputUint("i", 1u | (0u << 3) | (3u << 6));
+  sim.setInputUint("aaddr", 0);
+  sim.setInputUint("baddr", 1);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim.step();
+    ++instructions;
+    benchmark::DoNotOptimize(sim.output("cout"));
+  }
+  if (!sim.errors().empty()) state.SkipWithError("runtime error");
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+  state.counters["nodes"] =
+      static_cast<double>(b.design->netlist.nodeCount());
+}
+BENCHMARK(BM_Am2901_Instructions);
+
+void BM_SystolicStack_Ops(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  BuiltDesign b =
+      build(std::string(corpus::kSystolicStack) +
+                "SIGNAL st: systolicstack(" + std::to_string(depth) +
+                ");\n",
+            "st");
+  Simulation sim(b.graph);
+  sim.setInput("push", Logic::Zero);
+  sim.setInput("pop", Logic::Zero);
+  sim.setInputUint("din", 0);
+  sim.setRset(true);
+  sim.step();
+  sim.setRset(false);
+  uint64_t ops = 0;
+  bool phase = false;
+  for (auto _ : state) {
+    phase = !phase;  // alternate push/pop: every cell works every cycle
+    sim.setInput("push", logicFromBool(phase));
+    sim.setInput("pop", logicFromBool(!phase));
+    sim.setInputUint("din", ops & 15);
+    sim.step();
+    ++ops;
+  }
+  if (!sim.errors().empty()) state.SkipWithError("runtime error");
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["cell-ops/s"] = benchmark::Counter(
+      static_cast<double>(ops) * depth, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystolicStack_Ops)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Dictionary_Queries(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  BuiltDesign b = build(std::string(corpus::kDictionary) +
+                            "SIGNAL dict: dicttree(" +
+                            std::to_string(leaves) + ");\n",
+                        "dict");
+  Simulation sim(b.graph);
+  sim.setInput("ins", Logic::Zero);
+  sim.setInput("query", Logic::Zero);
+  sim.setInputUint("k", 0);
+  sim.setRset(true);
+  sim.step();
+  sim.setRset(false);
+  // Insert a handful of keys.
+  for (uint64_t k = 1; k <= 7; ++k) {
+    sim.setInputUint("k", k);
+    sim.setInput("ins", Logic::One);
+    sim.step();
+  }
+  sim.setInput("ins", Logic::Zero);
+  sim.setInput("query", Logic::One);
+  uint64_t queries = 0;
+  for (auto _ : state) {
+    sim.setInputUint("k", (queries % 15) + 1);
+    sim.step();
+    ++queries;
+    benchmark::DoNotOptimize(sim.output("found"));
+  }
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(queries), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dictionary_Queries)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Sorter_Combinational(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BuiltDesign b = build(std::string(corpus::kSorter) +
+                            "SIGNAL s: sorter(" + std::to_string(n) +
+                            ");\n",
+                        "s");
+  Simulation sim(b.graph);
+  std::vector<Logic> bits(static_cast<size_t>(n) * 4);
+  uint64_t rng = 3, sorts = 0;
+  for (auto _ : state) {
+    for (Logic& bit : bits) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      bit = logicFromBool(rng & 1);
+    }
+    sim.setInput("din", bits);
+    sim.step();
+    ++sorts;
+    benchmark::DoNotOptimize(sim.outputBits("dout"));
+  }
+  state.counters["sorts/s"] = benchmark::Counter(
+      static_cast<double>(sorts), benchmark::Counter::kIsRate);
+  state.counters["depth"] = static_cast<double>(b.graph.maxLevel);
+}
+BENCHMARK(BM_Sorter_Combinational)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Sorter_Systolic(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BuiltDesign b = build(std::string(corpus::kSorter) +
+                            "SIGNAL s: systolicsorter(" +
+                            std::to_string(n) + ");\n",
+                        "s");
+  Simulation sim(b.graph);
+  std::vector<Logic> bits(static_cast<size_t>(n) * 4);
+  uint64_t rng = 3, vectors = 0;
+  for (auto _ : state) {
+    for (Logic& bit : bits) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      bit = logicFromBool(rng & 1);
+    }
+    sim.setInput("din", bits);
+    sim.step();  // one new vector per cycle, pipelined
+    ++vectors;
+  }
+  state.counters["vectors/s"] = benchmark::Counter(
+      static_cast<double>(vectors), benchmark::Counter::kIsRate);
+  state.counters["depth"] = static_cast<double>(b.graph.maxLevel);
+}
+BENCHMARK(BM_Sorter_Systolic)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

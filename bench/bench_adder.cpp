@@ -1,0 +1,75 @@
+// E1 — ripple-carry adders (paper Fig. 3.2.2 / §10 "Adders", Fig. Adder).
+//
+// Regenerates the adder family at growing widths: elaboration cost and
+// simulation throughput, with correctness asserted inline.  The paper
+// reports no numbers; the reproducible shape is near-linear scaling of
+// both netlist size and per-cycle work in the adder width.
+#include "bench/bench_util.h"
+
+namespace zeus::bench {
+namespace {
+
+void BM_Adder_Compile(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  std::string source = adderSource(width);
+  for (auto _ : state) {
+    auto comp = Compilation::fromSource("adder.zeus", source);
+    auto design = comp->elaborate("adder");
+    benchmark::DoNotOptimize(design);
+    if (!design) state.SkipWithError("elaboration failed");
+    state.counters["nets"] =
+        static_cast<double>(design->netlist.netCount());
+    state.counters["nodes"] =
+        static_cast<double>(design->netlist.nodeCount());
+  }
+  state.SetComplexityN(width);
+}
+BENCHMARK(BM_Adder_Compile)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_Adder_Simulate(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  BuiltDesign b = build(adderSource(width), "adder");
+  Simulation sim(b.graph);
+  const uint64_t mask =
+      width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  uint64_t rng = 0xDEADBEEF;
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    uint64_t a = rng & mask;
+    uint64_t c = (rng >> 17) & mask;
+    sim.setInputUint("a", a);
+    sim.setInputUint("b", c);
+    sim.setInput("cin", Logic::Zero);
+    sim.step();
+    ++cycles;
+    uint64_t s = sim.outputUint("s").value_or(~0ull);
+    if (width <= 63 && s != ((a + c) & mask)) {
+      state.SkipWithError("adder produced a wrong sum");
+    }
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["bit-adds/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * width, benchmark::Counter::kIsRate);
+  state.SetComplexityN(width);
+}
+BENCHMARK(BM_Adder_Simulate)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_Adder_LayoutSolve(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  BuiltDesign b = build(adderSource(width), "adder");
+  for (auto _ : state) {
+    LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+    benchmark::DoNotOptimize(lr);
+    if (lr.bounds.w != width) state.SkipWithError("wrong adder row");
+  }
+}
+BENCHMARK(BM_Adder_LayoutSolve)->RangeMultiplier(4)->Range(4, 256);
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

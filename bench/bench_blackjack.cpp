@@ -1,0 +1,77 @@
+// E2 — the blackjack finite state machine (paper §10): FSM cycles per
+// second and full games per second, the "control-dominated" workload of
+// the paper's example set.
+#include "bench/bench_util.h"
+
+namespace zeus::bench {
+namespace {
+
+void BM_Blackjack_Cycles(benchmark::State& state) {
+  BuiltDesign b = build(corpus::kBlackjack, "bj");
+  Simulation sim(b.graph,
+                 state.range(0) ? EvaluatorKind::Naive
+                                : EvaluatorKind::Firing);
+  sim.setInput("ycard", Logic::Zero);
+  sim.setInputUint("value", 0);
+  sim.setRset(true);
+  sim.step();
+  sim.setRset(false);
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim.step();
+    ++cycles;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.SetLabel(state.range(0) ? "naive" : "firing");
+}
+BENCHMARK(BM_Blackjack_Cycles)->Arg(0)->Arg(1);
+
+void BM_Blackjack_Games(benchmark::State& state) {
+  BuiltDesign b = build(corpus::kBlackjack, "bj");
+  Simulation sim(b.graph);
+  uint64_t rng = 7;
+  uint64_t games = 0;
+  for (auto _ : state) {
+    sim.reset();
+    sim.setInput("ycard", Logic::Zero);
+    sim.setInputUint("value", 0);
+    sim.setRset(true);
+    sim.step();
+    sim.setRset(false);
+    sim.step(2);
+    // Deal random cards 2..11 until the machine stops hitting.
+    for (int card = 0; card < 16; ++card) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      uint64_t value = 2 + (rng >> 33) % 10;
+      sim.setInputUint("value", value);
+      sim.setInput("ycard", Logic::One);
+      sim.step();
+      sim.setInput("ycard", Logic::Zero);
+      sim.step(2);
+      bool done = false;
+      for (int i = 0; i < 8 && !done; ++i) {
+        sim.step();
+        done = sim.output("stand") == Logic::One ||
+               sim.output("broke") == Logic::One ||
+               sim.output("hit") == Logic::One;
+      }
+      if (sim.output("stand") == Logic::One ||
+          sim.output("broke") == Logic::One) {
+        break;
+      }
+    }
+    ++games;
+    if (!sim.errors().empty()) {
+      state.SkipWithError("blackjack raised a runtime error");
+    }
+  }
+  state.counters["games/s"] = benchmark::Counter(
+      static_cast<double>(games), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Blackjack_Games);
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

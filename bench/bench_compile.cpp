@@ -1,0 +1,94 @@
+// E10 — the compile pipeline itself (the paper sells Zeus on its compile
+// time checks, §1): lexing, parsing, checking and elaboration throughput
+// on the corpus, and scaling in the generated-hardware size.
+#include "bench/bench_util.h"
+#include "src/lexer/lexer.h"
+#include "src/parser/parser.h"
+
+namespace zeus::bench {
+namespace {
+
+void BM_Compile_LexCorpus(benchmark::State& state) {
+  // Concatenate the whole corpus into one buffer.
+  std::string text;
+  for (const corpus::CorpusEntry& e : corpus::all()) text += e.source;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    SourceManager sm;
+    BufferId buf = sm.addBuffer("corpus", text);
+    DiagnosticEngine diags(sm);
+    Lexer lex(buf, diags);
+    auto tokens = lex.tokenize();
+    benchmark::DoNotOptimize(tokens);
+    bytes += text.size();
+    state.counters["tokens"] = static_cast<double>(tokens.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Compile_LexCorpus);
+
+void BM_Compile_ParseCorpus(benchmark::State& state) {
+  std::string text;
+  for (const corpus::CorpusEntry& e : corpus::all()) text += e.source;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    SourceManager sm;
+    BufferId buf = sm.addBuffer("corpus", text);
+    DiagnosticEngine diags(sm);
+    Parser parser(buf, diags);
+    ast::Program prog = parser.parseProgram();
+    benchmark::DoNotOptimize(prog);
+    bytes += text.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Compile_ParseCorpus);
+
+void BM_Compile_FrontendOnly(benchmark::State& state) {
+  // Parse + check without elaboration: the per-edit cost in an
+  // interactive silicon-compiler setting (paper §9, application 3).
+  std::string source = patternSource(3);
+  for (auto _ : state) {
+    auto comp = Compilation::fromSource("pm.zeus", source);
+    benchmark::DoNotOptimize(comp->ok());
+  }
+}
+BENCHMARK(BM_Compile_FrontendOnly);
+
+void BM_Compile_ElaborationScaling(benchmark::State& state) {
+  // Elaboration cost tracks generated-hardware size, not source size:
+  // the same few lines of rippleCarry(n) elaborate to n full adders.
+  const int width = static_cast<int>(state.range(0));
+  std::string source = adderSource(width);
+  for (auto _ : state) {
+    auto comp = Compilation::fromSource("adder.zeus", source);
+    auto design = comp->elaborate("adder");
+    if (!design) state.SkipWithError("elaboration failed");
+    state.counters["nodes/line"] =
+        static_cast<double>(design->netlist.nodeCount()) / 30.0;
+  }
+  state.SetComplexityN(width);
+}
+BENCHMARK(BM_Compile_ElaborationScaling)
+    ->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_Compile_RecursiveTypes(benchmark::State& state) {
+  // Recursive parameterized types with memoisation: htree(n) has log4(n)
+  // distinct type instantiations but n instances.
+  const int leaves = static_cast<int>(state.range(0));
+  std::string source = htreeSource(leaves);
+  for (auto _ : state) {
+    auto comp = Compilation::fromSource("htree.zeus", source);
+    auto design = comp->elaborate("a");
+    if (!design) state.SkipWithError("elaboration failed");
+    benchmark::DoNotOptimize(design);
+  }
+  state.SetComplexityN(leaves);
+}
+BENCHMARK(BM_Compile_RecursiveTypes)->Arg(4)->Arg(64)->Arg(1024)
+    ->Complexity();
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

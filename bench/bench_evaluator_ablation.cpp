@@ -1,0 +1,141 @@
+// E8 — evaluator ablation: the §8 firing rules (event-driven,
+// short-circuit) versus the naive sweep-to-fixpoint baseline, over the
+// paper's own circuit families.  This is the measurable content of the
+// paper's claim that its semantics "imply a simulator which is
+// conceptually simpler than state-of-the-art switch-level circuit
+// simulators": one event pass per cycle versus depth-many full sweeps.
+//
+// Expected shape: on shallow circuits the two are comparable; as
+// combinational depth grows (wide ripple-carry adders) the naive
+// evaluator's per-cycle cost grows with depth × size while the firing
+// evaluator stays linear in the touched region.
+#include "bench/bench_util.h"
+
+namespace zeus::bench {
+namespace {
+
+void runAdder(benchmark::State& state, EvaluatorKind kind) {
+  const int width = static_cast<int>(state.range(0));
+  BuiltDesign b = build(adderSource(width), "adder");
+  Simulation sim(b.graph, kind);
+  const uint64_t mask =
+      width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  uint64_t rng = 0xFEED;
+  uint64_t cycles = 0;
+  sim.resetStats();
+  for (auto _ : state) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    sim.setInputUint("a", rng & mask);
+    sim.setInputUint("b", (rng >> 7) & mask);
+    sim.setInput("cin", Logic::Zero);
+    sim.step();
+    ++cycles;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["node-evals/cycle"] =
+      static_cast<double>(sim.stats().nodeFirings) /
+      static_cast<double>(cycles);
+  if (kind == EvaluatorKind::Naive) {
+    state.counters["sweeps/cycle"] =
+        static_cast<double>(sim.stats().sweeps) /
+        static_cast<double>(cycles);
+  }
+  state.counters["depth"] = static_cast<double>(b.graph.maxLevel);
+}
+
+void BM_Ablation_Adder_Firing(benchmark::State& state) {
+  runAdder(state, EvaluatorKind::Firing);
+}
+void BM_Ablation_Adder_Naive(benchmark::State& state) {
+  runAdder(state, EvaluatorKind::Naive);
+}
+BENCHMARK(BM_Ablation_Adder_Firing)->RangeMultiplier(2)->Range(8, 128);
+BENCHMARK(BM_Ablation_Adder_Naive)->RangeMultiplier(2)->Range(8, 128);
+
+void runPattern(benchmark::State& state, EvaluatorKind kind) {
+  const int length = static_cast<int>(state.range(0));
+  BuiltDesign b = build(patternSource(length), "m");
+  Simulation sim(b.graph, kind);
+  for (const char* port :
+       {"pattern", "string", "endofpattern", "wild", "resultin"}) {
+    sim.setInput(port, Logic::Zero);
+  }
+  sim.setRset(true);
+  sim.step(static_cast<uint64_t>(length) + 2);
+  sim.setRset(false);
+  uint64_t cycles = 0;
+  uint64_t beat = 0;
+  sim.resetStats();
+  for (auto _ : state) {
+    sim.setInput("pattern", logicFromBool(beat & 1));
+    sim.setInput("string", Logic::One);
+    sim.setInput("endofpattern",
+                 logicFromBool(beat % length == unsigned(length - 1)));
+    sim.step();
+    sim.setInput("pattern", Logic::Zero);
+    sim.setInput("string", Logic::Zero);
+    sim.setInput("endofpattern", Logic::Zero);
+    sim.step();
+    cycles += 2;
+    ++beat;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["node-evals/cycle"] =
+      static_cast<double>(sim.stats().nodeFirings) /
+      static_cast<double>(cycles);
+}
+
+void BM_Ablation_Pattern_Firing(benchmark::State& state) {
+  runPattern(state, EvaluatorKind::Firing);
+}
+void BM_Ablation_Pattern_Naive(benchmark::State& state) {
+  runPattern(state, EvaluatorKind::Naive);
+}
+BENCHMARK(BM_Ablation_Pattern_Firing)->Arg(15)->Arg(63);
+BENCHMARK(BM_Ablation_Pattern_Naive)->Arg(15)->Arg(63);
+
+// The short-circuit advantage in isolation: a deep AND chain killed at
+// the root.  The firing evaluator settles the whole cone from one event;
+// the naive baseline sweeps to full depth.
+void runKillChain(benchmark::State& state, EvaluatorKind kind) {
+  const int depth = static_cast<int>(state.range(0));
+  std::string src = "TYPE t = COMPONENT (IN a, b: boolean; OUT o: boolean) "
+                    "IS\n";
+  for (int i = 0; i < depth; ++i)
+    src += "SIGNAL w" + std::to_string(i) + ": boolean;\n";
+  src += "BEGIN\nw0 := AND(a, b);\n";
+  for (int i = 1; i < depth; ++i)
+    src += "w" + std::to_string(i) + " := AND(w" + std::to_string(i - 1) +
+           ", b);\n";
+  src += "o := w" + std::to_string(depth - 1) + ";\nEND;\nSIGNAL top: t;\n";
+  BuiltDesign b = build(src, "top");
+  Simulation sim(b.graph, kind);
+  sim.setInput("a", Logic::Zero);  // kills the whole chain at the root
+  sim.setInput("b", Logic::One);
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim.step();
+    ++cycles;
+    if (sim.output("o") != Logic::Zero) state.SkipWithError("wrong value");
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_Ablation_KillChain_Firing(benchmark::State& state) {
+  runKillChain(state, EvaluatorKind::Firing);
+}
+void BM_Ablation_KillChain_Naive(benchmark::State& state) {
+  runKillChain(state, EvaluatorKind::Naive);
+}
+BENCHMARK(BM_Ablation_KillChain_Firing)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Ablation_KillChain_Naive)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

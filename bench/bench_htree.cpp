@@ -1,0 +1,52 @@
+// E4 — the H-tree (paper §10, Fig. htree): regenerates the linear-area
+// figure.  For each leaf count n the solved layout must be a sqrt(n) ×
+// sqrt(n) square, i.e. area(n) = n cells — the property the paper
+// advertises for this recursive layout ("the well-known H-tree which has
+// a linear layout area").  The naive row layout of tree(n) is measured
+// alongside as the contrast.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace zeus::bench {
+namespace {
+
+void BM_Htree_LayoutArea(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  BuiltDesign b = build(htreeSource(leaves), "a");
+  int64_t area = 0;
+  for (auto _ : state) {
+    LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+    area = lr.bounds.area();
+    benchmark::DoNotOptimize(lr);
+    if (area != leaves) state.SkipWithError("H-tree area is not linear");
+    if (lr.bounds.w != lr.bounds.h) state.SkipWithError("not square");
+  }
+  state.counters["area"] = static_cast<double>(area);
+  state.counters["leaves"] = static_cast<double>(leaves);
+  state.counters["aspect"] = 1.0;
+  state.SetComplexityN(leaves);
+}
+BENCHMARK(BM_Htree_LayoutArea)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Complexity();
+
+void BM_Tree_LayoutAreaContrast(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  BuiltDesign b = build(treeSource(/*recursive=*/true, leaves), "a");
+  for (auto _ : state) {
+    LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+    benchmark::DoNotOptimize(lr);
+    state.counters["area"] = static_cast<double>(lr.bounds.area());
+    state.counters["aspect"] =
+        static_cast<double>(lr.bounds.w) / static_cast<double>(lr.bounds.h);
+  }
+  state.SetComplexityN(leaves);
+}
+BENCHMARK(BM_Tree_LayoutAreaContrast)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Arg(1024);
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

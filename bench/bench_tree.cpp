@@ -1,0 +1,57 @@
+// E3 — binary broadcast trees (paper §10 "Binary Trees", Fig. binary
+// tree): iterative versus recursive descriptions of the same hardware.
+// The reproducible claim: both elaborate to equivalent structures (n-1
+// cells), the recursive one exercising parameterized recursive types and
+// WHEN-generation, and elaboration scales near-linearly in n.
+#include "bench/bench_util.h"
+
+namespace zeus::bench {
+namespace {
+
+void BM_Tree_Compile(benchmark::State& state) {
+  const bool recursive = state.range(0) != 0;
+  const int leaves = static_cast<int>(state.range(1));
+  std::string source = treeSource(recursive, leaves);
+  for (auto _ : state) {
+    auto comp = Compilation::fromSource("tree.zeus", source);
+    auto design = comp->elaborate("a");
+    if (!design) state.SkipWithError("elaboration failed");
+    benchmark::DoNotOptimize(design);
+    state.counters["nodes"] =
+        static_cast<double>(design->netlist.nodeCount());
+  }
+  state.SetLabel(recursive ? "recursive" : "iterative");
+  state.SetComplexityN(leaves);
+}
+BENCHMARK(BM_Tree_Compile)
+    ->ArgsProduct({{0, 1}, {8, 32, 128, 512, 1024}})
+    ->Complexity();
+
+void BM_Tree_Broadcast(benchmark::State& state) {
+  const bool recursive = state.range(0) != 0;
+  const int leaves = static_cast<int>(state.range(1));
+  BuiltDesign b = build(treeSource(recursive, leaves), "a");
+  Simulation sim(b.graph);
+  uint64_t cycles = 0;
+  bool bit = false;
+  for (auto _ : state) {
+    bit = !bit;
+    sim.setInput("in", logicFromBool(bit));
+    sim.step();
+    ++cycles;
+    if (sim.outputBits("leaf")[leaves / 2] != logicFromBool(bit)) {
+      state.SkipWithError("broadcast failed");
+    }
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["leaf-bits/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * leaves, benchmark::Counter::kIsRate);
+  state.SetLabel(recursive ? "recursive" : "iterative");
+}
+BENCHMARK(BM_Tree_Broadcast)->ArgsProduct({{0, 1}, {8, 64, 512}});
+
+}  // namespace
+}  // namespace zeus::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Shared helpers for the benchmark harness.  Each bench binary regenerates
+// one artifact of the paper (DESIGN.md §3 per-experiment index).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/zeus.h"
+#include "src/corpus/corpus.h"
+
+namespace zeus::bench {
+
+/// A fully built design with its graph, kept alive for simulation benches.
+struct BuiltDesign {
+  std::unique_ptr<Compilation> comp;
+  std::unique_ptr<Design> design;
+  SimGraph graph;
+};
+
+inline BuiltDesign build(const std::string& source, const std::string& top) {
+  BuiltDesign b;
+  b.comp = Compilation::fromSource("bench.zeus", source);
+  if (!b.comp->ok()) {
+    throw std::runtime_error("bench source failed to compile:\n" +
+                             b.comp->diagnosticsText());
+  }
+  b.design = b.comp->elaborate(top);
+  if (!b.design) {
+    throw std::runtime_error("bench source failed to elaborate:\n" +
+                             b.comp->diagnosticsText());
+  }
+  b.graph = buildSimGraph(*b.design, b.comp->diags());
+  if (b.graph.hasCycle) {
+    throw std::runtime_error("bench design is cyclic");
+  }
+  return b;
+}
+
+inline std::string adderSource(int width) {
+  return std::string(corpus::kAdders) + "SIGNAL adder: rippleCarry(" +
+         std::to_string(width) + ");\n";
+}
+
+inline std::string treeSource(bool recursive, int leaves) {
+  return std::string(recursive ? corpus::kTreeRecursive
+                               : corpus::kTreeIterative) +
+         "SIGNAL a: tree(" + std::to_string(leaves) + ");\n";
+}
+
+inline std::string htreeSource(int leaves) {
+  return std::string(corpus::kHtree) + "SIGNAL a: htree(" +
+         std::to_string(leaves) + ");\n";
+}
+
+inline std::string routingSource(int ports) {
+  return std::string(corpus::kRoutingNetwork) +
+         "SIGNAL net: routingnetwork(" + std::to_string(ports) + ");\n";
+}
+
+inline std::string patternSource(int length) {
+  return std::string(corpus::kPatternMatch) + "SIGNAL m: patternmatch(" +
+         std::to_string(length) + ");\n";
+}
+
+}  // namespace zeus::bench

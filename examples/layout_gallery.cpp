@@ -1,0 +1,57 @@
+// Layout gallery: solves the layout language (§6) for the paper's
+// geometric examples and prints ASCII floorplans — the H-tree with its
+// linear-area property, the recursive broadcast tree, the ripple-carry
+// adder row and the chessboard of replaced virtual signals.
+#include <cstdio>
+#include <string>
+
+#include "src/core/zeus.h"
+#include "src/corpus/corpus.h"
+#include "src/layout/render.h"
+
+using namespace zeus;
+
+namespace {
+
+void show(const char* title, const std::string& source,
+          const std::string& top) {
+  auto comp = Compilation::fromSource(std::string(title) + ".zeus", source);
+  auto design = comp->ok() ? comp->elaborate(top) : nullptr;
+  if (!design) {
+    std::fprintf(stderr, "%s: %s", title, comp->diagnosticsText().c_str());
+    return;
+  }
+  LayoutResult lr = solveLayout(*design, comp->diags());
+  std::printf("--- %s: %lldx%lld cells, %zu leaves, area %lld ---\n", title,
+              static_cast<long long>(lr.bounds.w),
+              static_cast<long long>(lr.bounds.h), lr.leafCount(),
+              static_cast<long long>(lr.bounds.area()));
+  std::printf("%s\n", renderAscii(lr).c_str());
+}
+
+}  // namespace
+
+int main() {
+  show("ripple-carry adder (8 bits)",
+       std::string(corpus::kAdders) + "SIGNAL adder: rippleCarry(8);\n",
+       "adder");
+  show("recursive tree (16 leaves)",
+       std::string(corpus::kTreeRecursive) + "SIGNAL a: tree(16);\n", "a");
+  for (int n : {16, 64, 256}) {
+    show(("htree(" + std::to_string(n) + ")").c_str(),
+         std::string(corpus::kHtree) + "SIGNAL a: htree(" +
+             std::to_string(n) + ");\n",
+         "a");
+  }
+  show("chessboard(4)", corpus::kChessboard, "board");
+  show("pattern matcher (7 cells)",
+       std::string(corpus::kPatternMatch) +
+           "SIGNAL m: patternmatch(7);\n",
+       "m");
+
+  std::printf(
+      "The H-tree demonstrates the paper's linear-area claim: area(n) = n\n"
+      "cells for n leaves, versus the O(n log n)-aspect row layout of the\n"
+      "naive tree.\n");
+  return 0;
+}

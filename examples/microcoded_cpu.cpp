@@ -1,0 +1,170 @@
+// A microcoded CPU around the AM2901 bit slice.
+//
+// The paper remarks (§4.2) that replication is really a *meta language*
+// for generating hardware, and "in the extreme case the meta language is
+// a general purpose programming language which is used to 'compute'
+// hardware".  This example takes that literally: C++ assembles a
+// microprogram, emits it as a Zeus ROM (an array of constant-driven
+// words), and wires a sequencer (microprogram counter + branch-on-zero
+// flag) to the corpus AM2901.  The machine multiplies by repeated
+// addition and halts with the product on Y.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/core/zeus.h"
+#include "src/corpus/corpus.h"
+
+using namespace zeus;
+
+namespace {
+
+// AM2901 field encodings (see am2901_test.cpp).
+enum Src { AQ, AB, ZQ, ZB, ZA, DA, DQ, DZ };
+enum Fn { ADD, SUBR, SUBS, OR_, AND_, NOTRS, EXOR, EXNOR };
+enum Dst { QREG, NOP, RAMA, RAMF, RAMQD, RAMD, RAMQU, RAMU };
+
+struct MicroOp {
+  Src src = ZB;
+  Fn fn = ADD;
+  Dst dst = NOP;
+  unsigned a = 0, b = 0, d = 0;
+  unsigned next = 0;       ///< next microaddress
+  bool branch = false;     ///< branch to nextz when the Z flag is set
+  unsigned nextz = 0;
+};
+
+/// Emits one 30-bit ROM word as a Zeus signal-constant tuple (LSB-first
+/// fields: i[9], a[4], b[4], d[4], next[4], nextz[4], branch[1]).
+std::string romWord(const MicroOp& op) {
+  std::string bits;
+  auto emit = [&bits](unsigned value, int width) {
+    for (int i = 0; i < width; ++i) {
+      if (!bits.empty()) bits += ",";
+      bits += ((value >> i) & 1) ? "1" : "0";
+    }
+  };
+  emit(static_cast<unsigned>(op.src) | (static_cast<unsigned>(op.fn) << 3) |
+           (static_cast<unsigned>(op.dst) << 6),
+       9);
+  emit(op.a, 4);
+  emit(op.b, 4);
+  emit(op.d, 4);
+  emit(op.next, 4);
+  emit(op.nextz, 4);
+  emit(op.branch ? 1 : 0, 1);
+  return "(" + bits + ")";
+}
+
+/// The microprogram: r0 := multiplicand; r1 := multiplier;
+/// acc := 0; loop { acc += r0; if (--r1 == 0) halt }.
+std::vector<MicroOp> assembleMultiply(unsigned x, unsigned y) {
+  std::vector<MicroOp> rom(16);
+  // 0: r0 := D(x)
+  rom[0] = {DZ, ADD, RAMF, 0, 0, x, 1};
+  // 1: r1 := D(y)
+  rom[1] = {DZ, ADD, RAMF, 0, 1, y, 2};
+  // 2: r2 (acc) := 0
+  rom[2] = {DZ, ADD, RAMF, 0, 2, 0, 3};
+  // 3: acc := acc + r0   (src AB: R = A(r0), S = B(r2))
+  rom[3] = {AB, ADD, RAMF, 0, 2, 0, 4};
+  // 4: r1 := r1 - 1      (src DA: R = D(1), S = A(r1); SUBR: S - R)
+  rom[4] = {DA, SUBR, RAMF, 1, 1, 1, 5};
+  // 5: branch on Z (set by step 4) to halt, else loop
+  rom[5] = {ZB, ADD, NOP, 0, 0, 0, 3, true, 6};
+  // 6: halt: Y = F = 0 + B(r2), no write-back, loop forever
+  rom[6] = {ZB, ADD, NOP, 0, 2, 0, 6};
+  for (size_t i = 7; i < rom.size(); ++i) {
+    rom[i] = {ZB, ADD, NOP, 0, 0, 0, static_cast<unsigned>(i)};
+  }
+  return rom;
+}
+
+std::string buildSource(const std::vector<MicroOp>& rom) {
+  std::string src = corpus::kAm2901;  // defines TYPE nib, am2901
+  // Drop the corpus instantiation: top-level SIGNALs must follow all
+  // TYPE declarations (§3), and we add our own types below.
+  size_t inst = src.find("SIGNAL alu: am2901;");
+  if (inst != std::string::npos) src.erase(inst, sizeof("SIGNAL alu: am2901;") - 1);
+  src += R"(
+TYPE ucpu = COMPONENT (OUT y: nib; OUT done: boolean) IS
+  CONST halt = 6;
+  SIGNAL alu: am2901;
+         mpc: ARRAY[1..4] OF REG;
+         freg: REG;
+         romw: ARRAY[0..15] OF ARRAY[1..30] OF boolean;
+         maddr: ARRAY[1..4] OF multiplex;
+         w: ARRAY[1..30] OF boolean;
+BEGIN
+  <* While RSET holds, the microprogram counter is still undefined:
+     fetch microword 0 explicitly so no UNDEF address reaches NUM. *>
+  IF RSET THEN maddr := (0,0,0,0) ELSE maddr := mpc.out END;
+)";
+  for (size_t i = 0; i < rom.size(); ++i) {
+    src += "  romw[" + std::to_string(i) + "] := " + romWord(rom[i]) +
+           ";\n";
+  }
+  src += R"(
+  w := romw[NUM(maddr)];
+  alu(w[1..9], w[10..13], w[14..17], w[18..21], 0, 0, 0, 0, 0,
+      y, *, *, *);
+  freg.in := alu.fzero;
+  IF RSET THEN mpc.in := (0,0,0,0)
+  ELSIF AND(w[30], freg.out) THEN mpc.in := w[26..29]
+  ELSE mpc.in := w[22..25]
+  END;
+  done := EQUAL(mpc.out, BIN(halt, 4));
+END;
+
+SIGNAL cpu: ucpu;
+)";
+  return src;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned x = 5, y = 3;
+  std::vector<MicroOp> rom = assembleMultiply(x, y);
+  std::string source = buildSource(rom);
+
+  auto comp = Compilation::fromSource("ucpu.zeus", source);
+  auto design = comp->ok() ? comp->elaborate("cpu") : nullptr;
+  if (!design) {
+    std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+    return 1;
+  }
+  SimGraph graph = buildSimGraph(*design, comp->diags());
+  if (graph.hasCycle) {
+    std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+    return 1;
+  }
+  DesignStats stats = computeStats(*design, graph);
+  std::printf("microcoded CPU: %zu nets, %zu gates, %zu registers, "
+              "depth %u\n",
+              stats.nets, stats.gates, stats.registers, stats.depth);
+
+  Simulation sim(graph);
+  sim.setRset(true);
+  sim.step();
+  sim.setRset(false);
+  int cycles = 0;
+  while (sim.output("done") != Logic::One && cycles < 200) {
+    sim.step();
+    ++cycles;
+  }
+  sim.step();  // settle Y through the halt instruction
+  auto product = sim.outputUint("y");
+  std::printf("%u * %u = %llu  (computed in %d microcycles)\n", x, y,
+              static_cast<unsigned long long>(product.value_or(~0ull)),
+              cycles);
+  for (const SimError& e : sim.errors()) {
+    std::printf("runtime error @%llu %s: %s\n",
+                static_cast<unsigned long long>(e.cycle),
+                e.netName.c_str(), e.message.c_str());
+  }
+  bool ok = product == ((x * y) & 0xF) && sim.errors().empty();
+  std::printf(ok ? "OK\n" : "FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Reproduces the pattern matcher's "possible computation sequence" figure
+// (paper §10): pattern and string bits enter every second clock cycle, and
+// once the pipeline fills a result bit leaves the array on every second
+// cycle.  The wave table printed here is the machine-generated analogue of
+// the figure.
+#include <cstdio>
+
+#include "src/core/zeus.h"
+#include "src/corpus/corpus.h"
+
+using namespace zeus;
+
+int main() {
+  const int kLength = 3;
+  std::string source = std::string(corpus::kPatternMatch);
+  auto comp = Compilation::fromSource("patternmatch.zeus", source);
+  auto design = comp->elaborate("match");
+  if (!design) {
+    std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+    return 1;
+  }
+  SimGraph graph = buildSimGraph(*design, comp->diags());
+  Simulation sim(graph);
+  WaveRecorder wave(sim);
+  wave.watchPort("pattern");
+  wave.watchPort("string");
+  wave.watchPort("endofpattern", "eop");
+  wave.watchPort("result");
+
+  auto setAll = [&](int p, int s, int e, int w) {
+    sim.setInput("pattern", logicFromBool(p));
+    sim.setInput("string", logicFromBool(s));
+    sim.setInput("endofpattern", logicFromBool(e));
+    sim.setInput("wild", logicFromBool(w));
+  };
+  sim.setInput("resultin", Logic::Zero);
+  setAll(0, 0, 0, 0);
+  sim.setRset(true);
+  sim.step(kLength + 2);
+  sim.setRset(false);
+
+  // Pattern 1,1,1 repeated; string all ones -> match on every window.
+  std::printf("pattern 111 against string 1111... (every 2nd cycle):\n\n");
+  for (int beat = 0; beat < 14; ++beat) {
+    setAll(1, 1, beat % kLength == kLength - 1, 0);
+    sim.step();
+    wave.sample();
+    setAll(0, 0, 0, 0);  // idle phase: 0s enter the circuit
+    sim.step();
+    wave.sample();
+  }
+  std::printf("%s\n", wave.renderTable().c_str());
+
+  // Same with a mismatching string.
+  Simulation sim2(graph);
+  WaveRecorder wave2(sim2);
+  wave2.watchPort("result");
+  sim2.setInput("resultin", Logic::Zero);
+  sim2.setInput("pattern", Logic::Zero);
+  sim2.setInput("string", Logic::Zero);
+  sim2.setInput("endofpattern", Logic::Zero);
+  sim2.setInput("wild", Logic::Zero);
+  sim2.setRset(true);
+  sim2.step(kLength + 2);
+  sim2.setRset(false);
+  for (int beat = 0; beat < 14; ++beat) {
+    sim2.setInput("pattern", Logic::One);
+    sim2.setInput("string", Logic::Zero);  // never matches
+    sim2.setInput("endofpattern",
+                  logicFromBool(beat % kLength == kLength - 1));
+    sim2.step();
+    wave2.sample();
+    sim2.setInput("pattern", Logic::Zero);
+    sim2.setInput("endofpattern", Logic::Zero);
+    sim2.step();
+    wave2.sample();
+  }
+  std::printf("pattern 111 against string 0000...:\n\n%s\n",
+              wave2.renderTable().c_str());
+
+  if (!sim.errors().empty() || !sim2.errors().empty()) {
+    std::printf("runtime errors: %zu\n",
+                sim.errors().size() + sim2.errors().size());
+    return 1;
+  }
+  std::printf("no runtime multiple-assignment errors — the systolic\n"
+              "schedule keeps every multiplex signal single-driven.\n");
+  return 0;
+}

@@ -1,0 +1,286 @@
+// zeusc — the Zeus compiler driver.
+//
+// Usage:
+//   zeusc <file.zeus> --top <signal> [options]
+//   zeusc --example <name> [options]          (built-in paper programs)
+//   zeusc --list-examples
+//
+// Options:
+//   --dump-ast           print the parsed program
+//   --dump-netlist       print nets and nodes of the elaborated design
+//   --layout             solve the layout and print the ASCII floorplan
+//   --svg <file>         write the layout as SVG
+//   --sim <cycles>       simulate N cycles (inputs all 0) and print ports
+//   --naive              use the naive fixpoint evaluator
+//   --stats              print evaluator statistics after --sim
+//   --report             print design statistics and the instance tree
+//   --script <file>      run a testbench script (set/step/expect/...)
+//   --dot <file>         write the semantics graph as GraphViz dot
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/ast/printer.h"
+#include "src/core/zeus.h"
+#include "src/corpus/corpus.h"
+#include "src/core/report.h"
+#include "src/core/script.h"
+#include "src/layout/render.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: zeusc <file.zeus> --top <signal> [--dump-ast] "
+               "[--dump-netlist] [--layout] [--svg out.svg] [--sim N] "
+               "[--naive] [--stats]\n"
+               "       zeusc --example <name> [options]\n"
+               "       zeusc --list-examples\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file, top, example, svgOut;
+  bool dumpAst = false, dumpNetlist = false, layout = false, naive = false;
+  bool stats = false, report = false;
+  std::string dotOut, scriptFile;
+  long simCycles = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--top") {
+      const char* v = next();
+      if (!v) return usage();
+      top = v;
+    } else if (arg == "--example") {
+      const char* v = next();
+      if (!v) return usage();
+      example = v;
+    } else if (arg == "--list-examples") {
+      for (const zeus::corpus::CorpusEntry& e : zeus::corpus::all()) {
+        std::printf("%-16s %s\n", e.name, e.description);
+      }
+      return 0;
+    } else if (arg == "--dump-ast") {
+      dumpAst = true;
+    } else if (arg == "--dump-netlist") {
+      dumpNetlist = true;
+    } else if (arg == "--layout") {
+      layout = true;
+    } else if (arg == "--svg") {
+      const char* v = next();
+      if (!v) return usage();
+      svgOut = v;
+    } else if (arg == "--sim") {
+      const char* v = next();
+      if (!v) return usage();
+      simCycles = std::atol(v);
+    } else if (arg == "--naive") {
+      naive = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--dot") {
+      const char* v = next();
+      if (!v) return usage();
+      dotOut = v;
+    } else if (arg == "--script") {
+      const char* v = next();
+      if (!v) return usage();
+      scriptFile = v;
+    } else if (!arg.empty() && arg[0] != '-') {
+      file = arg;
+    } else {
+      return usage();
+    }
+  }
+
+  std::string source, name;
+  if (!example.empty()) {
+    const zeus::corpus::CorpusEntry* e = zeus::corpus::find(example);
+    if (!e) {
+      std::fprintf(stderr, "unknown example '%s' (try --list-examples)\n",
+                   example.c_str());
+      return 2;
+    }
+    source = e->source;
+    name = std::string(e->name) + ".zeus";
+    if (top.empty()) top = e->top;
+    if (top.empty()) {
+      // Parameterized families need an instantiation; give a default.
+      if (example == "adders") {
+        source += "SIGNAL adder: rippleCarry(8);\n";
+        top = "adder";
+      } else if (example.rfind("tree", 0) == 0) {
+        source += "SIGNAL a: tree(8);\n";
+        top = "a";
+      } else if (example == "htree") {
+        source += "SIGNAL a: htree(64);\n";
+        top = "a";
+      } else if (example == "routing") {
+        source += "SIGNAL net: routingnetwork(8);\n";
+        top = "net";
+      } else if (example == "systolic-stack") {
+        source += "SIGNAL st: systolicstack(8);\n";
+        top = "st";
+      } else if (example == "dictionary") {
+        source += "SIGNAL dict: dicttree(8);\n";
+        top = "dict";
+      } else if (example == "snake") {
+        source += "SIGNAL s: snake(4,6);\n";
+        top = "s";
+      } else if (example == "sorter") {
+        source += "SIGNAL s: sorter(8);\n";
+        top = "s";
+      } else if (example == "matvec") {
+        source += "SIGNAL m: matvec(4);\n";
+        top = "m";
+      }
+    }
+  } else {
+    if (file.empty() || top.empty()) return usage();
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+    name = file;
+  }
+
+  auto comp = zeus::Compilation::fromSource(name, source);
+  if (dumpAst) std::printf("%s\n", zeus::ast::dump(comp->program()).c_str());
+  if (!comp->ok()) {
+    std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+    return 1;
+  }
+  auto design = comp->elaborate(top);
+  std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+  if (!design) return 1;
+
+  std::printf("design '%s': %zu nets, %zu nodes, %zu ports\n", top.c_str(),
+              design->netlist.netCount(), design->netlist.nodeCount(),
+              design->ports.size());
+
+  if (dumpNetlist) {
+    for (zeus::NetId i = 0; i < design->netlist.netCount(); ++i) {
+      const zeus::Net& n = design->netlist.net(i);
+      zeus::NetId root = design->netlist.find(i);
+      std::printf("  net %-40s %-9s%s%s\n", n.name.c_str(),
+                  n.kind == zeus::BasicKind::Boolean ? "boolean" : "multiplex",
+                  root != i ? (" == " + design->netlist.net(root).name).c_str()
+                            : "",
+                  n.isPrimaryInput    ? " [in]"
+                  : n.isPrimaryOutput ? " [out]"
+                                      : "");
+    }
+    for (const zeus::Node& node : design->netlist.nodes()) {
+      std::printf("  %-7s ->%s\n",
+                  std::string(zeus::nodeOpName(node.op)).c_str(),
+                  node.output != zeus::kNoNet
+                      ? (" " + design->netlist.net(node.output).name).c_str()
+                      : "");
+    }
+  }
+
+  if (report) {
+    zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
+    zeus::checkSequentialOrder(*design, graph, comp->diags());
+    zeus::DesignStats ds = zeus::computeStats(*design, graph);
+    std::printf("%s", zeus::renderStats(ds).c_str());
+    std::printf("%s", zeus::renderInstanceTree(*design).c_str());
+  }
+  if (!dotOut.empty()) {
+    std::ofstream out(dotOut);
+    out << zeus::exportDot(*design);
+    std::printf("wrote %s\n", dotOut.c_str());
+  }
+
+  if (layout || !svgOut.empty()) {
+    zeus::LayoutResult lr = zeus::solveLayout(*design, comp->diags());
+    std::printf("layout: %lldx%lld cells, %zu leaf cells\n",
+                static_cast<long long>(lr.bounds.w),
+                static_cast<long long>(lr.bounds.h), lr.leafCount());
+    if (layout) std::printf("%s", zeus::renderAscii(lr).c_str());
+    if (!svgOut.empty()) {
+      std::ofstream out(svgOut);
+      out << zeus::renderSvg(lr);
+      std::printf("wrote %s\n", svgOut.c_str());
+    }
+  }
+
+  if (!scriptFile.empty()) {
+    std::ifstream in(scriptFile);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", scriptFile.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
+    if (graph.hasCycle) return 1;
+    zeus::Simulation sim(graph, naive ? zeus::EvaluatorKind::Naive
+                                      : zeus::EvaluatorKind::Firing);
+    zeus::ScriptResult sr = zeus::runScript(sim, ss.str());
+    std::printf("%s", sr.log.c_str());
+    std::printf("script: %d expectation(s) checked, %s\n",
+                sr.expectationsChecked, sr.ok ? "PASS" : "FAIL");
+    if (!sr.ok) return 1;
+  }
+
+  if (simCycles >= 0) {
+    zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
+    if (graph.hasCycle) {
+      std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+      return 1;
+    }
+    zeus::Simulation sim(graph, naive ? zeus::EvaluatorKind::Naive
+                                      : zeus::EvaluatorKind::Firing);
+    for (const zeus::Port& p : design->ports) {
+      if (p.mode == zeus::ast::ParamMode::In) {
+        sim.setInput(p.name, std::vector<zeus::Logic>(p.nets.size(),
+                                                      zeus::Logic::Zero));
+      }
+    }
+    sim.setRset(true);
+    sim.step();
+    sim.setRset(false);
+    if (simCycles > 1) sim.step(static_cast<uint64_t>(simCycles - 1));
+    for (const zeus::Port& p : design->ports) {
+      std::string bits;
+      for (zeus::Logic v : sim.outputBits(p.name)) {
+        bits += logicName(v);
+        bits += ' ';
+      }
+      std::printf("  %-4s %-12s = %s\n",
+                  p.mode == zeus::ast::ParamMode::In    ? "IN"
+                  : p.mode == zeus::ast::ParamMode::Out ? "OUT"
+                                                        : "INOUT",
+                  p.name.c_str(), bits.c_str());
+    }
+    for (const zeus::SimError& e : sim.errors()) {
+      std::printf("  runtime error, cycle %llu, %s: %s\n",
+                  static_cast<unsigned long long>(e.cycle),
+                  e.netName.c_str(), e.message.c_str());
+    }
+    if (stats) {
+      std::printf("  evaluator: %llu node firings, %llu input events, "
+                  "%llu sweeps over %llu cycles\n",
+                  static_cast<unsigned long long>(sim.stats().nodeFirings),
+                  static_cast<unsigned long long>(sim.stats().inputEvents),
+                  static_cast<unsigned long long>(sim.stats().sweeps),
+                  static_cast<unsigned long long>(sim.cycle()));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "src/ast/ast.h"
+
+namespace zeus::ast {
+
+ExprPtr makeNumber(int64_t value, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Number, loc);
+  e->number = value;
+  return e;
+}
+
+ExprPtr makeNameRef(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::NameRef, loc);
+  e->name = std::move(name);
+  return e;
+}
+
+}  // namespace zeus::ast

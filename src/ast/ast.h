@@ -1,0 +1,271 @@
+// Abstract syntax tree for Zeus (paper §7, main syntax + layout syntax).
+//
+// Ownership: every node is owned by its parent through std::unique_ptr.
+// Nodes carry the SourceLoc of their first token for diagnostics.
+//
+// Expressions double as constant expressions (Modula-2 style numeric
+// expressions, §3.1), signal expressions and signal-constant expressions —
+// which of these a node is allowed to be is decided by sema, not by the
+// grammar, exactly as in the report.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/source.h"
+
+namespace zeus::ast {
+
+struct Expr;
+struct Stmt;
+struct TypeExpr;
+struct LayoutStmt;
+struct Decl;
+
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+using TypeExprPtr = std::unique_ptr<TypeExpr>;
+using LayoutStmtPtr = std::unique_ptr<LayoutStmt>;
+using DeclPtr = std::unique_ptr<Decl>;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  Number,   ///< numeric literal
+  NameRef,  ///< identifier: constant, signal, loop variable, CLK, RSET, ...
+  Select,   ///< base.field
+  Index,    ///< base[e], base[lo..hi], base[NUM(sig)]
+  Tuple,    ///< (e1, e2, ...): signal constants and grouped actuals
+  Call,     ///< ident[typeArgs](args): function component / const function
+  Star,     ///< "*" — the empty signal, optionally "*:" width
+  Unary,    ///< +e, -e, NOT e (constant expressions)
+  Binary,   ///< constant expression operators and relations
+};
+
+enum class UnOp { Plus, Minus, Not };
+enum class BinOp { Add, Sub, Mul, Div, Mod, And, Or,
+                   Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // Number
+  int64_t number = 0;
+  // NameRef / Call / Select(field name)
+  std::string name;
+  // Select / Index / Unary(operand) / Star(width expr may be null)
+  ExprPtr base;
+  // Index: single index or range [lo..hi]; NUM-index uses numIndex instead
+  ExprPtr indexLo;
+  ExprPtr indexHi;    ///< non-null only for ranges
+  ExprPtr numIndex;   ///< non-null for base[NUM(sig)]
+  // Tuple / Call arguments
+  std::vector<ExprPtr> elems;
+  // Call: bracketed type actual parameters, e.g. plus[n](a,b)
+  std::vector<ExprPtr> typeArgs;
+  // Unary / Binary
+  UnOp unOp = UnOp::Plus;
+  BinOp binOp = BinOp::Add;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+ExprPtr makeNumber(int64_t value, SourceLoc loc);
+ExprPtr makeNameRef(std::string name, SourceLoc loc);
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+enum class TypeExprKind {
+  Named,      ///< ident [ (actual params) ] — includes boolean/multiplex/virtual
+  Array,      ///< ARRAY [lo..hi] OF elem (multi-dim sugar expands to nesting)
+  Component,  ///< COMPONENT (...) [{layout}] [[:result] IS ... END]
+};
+
+enum class ParamMode { In, Out, InOut };
+
+/// One formal parameter group: IN a,b: boolean
+struct FParam {
+  ParamMode mode = ParamMode::InOut;
+  std::vector<std::string> names;
+  TypeExprPtr type;
+  SourceLoc loc;
+};
+
+struct TypeExpr {
+  TypeExprKind kind;
+  SourceLoc loc;
+
+  // Named
+  std::string name;
+  std::vector<ExprPtr> args;
+
+  // Array
+  ExprPtr lo;
+  ExprPtr hi;
+  TypeExprPtr elem;
+
+  // Component
+  std::vector<FParam> params;
+  std::vector<LayoutStmtPtr> headerLayout;  ///< layout block after params
+  TypeExprPtr resultType;                   ///< non-null for function components
+  bool hasBody = false;
+  bool hasUses = false;                     ///< USES clause present
+  std::vector<std::string> uses;            ///< imported names (may be empty)
+  std::vector<DeclPtr> decls;               ///< local declarations
+  std::vector<LayoutStmtPtr> bodyLayout;    ///< layout block before BEGIN
+  std::vector<StmtPtr> body;
+
+  explicit TypeExpr(TypeExprKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  Assign,      ///< signal := expr   |   signal == expr (isAlias)
+  Connection,  ///< signal (actuals)
+  Replication, ///< FOR i := a TO|DOWNTO b DO [SEQUENTIALLY] ... END
+  CondGen,     ///< WHEN c THEN ... {OTHERWISEWHEN c THEN ...} [OTHERWISE ...] END
+  If,          ///< IF c THEN ... {ELSIF ...} [ELSE ...] END
+  Result,      ///< RESULT expr
+  Sequential,  ///< SEQUENTIAL ... END
+  Parallel,    ///< PARALLEL ... END
+  With,        ///< WITH signal DO ... END
+  Empty,
+};
+
+/// One (condition, body) arm of an If or CondGen statement.
+struct StmtArm {
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  // Assign
+  ExprPtr lhs;
+  ExprPtr rhs;
+  bool isAlias = false;
+
+  // Connection
+  ExprPtr target;
+  ExprPtr actuals;  ///< usually a Tuple
+
+  // Replication
+  std::string loopVar;
+  ExprPtr from;
+  ExprPtr to;
+  bool downto = false;
+  bool sequentially = false;
+
+  // If / CondGen
+  std::vector<StmtArm> arms;
+  std::vector<StmtPtr> elseBody;
+
+  // Result
+  ExprPtr value;
+
+  // With
+  ExprPtr withSignal;
+
+  // Replication / Sequential / Parallel / With bodies
+  std::vector<StmtPtr> body;
+
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+// ---------------------------------------------------------------------------
+// Layout language (paper §6)
+// ---------------------------------------------------------------------------
+
+enum class LayoutStmtKind {
+  Ref,          ///< [orientation] signal          — places an instance
+  Replacement,  ///< [orientation] signal = type   — replaces a virtual signal
+  Order,        ///< ORDER direction ... END
+  Boundary,     ///< TOP|RIGHT|BOTTOM|LEFT pinlist — pin side assignment
+  For,          ///< FOR i := a TO|DOWNTO b DO ... END
+  When,         ///< WHEN ... THEN ... OTHERWISE ... END
+  With,         ///< WITH signal DO ... END
+};
+
+enum class BoundarySide { Top, Right, Bottom, Left };
+
+struct LayoutStmt {
+  LayoutStmtKind kind;
+  SourceLoc loc;
+
+  // Ref / Replacement
+  std::string orientation;  ///< empty when unchanged
+  ExprPtr signal;
+  TypeExprPtr replacementType;
+
+  // Order
+  std::string direction;
+
+  // Boundary
+  BoundarySide side = BoundarySide::Top;
+
+  // For
+  std::string loopVar;
+  ExprPtr from;
+  ExprPtr to;
+  bool downto = false;
+
+  // When
+  std::vector<StmtArm> arms;  ///< bodies unused; see whenArms
+  struct WhenArm {
+    ExprPtr cond;
+    std::vector<LayoutStmtPtr> body;
+  };
+  std::vector<WhenArm> whenArms;
+  std::vector<LayoutStmtPtr> otherwiseBody;
+
+  // With
+  ExprPtr withSignal;
+
+  // Order / For / With bodies
+  std::vector<LayoutStmtPtr> body;
+
+  explicit LayoutStmt(LayoutStmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations and the program
+// ---------------------------------------------------------------------------
+
+enum class DeclKind { Const, Type, Signal };
+
+struct Decl {
+  DeclKind kind;
+  SourceLoc loc;
+
+  // Const: name = value
+  // Type:  name (formals) = type
+  // Signal: names : type
+  std::vector<std::string> names;          ///< Signal may declare several
+  std::string name;                        ///< Const/Type single name
+  std::vector<std::string> typeFormals;    ///< Type formal parameters
+  ExprPtr constValue;                      ///< Const
+  TypeExprPtr type;                        ///< Type / Signal
+
+  explicit Decl(DeclKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+/// A Zeus "Hardware" — the whole compilation unit (grammar rule 1).
+struct Program {
+  std::vector<DeclPtr> decls;
+};
+
+}  // namespace zeus::ast

@@ -1,0 +1,416 @@
+#include "src/ast/printer.h"
+
+namespace zeus::ast {
+namespace {
+
+const char* unOpName(UnOp op) {
+  switch (op) {
+    case UnOp::Plus: return "+";
+    case UnOp::Minus: return "-";
+    case UnOp::Not: return "NOT";
+  }
+  return "?";
+}
+
+const char* binOpName(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "DIV";
+    case BinOp::Mod: return "MOD";
+    case BinOp::And: return "AND";
+    case BinOp::Or: return "OR";
+    case BinOp::Eq: return "=";
+    case BinOp::Ne: return "<>";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+  }
+  return "?";
+}
+
+void dumpList(std::string& out, const std::vector<StmtPtr>& body);
+void dumpLayoutList(std::string& out, const std::vector<LayoutStmtPtr>& body);
+
+void dumpExpr(std::string& out, const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::Number:
+      out += std::to_string(e.number);
+      break;
+    case ExprKind::NameRef:
+      out += e.name;
+      break;
+    case ExprKind::Select:
+      dumpExpr(out, *e.base);
+      out += '.';
+      out += e.name;
+      break;
+    case ExprKind::Index:
+      dumpExpr(out, *e.base);
+      out += '[';
+      if (e.numIndex) {
+        out += "NUM(";
+        dumpExpr(out, *e.numIndex);
+        out += ')';
+      } else {
+        dumpExpr(out, *e.indexLo);
+        if (e.indexHi) {
+          out += "..";
+          dumpExpr(out, *e.indexHi);
+        }
+      }
+      out += ']';
+      break;
+    case ExprKind::Tuple:
+      out += '(';
+      for (size_t i = 0; i < e.elems.size(); ++i) {
+        if (i) out += ',';
+        dumpExpr(out, *e.elems[i]);
+      }
+      out += ')';
+      break;
+    case ExprKind::Call:
+      out += e.name;
+      if (!e.typeArgs.empty()) {
+        out += '[';
+        for (size_t i = 0; i < e.typeArgs.size(); ++i) {
+          if (i) out += ',';
+          dumpExpr(out, *e.typeArgs[i]);
+        }
+        out += ']';
+      }
+      out += '(';
+      for (size_t i = 0; i < e.elems.size(); ++i) {
+        if (i) out += ',';
+        dumpExpr(out, *e.elems[i]);
+      }
+      out += ')';
+      break;
+    case ExprKind::Star:
+      out += '*';
+      if (e.base) {
+        out += ':';
+        dumpExpr(out, *e.base);
+      }
+      break;
+    case ExprKind::Unary:
+      out += '(';
+      out += unOpName(e.unOp);
+      out += ' ';
+      dumpExpr(out, *e.base);
+      out += ')';
+      break;
+    case ExprKind::Binary:
+      out += '(';
+      dumpExpr(out, *e.lhs);
+      out += ' ';
+      out += binOpName(e.binOp);
+      out += ' ';
+      dumpExpr(out, *e.rhs);
+      out += ')';
+      break;
+  }
+}
+
+void dumpType(std::string& out, const TypeExpr& t) {
+  switch (t.kind) {
+    case TypeExprKind::Named:
+      out += t.name;
+      if (!t.args.empty()) {
+        out += '(';
+        for (size_t i = 0; i < t.args.size(); ++i) {
+          if (i) out += ',';
+          dumpExpr(out, *t.args[i]);
+        }
+        out += ')';
+      }
+      break;
+    case TypeExprKind::Array:
+      out += "ARRAY[";
+      dumpExpr(out, *t.lo);
+      out += "..";
+      dumpExpr(out, *t.hi);
+      out += "] OF ";
+      dumpType(out, *t.elem);
+      break;
+    case TypeExprKind::Component: {
+      out += "COMPONENT(";
+      for (size_t i = 0; i < t.params.size(); ++i) {
+        if (i) out += "; ";
+        const FParam& p = t.params[i];
+        if (p.mode == ParamMode::In) out += "IN ";
+        if (p.mode == ParamMode::Out) out += "OUT ";
+        for (size_t j = 0; j < p.names.size(); ++j) {
+          if (j) out += ',';
+          out += p.names[j];
+        }
+        out += ':';
+        dumpType(out, *p.type);
+      }
+      out += ')';
+      if (!t.headerLayout.empty()) {
+        out += " {";
+        dumpLayoutList(out, t.headerLayout);
+        out += '}';
+      }
+      if (t.resultType) {
+        out += ':';
+        dumpType(out, *t.resultType);
+      }
+      if (t.hasBody) {
+        out += " IS";
+        if (t.hasUses) {
+          out += " USES ";
+          for (size_t i = 0; i < t.uses.size(); ++i) {
+            if (i) out += ',';
+            out += t.uses[i];
+          }
+          out += ';';
+        }
+        out += ' ';
+        for (const DeclPtr& d : t.decls) out += dump(*d);
+        if (!t.bodyLayout.empty()) {
+          out += '{';
+          dumpLayoutList(out, t.bodyLayout);
+          out += "} ";
+        }
+        out += "BEGIN ";
+        dumpList(out, t.body);
+        out += " END";
+      }
+      break;
+    }
+  }
+}
+
+void dumpStmt(std::string& out, const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Assign:
+      dumpExpr(out, *s.lhs);
+      out += s.isAlias ? " == " : " := ";
+      dumpExpr(out, *s.rhs);
+      break;
+    case StmtKind::Connection:
+      dumpExpr(out, *s.target);
+      dumpExpr(out, *s.actuals);
+      break;
+    case StmtKind::Replication:
+      out += "FOR ";
+      out += s.loopVar;
+      out += " := ";
+      dumpExpr(out, *s.from);
+      out += s.downto ? " DOWNTO " : " TO ";
+      dumpExpr(out, *s.to);
+      out += " DO ";
+      if (s.sequentially) out += "SEQUENTIALLY ";
+      dumpList(out, s.body);
+      out += " END";
+      break;
+    case StmtKind::CondGen:
+      for (size_t i = 0; i < s.arms.size(); ++i) {
+        out += i == 0 ? "WHEN " : " OTHERWISEWHEN ";
+        dumpExpr(out, *s.arms[i].cond);
+        out += " THEN ";
+        dumpList(out, s.arms[i].body);
+      }
+      if (!s.elseBody.empty()) {
+        out += " OTHERWISE ";
+        dumpList(out, s.elseBody);
+      }
+      out += " END";
+      break;
+    case StmtKind::If:
+      for (size_t i = 0; i < s.arms.size(); ++i) {
+        out += i == 0 ? "IF " : " ELSIF ";
+        dumpExpr(out, *s.arms[i].cond);
+        out += " THEN ";
+        dumpList(out, s.arms[i].body);
+      }
+      if (!s.elseBody.empty()) {
+        out += " ELSE ";
+        dumpList(out, s.elseBody);
+      }
+      out += " END";
+      break;
+    case StmtKind::Result:
+      out += "RESULT ";
+      dumpExpr(out, *s.value);
+      break;
+    case StmtKind::Sequential:
+      out += "SEQUENTIAL ";
+      dumpList(out, s.body);
+      out += " END";
+      break;
+    case StmtKind::Parallel:
+      out += "PARALLEL ";
+      dumpList(out, s.body);
+      out += " END";
+      break;
+    case StmtKind::With:
+      out += "WITH ";
+      dumpExpr(out, *s.withSignal);
+      out += " DO ";
+      dumpList(out, s.body);
+      out += " END";
+      break;
+    case StmtKind::Empty:
+      break;
+  }
+}
+
+void dumpList(std::string& out, const std::vector<StmtPtr>& body) {
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) out += "; ";
+    dumpStmt(out, *body[i]);
+  }
+}
+
+void dumpLayout(std::string& out, const LayoutStmt& s) {
+  switch (s.kind) {
+    case LayoutStmtKind::Ref:
+      if (!s.orientation.empty()) {
+        out += s.orientation;
+        out += ' ';
+      }
+      dumpExpr(out, *s.signal);
+      break;
+    case LayoutStmtKind::Replacement:
+      if (!s.orientation.empty()) {
+        out += s.orientation;
+        out += ' ';
+      }
+      dumpExpr(out, *s.signal);
+      out += " = ";
+      dumpType(out, *s.replacementType);
+      break;
+    case LayoutStmtKind::Order:
+      out += "ORDER ";
+      out += s.direction;
+      out += ' ';
+      dumpLayoutList(out, s.body);
+      out += " END";
+      break;
+    case LayoutStmtKind::Boundary:
+      switch (s.side) {
+        case BoundarySide::Top: out += "TOP "; break;
+        case BoundarySide::Right: out += "RIGHT "; break;
+        case BoundarySide::Bottom: out += "BOTTOM "; break;
+        case BoundarySide::Left: out += "LEFT "; break;
+      }
+      dumpLayoutList(out, s.body);
+      break;
+    case LayoutStmtKind::For:
+      out += "FOR ";
+      out += s.loopVar;
+      out += " := ";
+      dumpExpr(out, *s.from);
+      out += s.downto ? " DOWNTO " : " TO ";
+      dumpExpr(out, *s.to);
+      out += " DO ";
+      dumpLayoutList(out, s.body);
+      out += " END";
+      break;
+    case LayoutStmtKind::When:
+      for (size_t i = 0; i < s.whenArms.size(); ++i) {
+        out += i == 0 ? "WHEN " : " OTHERWISEWHEN ";
+        dumpExpr(out, *s.whenArms[i].cond);
+        out += " THEN ";
+        dumpLayoutList(out, s.whenArms[i].body);
+      }
+      if (!s.otherwiseBody.empty()) {
+        out += " OTHERWISE ";
+        dumpLayoutList(out, s.otherwiseBody);
+      }
+      out += " END";
+      break;
+    case LayoutStmtKind::With:
+      out += "WITH ";
+      dumpExpr(out, *s.withSignal);
+      out += " DO ";
+      dumpLayoutList(out, s.body);
+      out += " END";
+      break;
+  }
+}
+
+void dumpLayoutList(std::string& out, const std::vector<LayoutStmtPtr>& body) {
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) out += "; ";
+    dumpLayout(out, *body[i]);
+  }
+}
+
+}  // namespace
+
+std::string dump(const Expr& e) {
+  std::string out;
+  dumpExpr(out, e);
+  return out;
+}
+
+std::string dump(const TypeExpr& t) {
+  std::string out;
+  dumpType(out, t);
+  return out;
+}
+
+std::string dump(const Stmt& s) {
+  std::string out;
+  dumpStmt(out, s);
+  return out;
+}
+
+std::string dump(const LayoutStmt& s) {
+  std::string out;
+  dumpLayout(out, s);
+  return out;
+}
+
+std::string dump(const Decl& d) {
+  std::string out;
+  switch (d.kind) {
+    case DeclKind::Const:
+      out += "CONST ";
+      out += d.name;
+      out += " = ";
+      out += dump(*d.constValue);
+      out += "; ";
+      break;
+    case DeclKind::Type:
+      out += "TYPE ";
+      out += d.name;
+      if (!d.typeFormals.empty()) {
+        out += '(';
+        for (size_t i = 0; i < d.typeFormals.size(); ++i) {
+          if (i) out += ',';
+          out += d.typeFormals[i];
+        }
+        out += ')';
+      }
+      out += " = ";
+      out += dump(*d.type);
+      out += "; ";
+      break;
+    case DeclKind::Signal:
+      out += "SIGNAL ";
+      for (size_t i = 0; i < d.names.size(); ++i) {
+        if (i) out += ',';
+        out += d.names[i];
+      }
+      out += ':';
+      out += dump(*d.type);
+      out += "; ";
+      break;
+  }
+  return out;
+}
+
+std::string dump(const Program& p) {
+  std::string out;
+  for (const DeclPtr& d : p.decls) out += dump(*d);
+  return out;
+}
+
+}  // namespace zeus::ast

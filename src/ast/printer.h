@@ -1,0 +1,20 @@
+// Compact s-expression style dumper for the Zeus AST.
+//
+// Used by the parser tests to assert tree shapes without fragile pointer
+// walking, and by `zeusc --dump-ast` style debugging.
+#pragma once
+
+#include <string>
+
+#include "src/ast/ast.h"
+
+namespace zeus::ast {
+
+std::string dump(const Expr& e);
+std::string dump(const TypeExpr& t);
+std::string dump(const Stmt& s);
+std::string dump(const LayoutStmt& s);
+std::string dump(const Decl& d);
+std::string dump(const Program& p);
+
+}  // namespace zeus::ast

@@ -1,0 +1,34 @@
+#include "src/core/compiler.h"
+
+#include "src/parser/parser.h"
+
+namespace zeus {
+
+std::unique_ptr<Compilation> Compilation::fromSource(std::string name,
+                                                     std::string text) {
+  auto comp = std::unique_ptr<Compilation>(new Compilation());
+  comp->sources_ = std::make_unique<SourceManager>();
+  BufferId buf = comp->sources_->addBuffer(std::move(name), std::move(text));
+  comp->diags_ = std::make_unique<DiagnosticEngine>(*comp->sources_);
+  comp->types_ = std::make_unique<TypeTable>(*comp->diags_);
+
+  Parser parser(buf, *comp->diags_);
+  comp->program_ = parser.parseProgram();
+
+  Checker checker(*comp->diags_, *comp->types_);
+  comp->checked_ = checker.check(comp->program_);
+  return comp;
+}
+
+std::unique_ptr<Design> Compilation::elaborate(const std::string& topName) {
+  return elaborate(topName, Elaborator::Options());
+}
+
+std::unique_ptr<Design> Compilation::elaborate(const std::string& topName,
+                                               Elaborator::Options options) {
+  if (!ok()) return nullptr;
+  Elaborator elab(*diags_, *types_, options);
+  return elab.elaborate(program_, *checked_.rootEnv, topName);
+}
+
+}  // namespace zeus

@@ -1,0 +1,57 @@
+// The compilation pipeline front door.
+//
+// A Compilation owns everything with compilation lifetime: source buffers,
+// diagnostics, the AST, the type table (with every instantiated type and
+// environment) and the checked program.  Designs elaborated from it borrow
+// those structures, so keep the Compilation alive as long as its Designs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/ast/ast.h"
+#include "src/elab/design.h"
+#include "src/elab/elaborator.h"
+#include "src/sema/checker.h"
+#include "src/sema/type_table.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source.h"
+
+namespace zeus {
+
+class Compilation {
+ public:
+  /// Lexes, parses and checks one source buffer.
+  static std::unique_ptr<Compilation> fromSource(std::string name,
+                                                 std::string text);
+
+  /// True when no errors were reported so far.
+  [[nodiscard]] bool ok() const { return !diags_->hasErrors(); }
+  [[nodiscard]] std::string diagnosticsText() const {
+    return diags_->renderAll();
+  }
+
+  DiagnosticEngine& diags() { return *diags_; }
+  SourceManager& sources() { return *sources_; }
+  TypeTable& types() { return *types_; }
+  [[nodiscard]] const ast::Program& program() const { return program_; }
+  [[nodiscard]] const CheckedProgram& checked() const { return checked_; }
+  Env& rootEnv() { return *checked_.rootEnv; }
+
+  /// Elaborates the design whose top-level SIGNAL declaration is named
+  /// `topName`.  Returns nullptr on error (see diagnosticsText()).
+  std::unique_ptr<Design> elaborate(const std::string& topName);
+  std::unique_ptr<Design> elaborate(const std::string& topName,
+                                    Elaborator::Options options);
+
+ private:
+  Compilation() = default;
+
+  std::unique_ptr<SourceManager> sources_;
+  std::unique_ptr<DiagnosticEngine> diags_;
+  std::unique_ptr<TypeTable> types_;
+  ast::Program program_;
+  CheckedProgram checked_;
+};
+
+}  // namespace zeus

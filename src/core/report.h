@@ -1,0 +1,38 @@
+// Design inspection utilities: summary statistics, a GraphViz export of
+// the semantics graph, and a hierarchical instance-tree dump.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/elab/design.h"
+#include "src/sim/graph.h"
+
+namespace zeus {
+
+struct DesignStats {
+  size_t nets = 0;
+  size_t aliasClasses = 0;
+  size_t registers = 0;
+  size_t switches = 0;   ///< IF nodes
+  size_t gates = 0;      ///< AND/OR/NAND/NOR/XOR/NOT/EQUAL
+  size_t buffers = 0;
+  size_t constants = 0;
+  size_t instances = 0;  ///< materialised component instances
+  uint32_t depth = 0;    ///< longest combinational path (levels)
+  std::map<std::string, size_t> instancesByType;
+};
+
+DesignStats computeStats(const Design& design, const SimGraph& graph);
+
+/// Renders the stats as an aligned text block.
+std::string renderStats(const DesignStats& stats);
+
+/// GraphViz dot of the semantics graph.  Designs beyond `maxNodes` nodes
+/// are truncated with a note (dot layouts degrade anyway).
+std::string exportDot(const Design& design, size_t maxNodes = 2000);
+
+/// The materialised instance hierarchy, one line per instance.
+std::string renderInstanceTree(const Design& design);
+
+}  // namespace zeus

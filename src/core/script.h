@@ -1,0 +1,33 @@
+// A tiny testbench script language for driving simulations from text —
+// the `zeusc --script` surface, so designs can be exercised without
+// writing C++.
+//
+//   # comments and blank lines are skipped
+//   set <port> <value>     drive an input (decimal, or 0b... binary)
+//   setx <port>            drive an input undefined
+//   clear <port>           stop driving an input
+//   reset <n>              hold RSET for n cycles
+//   step [n]               advance n clock cycles (default 1)
+//   expect <port> <value>  check an output (fails the run on mismatch)
+//   expectx <port>         check that every bit of a port is UNDEF
+//   print <port>           append the port's value to the log
+//
+// Execution stops at the first failed expectation.
+#pragma once
+
+#include <string>
+
+#include "src/sim/simulation.h"
+
+namespace zeus {
+
+struct ScriptResult {
+  bool ok = true;
+  int failedLine = 0;       ///< 1-based line of the first failure
+  std::string log;          ///< prints, failure messages, runtime errors
+  int expectationsChecked = 0;
+};
+
+ScriptResult runScript(Simulation& sim, const std::string& text);
+
+}  // namespace zeus

@@ -1,0 +1,21 @@
+// Zeus — a hardware description language for VLSI (Lieberherr & Knudsen,
+// ETH Zürich report 51, 1983).  Public umbrella header.
+//
+// Typical use:
+//
+//   auto comp = zeus::Compilation::fromSource("adder.zeus", text);
+//   if (!comp->ok()) { std::cerr << comp->diagnosticsText(); return 1; }
+//   auto design = comp->elaborate("adder");          // top SIGNAL name
+//   zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
+//   zeus::Simulation sim(graph);
+//   sim.setInputUint("a", 3);
+//   sim.setInputUint("b", 5);
+//   sim.step();
+//   uint64_t sum = *sim.outputUint("s");
+#pragma once
+
+#include "src/core/compiler.h"
+#include "src/elab/design.h"
+#include "src/layout/solver.h"
+#include "src/sim/simulation.h"
+#include "src/sim/wave.h"

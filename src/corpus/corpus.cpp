@@ -1,0 +1,64 @@
+#include "src/corpus/corpus.h"
+
+namespace zeus::corpus {
+
+const std::vector<CorpusEntry>& all() {
+  static const std::vector<CorpusEntry> kEntries = {
+      {"adders",
+       "half/full/ripple-carry adders (paper Fig. 3.2.2, §10 'Adders')",
+       kAdders, ""},
+      {"mux4", "the mux4 function component (paper §3.2)", kMux4, "m"},
+      {"blackjack", "the blackjack finite state machine (paper §10)",
+       kBlackjack, "bj"},
+      {"tree-iterative", "iterative binary broadcast tree (paper §10)",
+       kTreeIterative, ""},
+      {"tree-recursive",
+       "recursive binary broadcast tree with layout (paper §10)",
+       kTreeRecursive, ""},
+      {"htree", "the H-tree with linear layout area (paper §10)", kHtree,
+       ""},
+      {"routing",
+       "the recursive routing network translated from HISDL (paper §4.2)",
+       kRoutingNetwork, ""},
+      {"ram", "a 16x8 RAM built from REG with NUM addressing (paper §5)",
+       kRam, "mem"},
+      {"patternmatch",
+       "the systolic pattern matcher (paper §10 'Pattern Matching')",
+       kPatternMatch, "match"},
+      {"am2901",
+       "the AM2901 4-bit bit-slice ALU/register file (paper abstract)",
+       kAm2901, "alu"},
+      {"systolic-stack",
+       "a systolic stack after Guibas/Liang (paper abstract)",
+       kSystolicStack, ""},
+      {"dictionary",
+       "a pipelined dictionary tree machine after Ottmann et al. (§9)",
+       kDictionary, ""},
+      {"snake",
+       "serpentine shift chain with alternating layout directions (§6.3 "
+       "Fig. Snake)",
+       kSnake, ""},
+      {"sorter",
+       "odd-even transposition sorting networks, combinational and "
+       "systolic (§9 invites describing the cited sorting circuits)",
+       kSorter, ""},
+      {"matvec",
+       "GF(2) matrix-vector array and bit-serial dot product (systolic "
+       "citations of §1/§9)",
+       kMatVec, ""},
+      {"chessboard",
+       "the chessboard of virtual signals replaced by black/white cells "
+       "(paper §6.4)",
+       kChessboard, "board"},
+  };
+  return kEntries;
+}
+
+const CorpusEntry* find(const std::string& name) {
+  for (const CorpusEntry& e : all()) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace zeus::corpus

@@ -1,0 +1,405 @@
+// The example programs of the paper (Â§3.2, Â§4.2, Â§5, Â§10), canonicalised,
+// shipped as a corpus so examples, benchmarks, tests and the zeusc CLI all
+// exercise the same sources.
+//
+// The 1983 report's listings contain OCR-era and author-era slips; the
+// versions here fix them minimally.  Every deviation is listed in
+// DESIGN.md / EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zeus::corpus {
+
+
+// --- §3.2 / §10: half adder, full adder, ripple-carry adder -----------
+
+inline const char* kAdders = R"(
+TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS
+BEGIN
+  s := XOR(a,b);
+  cout := AND(a,b)
+END;
+
+fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS
+  SIGNAL h1,h2: halfadder;
+BEGIN
+  h1(a,b,*,h2.a);
+  h2(h1.s,cin,*,s);
+  cout := OR(h1.cout,h2.cout)
+END;
+
+rippleCarry(length) = COMPONENT (
+    IN a,b: ARRAY[1..length] OF boolean; IN cin: boolean;
+    OUT cout: boolean; OUT s: ARRAY[1..length] OF boolean) IS
+  SIGNAL add: ARRAY[1..length] OF fulladder;
+  { ORDER lefttoright FOR i := 1 TO length DO add[i] END END }
+BEGIN
+  SEQUENTIAL
+    add[1](a[1],b[1],cin,add[2].cin,s[1]);
+    FOR i := 2 TO length-1 DO SEQUENTIALLY
+      add[i](a[i],b[i],add[i-1].cout,add[i+1].cin,s[i]);
+    END;
+    add[length](a[length],b[length],*,cout,s[length]);
+  END
+END;
+)";
+
+inline const char* kAdder8 = R"(
+SIGNAL adder: rippleCarry(8);
+)";
+
+// --- §3.2: the mux4 function component --------------------------------
+
+inline const char* kMux4 = R"(
+TYPE bo(n) = ARRAY[1..n] OF boolean;
+mux4 = COMPONENT ( IN d: bo(4); IN a: bo(2); IN g: boolean ) : boolean IS
+  CONST bit2 = ( (0,0),(0,1),(1,0),(1,1) );
+  SIGNAL h: multiplex;
+BEGIN
+  FOR i := 1 TO 4 DO
+    IF EQUAL(a,bit2[i]) THEN h := d[i] END
+  END;
+  RESULT AND(NOT g,h)
+END;
+
+muxtop = COMPONENT (IN d: bo(4); IN a: bo(2); IN g: boolean;
+                    OUT y: boolean) IS
+BEGIN
+  y := mux4(d,a,g)
+END;
+
+SIGNAL m: muxtop;
+)";
+
+// --- §10: blackjack finite state machine -------------------------------
+
+inline const char* kBlackjack = R"(
+TYPE bo5 = ARRAY [1..5] OF boolean;
+blackjack = COMPONENT (IN ycard: boolean; IN value: bo5;
+                       OUT hit, broke, stand: boolean) IS
+  CONST start = (0,0,0); read = (0,0,1); sum = (0,1,0);
+        firstace = (0,1,1); test = (1,0,0); end1 = (1,0,1);
+        zero5 = (0,0,0,0,0);
+        ten = BIN(10,5);
+  TYPE reg(n) = ARRAY [1..n] OF REG;
+  SIGNAL score, card: reg(5);
+         ace: REG;
+         state: reg(3);
+         scorelt22, scorege17: boolean;
+BEGIN
+  scorelt22 := lt(score.out, BIN(22,5));
+  scorege17 := ge(score.out, BIN(17,5));
+  IF RSET THEN state.in := start
+  ELSE
+    IF EQUAL(state.out,start) THEN
+      score.in := zero5; ace.in := 0; state.in := read
+    END;
+    IF EQUAL(state.out,read) THEN
+      card.in := value; hit := 1;
+      IF ycard THEN state.in := sum END;
+    END;
+    IF EQUAL(state.out,sum) THEN
+      score.in := plus(score.out,card.out);
+      state.in := firstace
+    END;
+    IF EQUAL(state.out,firstace) THEN
+      state.in := test;
+      IF AND(EQUAL(card.out,BIN(1,5)), NOT ace.out) THEN
+        score.in := plus(score.out,ten);
+        ace.in := 1;
+      END;
+    END;
+    IF EQUAL(state.out,test) THEN
+      IF NOT scorege17 THEN state.in := read
+      ELSIF scorelt22 THEN state.in := end1
+      ELSIF ace.out THEN
+        score.in := minus(score.out,ten);
+        ace.in := 0
+      ELSE state.in := end1
+      END;
+    END;
+    IF EQUAL(state.out,end1) THEN
+      IF scorelt22 THEN stand := 1 ELSE broke := 1 END;
+      IF ycard THEN state.in := start ELSE state.in := end1 END;
+    END;
+  END
+END;
+
+SIGNAL bj: blackjack;
+)";
+
+// --- §10: binary trees ---------------------------------------------------
+
+inline const char* kTreeIterative = R"(
+TYPE q = COMPONENT (IN in: boolean; OUT out1,out2: boolean) IS
+BEGIN
+  out1 := in; out2 := in
+END;
+
+tree(n) = COMPONENT (IN in: boolean; OUT leaf: ARRAY[1..n] OF boolean) IS
+  SIGNAL h: ARRAY[1..n-1] OF q;
+BEGIN
+  h[1].in := in;
+  FOR i := 1 TO n DIV 2 - 1 DO
+    h[i](*, h[2*i].in, h[2*i+1].in);
+  END;
+  FOR i := 1 TO n DIV 2 DO
+    h[i + n DIV 2 - 1](*, leaf[2*i-1], leaf[2*i]);
+  END;
+END;
+)";
+
+inline const char* kTreeRecursive = R"(
+TYPE q = COMPONENT (IN in: boolean; OUT out1,out2: boolean) IS
+BEGIN
+  out1 := in; out2 := in
+END;
+
+tree(n) = COMPONENT (IN in: boolean; OUT leaf: ARRAY[1..n] OF boolean) IS
+  SIGNAL left, right: tree(n DIV 2);
+         root: q;
+  { ORDER toptobottom
+      root;
+      ORDER lefttoright left; right END;
+    END }
+BEGIN
+  WHEN n > 2 THEN
+    root.in := in;
+    left.in := root.out1;
+    right.in := root.out2;
+    FOR i := 1 TO n DIV 2 DO
+      leaf[i] := left.leaf[i];
+      leaf[n DIV 2 + i] := right.leaf[i]
+    END;
+  OTHERWISE
+    root.in := in;
+    leaf[1] := root.out1;
+    leaf[2] := root.out2
+  END
+END;
+)";
+
+// --- §10: the H-tree with linear layout area ----------------------------
+
+inline const char* kHtree = R"(
+TYPE htree(n) = COMPONENT (IN in: boolean; out: multiplex)
+  { BOTTOM in; out } IS
+  TYPE leaftype = COMPONENT (IN in: boolean; out: multiplex)
+    { BOTTOM in; out } IS
+  BEGIN
+  END;
+  SIGNAL s: ARRAY[1..4] OF htree(n DIV 4);
+         leaf: leaftype;
+  { ORDER lefttoright
+      ORDER toptobottom s[1]; flip90 s[3] END;
+      ORDER toptobottom s[2]; flip90 s[4] END;
+    END }
+BEGIN
+  WHEN n > 1 THEN
+    FOR i := 1 TO 4 DO
+      s[i].in := in;
+      out == s[i].out
+    END
+  OTHERWISE
+    leaf.in := in;
+    out == leaf.out
+  END
+END;
+)";
+
+// --- §4.2: the HISDL routing network ------------------------------------
+
+inline const char* kRoutingNetwork = R"(
+TYPE bit10 = ARRAY[1..10] OF boolean;
+channel(n) = ARRAY[0..n] OF bit10;
+router = COMPONENT (IN inport0,inport1: bit10;
+                    OUT outport0,outport1: bit10) IS
+BEGIN
+  outport0 := inport0;
+  outport1 := inport1
+END;
+
+routingnetwork(n) = COMPONENT (IN input: channel(n-1);
+                               OUT output: channel(n-1)) IS
+  SIGNAL top, bottom: routingnetwork(n DIV 2);
+         c: ARRAY[0..n DIV 2 - 1] OF router;
+BEGIN
+  WHEN n = 2 THEN
+    c[0](input[0],input[1],output[0],output[1])
+  OTHERWISE
+    FOR i := 0 TO n DIV 2 - 1 DO
+      c[i](input[2*i],input[2*i+1],top.input[i],bottom.input[i]);
+      output[i] := top.output[i];
+      output[i + n DIV 2] := bottom.output[i]
+    END;
+  END;
+END;
+)";
+
+// --- §5: RAM built from REG with NUM addressing --------------------------
+
+inline const char* kRam = R"(
+TYPE word = ARRAY[1..8] OF boolean;
+memory(abits) = COMPONENT (IN addr: ARRAY[1..abits] OF boolean;
+                           IN din: word; IN write: boolean;
+                           OUT dout: word) IS
+  CONST words = 2*2*2*2;
+  SIGNAL ram: ARRAY[0..words-1] OF ARRAY[1..8] OF REG;
+BEGIN
+  IF write THEN
+    ram[NUM(addr)].in := din
+  END;
+  dout := ram[NUM(addr)].out;
+END;
+
+SIGNAL mem: memory(4);
+)";
+
+// --- §10: the systolic pattern matcher -----------------------------------
+
+inline const char* kPatternMatch = R"(
+TYPE patternmatch(length) = COMPONENT (
+    IN pattern, string, endofpattern, wild, resultin: boolean;
+    OUT result, endout, stringout, wildout, patternout: boolean) IS
+  TYPE comparator = COMPONENT (IN pin, sin: boolean;
+                               OUT pout, dout, sout: boolean) IS
+    SIGNAL p, s: REG;
+  BEGIN
+    p(pin, pout);
+    s(sin, sout);
+    dout := AND(1, EQUAL(p.out, s.out));
+  END;
+
+  accumulator = COMPONENT (IN d, lin, xin, rin: boolean;
+                           OUT lout, xout, rout: boolean) IS
+    SIGNAL tp, l, x, r: REG;
+  BEGIN
+    l(lin, lout);
+    x(xin, xout);
+    r(rin, *);
+    IF RSET THEN
+      tp.in := 1;
+      rout := 0
+    ELSIF l.out THEN
+      rout := tp.out;
+      tp.in := OR(d, x.out)
+    ELSE
+      rout := r.out;
+      tp.in := AND(tp.out, OR(d, x.out))
+    END;
+  END;
+
+  SIGNAL pe: ARRAY[1..length] OF
+      COMPONENT (comp: comparator; acc: accumulator) IS
+      BEGIN
+        acc.d := comp.dout
+      END;
+  { ORDER lefttoright
+      FOR i := 1 TO length DO
+        ORDER toptobottom
+          WITH pe[i] DO comp; acc END;
+        END;
+      END
+    END }
+BEGIN
+  SEQUENTIAL
+    WITH pe[1] DO
+      comp.pin := pattern;
+      acc.lin := endofpattern;
+      acc.xin := wild;
+      result := acc.rout;
+      stringout := comp.sout;
+    END;
+    WITH pe[length] DO
+      patternout := comp.pout;
+      comp.sin := string;
+      wildout := acc.xout;
+      acc.rin := resultin;
+      endout := acc.lout;
+    END;
+  END;
+  FOR i := 2 TO length-1 DO
+    WITH pe[i] DO
+      comp(pe[i-1].comp.pout, pe[i+1].comp.sout,
+           pe[i+1].comp.pin, *, pe[i-1].comp.sin);
+      acc(*, pe[i-1].acc.lout, pe[i-1].acc.xout, pe[i+1].acc.rout,
+          pe[i+1].acc.lin, pe[i+1].acc.xin, pe[i-1].acc.rin);
+    END
+  END
+END;
+
+SIGNAL match: patternmatch(3);
+)";
+
+// --- §6.4: the chessboard (virtual replacement) ---------------------------
+
+inline const char* kChessboard = R"(
+TYPE black = COMPONENT (IN top1, left1: boolean;
+                        OUT bottom1, right1: boolean) IS
+BEGIN
+  bottom1 := top1; right1 := left1
+END;
+white = COMPONENT (IN top1, left1: boolean;
+                   OUT bottom1, right1: boolean) IS
+BEGIN
+  bottom1 := left1; right1 := top1
+END;
+
+chessboard(n) = COMPONENT (IN tin: ARRAY[1..n] OF boolean;
+                           IN lin: ARRAY[1..n] OF boolean;
+                           OUT bout: ARRAY[1..n] OF boolean;
+                           OUT rout: ARRAY[1..n] OF boolean) IS
+  SIGNAL m: ARRAY[1..n,1..n] OF virtual;
+  { ORDER toptobottom
+      FOR i := 1 TO n DO
+        ORDER lefttoright
+          FOR j := 1 TO n DO
+            WHEN odd(i+j) THEN m[i,j] = black
+            OTHERWISE m[i,j] = white
+            END;
+          END;
+        END;
+      END;
+    END }
+BEGIN
+  FOR i := 1 TO n DO
+    FOR j := 1 TO n DO
+      WHEN (i=1) AND (j=1) THEN m[i,j](tin[1], lin[1], *, *)
+      OTHERWISEWHEN i=1 THEN m[i,j](tin[j], m[i,j-1].right1, *, *)
+      OTHERWISEWHEN j=1 THEN m[i,j](m[i-1,j].bottom1, lin[i], *, *)
+      OTHERWISE m[i,j](m[i-1,j].bottom1, m[i,j-1].right1, *, *)
+      END;
+    END;
+  END;
+  FOR j := 1 TO n DO bout[j] := m[n,j].bottom1 END;
+  FOR i := 1 TO n DO rout[i] := m[i,n].right1 END;
+END;
+
+SIGNAL board: chessboard(4);
+)";
+
+
+}  // namespace zeus::corpus
+
+#include "src/corpus/corpus_extra.h"
+
+namespace zeus::corpus {
+
+/// One entry of the built-in program corpus.
+struct CorpusEntry {
+  const char* name;         ///< short handle, e.g. "blackjack"
+  const char* description;  ///< one line, with the paper section
+  const char* source;       ///< Zeus source text (may need a SIGNAL line)
+  const char* top;          ///< top-level SIGNAL name, or "" if the source
+                            ///< needs an instantiation appended first
+};
+
+/// All built-in programs.
+const std::vector<CorpusEntry>& all();
+
+/// Looks up an entry by name; nullptr if unknown.
+const CorpusEntry* find(const std::string& name);
+
+}  // namespace zeus::corpus

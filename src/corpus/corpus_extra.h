@@ -1,0 +1,409 @@
+// The remaining circuits the paper's abstract says Zeus was tested on:
+// the AM2901 bit-slice processor, a systolic stack (Guibas/Liang 1982,
+// cited in §10's references) and a dictionary machine (Ottmann/Rosenberg/
+// Stockmeyer 1982).  The paper prints no listings for these; the versions
+// here are written in Zeus from the cited papers' architectures and
+// exercise the language harder than the printed examples (9-bit decoded
+// instructions, pure-Zeus ripple ALU with flags, bidirectional systolic
+// data movement, a pipelined tree of processors).
+#pragma once
+
+namespace zeus::corpus {
+
+// --- AM2901: the 4-bit bit-slice ALU/register file ----------------------
+//
+// Faithful to the Am2901 datapath at the architectural level:
+//  * 16 x 4 two-port register file (REG array, NUM addressing),
+//  * Q register,
+//  * R/S source operand selector (8 codes: AQ AB ZQ ZB ZA DA DQ DZ),
+//  * 8 ALU functions (ADD, SUBR, SUBS, OR, AND, NOTRS, EXOR, EXNOR)
+//    built from an explicit ripple carry chain in Zeus (carry-in,
+//    carry-out, F3 sign and F=0 flags),
+//  * destination decode (QREG NOP RAMA RAMF RAMQD RAMD RAMQU RAMU) with
+//    up/down shift paths and shift-in pins.
+//
+// The instruction i[1..9] is (LSB-first): i[1..3] = source, i[4..6] =
+// function, i[7..9] = destination.
+inline const char* kAm2901 = R"(
+TYPE nib = ARRAY[1..4] OF boolean;
+
+am2901 = COMPONENT (
+    IN i: ARRAY[1..9] OF boolean;
+    IN aaddr, baddr: ARRAY[1..4] OF boolean;
+    IN d: nib;
+    IN cin: boolean;
+    IN ram0in, ram3in, q0in, q3in: boolean;
+    OUT y: nib;
+    OUT cout, f3, fzero: boolean) IS
+  CONST srcAQ = (0,0,0); srcAB = (1,0,0); srcZQ = (0,1,0); srcZB = (1,1,0);
+        srcZA = (0,0,1); srcDA = (1,0,1); srcDQ = (0,1,1); srcDZ = (1,1,1);
+        fADD = (0,0,0); fSUBR = (1,0,0); fSUBS = (0,1,0); fOR = (1,1,0);
+        fAND = (0,0,1); fNOTRS = (1,0,1); fEXOR = (0,1,1); fEXNOR = (1,1,1);
+        dQREG = (0,0,0); dNOP = (1,0,0); dRAMA = (0,1,0); dRAMF = (1,1,0);
+        dRAMQD = (0,0,1); dRAMD = (1,0,1); dRAMQU = (0,1,1); dRAMU = (1,1,1);
+        zero4 = (0,0,0,0);
+  SIGNAL ram: ARRAY[0..15] OF ARRAY[1..4] OF REG;
+         q: ARRAY[1..4] OF REG;
+         src, func, dest: ARRAY[1..3] OF boolean;
+         adata, bdata: nib;
+         r, s: ARRAY[1..4] OF multiplex;
+         rsel, ssel: nib;
+         radd: nib;
+         carry: ARRAY[1..5] OF boolean;
+         sum: nib;
+         f: ARRAY[1..4] OF multiplex;
+         fb: nib;
+         subR, subS, arith: boolean;
+BEGIN
+  src := i[1..3];
+  func := i[4..6];
+  dest := i[7..9];
+
+  adata := ram[NUM(aaddr)].out;
+  bdata := ram[NUM(baddr)].out;
+
+  <* R operand: A, D or 0 *>
+  IF OR(EQUAL(src,srcAQ), EQUAL(src,srcAB)) THEN r := adata END;
+  IF OR(EQUAL(src,srcDA), OR(EQUAL(src,srcDQ), EQUAL(src,srcDZ))) THEN
+    r := d
+  END;
+  IF OR(EQUAL(src,srcZQ), OR(EQUAL(src,srcZB), EQUAL(src,srcZA))) THEN
+    r := zero4
+  END;
+  rsel := r;
+
+  <* S operand: Q, B, A or 0 *>
+  IF OR(EQUAL(src,srcAQ), OR(EQUAL(src,srcZQ), EQUAL(src,srcDQ))) THEN
+    s := q.out
+  END;
+  IF OR(EQUAL(src,srcAB), EQUAL(src,srcZB)) THEN s := bdata END;
+  IF OR(EQUAL(src,srcZA), EQUAL(src,srcDA)) THEN s := adata END;
+  IF EQUAL(src,srcDZ) THEN s := zero4 END;
+  ssel := s;
+
+  <* The ripple ALU: ADD rsel+ssel, SUBR ssel-rsel, SUBS rsel-ssel. *>
+  subR := EQUAL(func,fSUBR);  <* invert R, i.e. ssel + NOT rsel + 1 *>
+  subS := EQUAL(func,fSUBS);  <* invert S *>
+  arith := OR(EQUAL(func,fADD), OR(subR, subS));
+  radd := XOR(rsel, (subR,subR,subR,subR));
+  carry[1] := OR(cin, OR(subR, subS));
+  FOR k := 1 TO 4 DO
+    sum[k] := XOR(radd[k], XOR(XOR(ssel[k], subS), carry[k]));
+    carry[k+1] := OR(AND(radd[k], XOR(ssel[k], subS)),
+                     AND(carry[k], XOR(radd[k], XOR(ssel[k], subS))));
+  END;
+
+  IF arith THEN f := sum END;
+  IF EQUAL(func,fOR) THEN f := OR(rsel, ssel) END;
+  IF EQUAL(func,fAND) THEN f := AND(rsel, ssel) END;
+  IF EQUAL(func,fNOTRS) THEN f := AND(NOT rsel, ssel) END;
+  IF EQUAL(func,fEXOR) THEN f := XOR(rsel, ssel) END;
+  IF EQUAL(func,fEXNOR) THEN f := NOT XOR(rsel, ssel) END;
+  fb := f;
+
+  cout := AND(arith, carry[5]);
+  f3 := fb[4];
+  fzero := EQUAL(fb, zero4);
+
+  <* Destination decode. *>
+  <* Y output: A data for RAMA, else F. *>
+  IF EQUAL(dest,dRAMA) THEN y := adata END;
+  IF NOT EQUAL(dest,dRAMA) THEN y := fb END;
+
+  <* Register file write back: F, F>>1 or F<<1 into B. *>
+  IF OR(EQUAL(dest,dRAMA), OR(EQUAL(dest,dRAMF),
+        OR(EQUAL(dest,dRAMQD), OR(EQUAL(dest,dRAMD),
+        OR(EQUAL(dest,dRAMQU), EQUAL(dest,dRAMU)))))) THEN
+    IF OR(EQUAL(dest,dRAMQD), EQUAL(dest,dRAMD)) THEN
+      ram[NUM(baddr)].in := (fb[2], fb[3], fb[4], ram3in)   <* shift down *>
+    ELSIF OR(EQUAL(dest,dRAMQU), EQUAL(dest,dRAMU)) THEN
+      ram[NUM(baddr)].in := (ram0in, fb[1], fb[2], fb[3])   <* shift up *>
+    ELSE
+      ram[NUM(baddr)].in := fb
+    END;
+  END;
+
+  <* Q register: load F, shift down, shift up. *>
+  IF EQUAL(dest,dQREG) THEN q.in := fb END;
+  IF EQUAL(dest,dRAMQD) THEN q.in := (q[2].out, q[3].out, q[4].out, q3in) END;
+  IF EQUAL(dest,dRAMQU) THEN q.in := (q0in, q[1].out, q[2].out, q[3].out) END;
+END;
+
+SIGNAL alu: am2901;
+)";
+
+// --- Systolic stack (Guibas/Liang, cited by the paper) -------------------
+//
+// A linear array of cells; every cell talks only to its neighbours.  One
+// command per cycle: push (with a data word) or pop.  On push every
+// occupied cell hands its value rightward; on pop every cell hands
+// leftward.  Cell 1 is the top of stack.  Overflowing values fall off the
+// right end; popping an empty stack yields valid=0.
+inline const char* kSystolicStack = R"(
+TYPE word = ARRAY[1..4] OF boolean;
+
+stackcell = COMPONENT (IN push, pop: boolean;
+                       IN fromleft: word; IN leftocc: boolean;
+                       IN fromright: word; IN rightocc: boolean;
+                       OUT data: word; OUT occ: boolean) IS
+  SIGNAL v: ARRAY[1..4] OF REG;
+         o: REG;
+BEGIN
+  IF RSET THEN o.in := 0
+  ELSIF push THEN
+    <* take the neighbour's (or input) value if it was occupied *>
+    v.in := fromleft;
+    o.in := leftocc
+  ELSIF pop THEN
+    v.in := fromright;
+    o.in := rightocc
+  END;
+  data := v.out;
+  occ := o.out;
+END;
+
+systolicstack(n) = COMPONENT (IN push, pop: boolean; IN din: word;
+                              OUT top: word; OUT valid: boolean;
+                              OUT overflow: boolean) IS
+  SIGNAL cell: ARRAY[1..n] OF stackcell;
+  { ORDER lefttoright FOR k := 1 TO n DO cell[k] END END }
+BEGIN
+  cell[1](push, pop, din, push, cell[2].data, cell[2].occ, *, *);
+  FOR k := 2 TO n-1 DO
+    cell[k](push, pop, cell[k-1].data, cell[k-1].occ,
+            cell[k+1].data, cell[k+1].occ, *, *);
+  END;
+  cell[n](push, pop, cell[n-1].data, cell[n-1].occ,
+          (0,0,0,0), 0, *, *);
+  top := cell[1].data;
+  valid := cell[1].occ;
+  overflow := AND(push, cell[n].occ);
+END;
+)";
+
+// --- Dictionary machine (Ottmann/Rosenberg/Stockmeyer, cited in §9) ------
+//
+// A pipelined complete binary tree of processors holding one key per
+// leaf-slot; INSERT and MEMBER instructions stream down from the root,
+// one per cycle, and MEMBER answers stream back up.  This miniature
+// version keeps one key per node and broadcasts queries — the tree-
+// routing skeleton of the cited machine, sized by the type parameter.
+inline const char* kDictionary = R"(
+TYPE key = ARRAY[1..4] OF boolean;
+
+dictnode = COMPONENT (IN ins, query: boolean; IN k: key;
+                      IN leftfound, rightfound: boolean;
+                      IN leftfull, rightfull: boolean;
+                      OUT found, full: boolean;
+                      OUT passins: boolean) IS
+  SIGNAL stored: ARRAY[1..4] OF REG;
+         occ: REG;
+         takehere: boolean;
+BEGIN
+  <* Insert into this node if it is free; otherwise pass down. *>
+  takehere := AND(ins, NOT occ.out);
+  IF RSET THEN occ.in := 0
+  ELSIF takehere THEN
+    stored.in := k;
+    occ.in := 1
+  END;
+  passins := AND(ins, occ.out);
+  found := OR(AND(query, AND(occ.out, EQUAL(stored.out, k))),
+              OR(leftfound, rightfound));
+  full := AND(occ.out, AND(leftfull, rightfull));
+END;
+
+dicttree(n) = COMPONENT (IN ins, query: boolean; IN k: key;
+                         OUT found, full: boolean) IS
+  SIGNAL root: dictnode;
+         left, right: dicttree(n DIV 2);
+  { ORDER toptobottom root; ORDER lefttoright left; right END; END }
+BEGIN
+  WHEN n > 1 THEN
+    <* Route passed-down inserts by the current low key bit and hand the
+       children the rotated key, so every level routes by its own bit. *>
+    left(AND(root.passins, NOT k[1]), query,
+         (k[2], k[3], k[4], k[1]), *, *);
+    right(AND(root.passins, k[1]), query,
+          (k[2], k[3], k[4], k[1]), *, *);
+    root(ins, query, k, left.found, right.found, left.full, right.full,
+         found, full, *)
+  OTHERWISE
+    root(ins, query, k, 0, 0, 1, 1, found, full, *)
+  END
+END;
+)";
+
+// --- Snake (§6.3 "Fig. Snake", truncated in the surviving text) ----------
+//
+// A serpentine chain: cells wired head-to-tail, laid out row by row with
+// alternating directions of separation — the natural reading of the
+// figure's name, exercising layout FOR/WHEN and righttoleft.
+inline const char* kSnake = R"(
+TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL r: REG;
+BEGIN
+  r.in := a;
+  b := r.out
+END;
+
+snake(rows, cols) = COMPONENT (IN head: boolean; OUT tail: boolean) IS
+  SIGNAL c: ARRAY[1..rows, 1..cols] OF cell;
+  { ORDER toptobottom
+      FOR i := 1 TO rows DO
+        WHEN odd(i) THEN
+          ORDER lefttoright FOR j := 1 TO cols DO c[i,j] END END
+        OTHERWISE
+          ORDER righttoleft FOR j := 1 TO cols DO c[i,j] END END
+        END;
+      END;
+    END }
+BEGIN
+  c[1,1].a := head;
+  FOR i := 1 TO rows DO
+    FOR j := 2 TO cols DO
+      c[i,j].a := c[i,j-1].b
+    END;
+    WHEN i > 1 THEN
+      c[i,1].a := c[i-1,cols].b
+    END;
+  END;
+  tail := c[rows,cols].b
+END;
+)";
+
+// --- Sorting network (§9 invites describing [Thompson(1981)] circuits) ---
+//
+// Odd-even transposition sort over n w-bit words: n columns of
+// compare-exchange cells.  Two variants share the cell:
+//  * `sorter` — a purely combinational network (n transposition stages),
+//  * `systolicsorter` — one stage per clock with a register plane between
+//    stages, the systolic pipeline of the cited VLSI sorting literature.
+inline const char* kSorter = R"(
+TYPE word = ARRAY[1..4] OF boolean;
+
+cmpex = COMPONENT (IN a, b: word; OUT lo, hi: word) IS
+  SIGNAL swap: boolean;
+         m: word;
+BEGIN
+  <* Gate-level multiplexer: stays collision-free while undefined values
+     flush through the systolic pipeline after power-up. *>
+  swap := lt(b, a);
+  m := (swap, swap, swap, swap);
+  lo := OR(AND(m, b), AND(NOT m, a));
+  hi := OR(AND(m, a), AND(NOT m, b))
+END;
+
+sorter(n) = COMPONENT (IN din: ARRAY[1..n] OF word;
+                       OUT dout: ARRAY[1..n] OF word) IS
+  SIGNAL stage: ARRAY[1..n, 1..n] OF word;
+         c: ARRAY[1..n, 1..n DIV 2] OF cmpex;
+BEGIN
+  stage[1] := din;
+  FOR s := 1 TO n-1 DO
+    WHEN odd(s) THEN
+      <* odd stage: compare (1,2), (3,4), ... *>
+      FOR k := 1 TO n DIV 2 DO
+        c[s,k](stage[s][2*k-1], stage[s][2*k],
+               stage[s+1][2*k-1], stage[s+1][2*k]);
+      END;
+    OTHERWISE
+      <* even stage: compare (2,3), (4,5), ...; ends pass through *>
+      stage[s+1][1] := stage[s][1];
+      FOR k := 1 TO (n-1) DIV 2 DO
+        c[s,k](stage[s][2*k], stage[s][2*k+1],
+               stage[s+1][2*k], stage[s+1][2*k+1]);
+      END;
+      WHEN n MOD 2 = 0 THEN
+        stage[s+1][n] := stage[s][n];
+      END;
+    END;
+  END;
+  <* A transposition sort needs n stages; run the last one too.
+     n is assumed even, so stage n is an even stage. *>
+  dout[1] := stage[n][1];
+  FOR k := 1 TO (n-1) DIV 2 DO
+    c[n,k](stage[n][2*k], stage[n][2*k+1], dout[2*k], dout[2*k+1]);
+  END;
+  dout[n] := stage[n][n];
+END;
+
+systolicsorter(n) = COMPONENT (IN din: ARRAY[1..n] OF word;
+                               OUT dout: ARRAY[1..n] OF word) IS
+  SIGNAL plane: ARRAY[1..n, 1..n, 1..4] OF REG;
+         c: ARRAY[1..n, 1..n DIV 2] OF cmpex;
+BEGIN
+  FOR s := 1 TO n DO
+    WHEN odd(s) THEN
+      FOR k := 1 TO n DIV 2 DO
+        WHEN s = 1 THEN
+          c[s,k](din[2*k-1], din[2*k],
+                 plane[s][2*k-1].in, plane[s][2*k].in);
+        OTHERWISE
+          c[s,k](plane[s-1][2*k-1].out, plane[s-1][2*k].out,
+                 plane[s][2*k-1].in, plane[s][2*k].in);
+        END;
+      END;
+    OTHERWISE
+      plane[s][1].in := plane[s-1][1].out;
+      FOR k := 1 TO (n-1) DIV 2 DO
+        c[s,k](plane[s-1][2*k].out, plane[s-1][2*k+1].out,
+               plane[s][2*k].in, plane[s][2*k+1].in);
+      END;
+      plane[s][n].in := plane[s-1][n].out;
+    END;
+  END;
+  FOR i := 1 TO n DO dout[i] := plane[n][i].out END;
+END;
+)";
+
+// --- Systolic GF(2) matrix-vector product (§1 cites Leiserson/Saxe and
+//     the systolic design methodology; §9 invites the cellular-array
+//     papers) --------------------------------------------------------------
+//
+// y = A·x over GF(2): cell (i,j) computes y := y XOR (a AND x).  The
+// systolic version pipelines one row per cycle: x words stream down, the
+// accumulating y word moves with them, one result per cycle after n
+// cycles of latency.
+inline const char* kMatVec = R"(
+TYPE gfcell = COMPONENT (IN a, x, yin: boolean; OUT yout: boolean) IS
+BEGIN
+  yout := XOR(yin, AND(a, x))
+END;
+
+matvec(n) = COMPONENT (IN a: ARRAY[1..n, 1..n] OF boolean;
+                       IN x: ARRAY[1..n] OF boolean;
+                       OUT y: ARRAY[1..n] OF boolean) IS
+  SIGNAL c: ARRAY[1..n, 1..n] OF gfcell;
+  { ORDER toptobottom
+      FOR i := 1 TO n DO
+        ORDER lefttoright FOR j := 1 TO n DO c[i,j] END END;
+      END;
+    END }
+BEGIN
+  FOR i := 1 TO n DO
+    c[i,1](a[i][1], x[1], 0, *);
+    FOR j := 2 TO n DO
+      c[i,j](a[i][j], x[j], c[i,j-1].yout, *);
+    END;
+    y[i] := c[i,n].yout;
+  END;
+END;
+
+sdot = COMPONENT (IN a, x, clear: boolean; OUT y: boolean) IS
+  <* Bit-serial GF(2) dot product: stream (a_j, x_j) pairs one per cycle;
+     raising `clear` starts a new sum and latches the finished one for
+     reading at y. *>
+  SIGNAL acc, done: REG;
+BEGIN
+  IF clear THEN
+    acc.in := AND(a, x);
+    done.in := acc.out
+  ELSE
+    acc.in := XOR(acc.out, AND(a, x))
+  END;
+  y := done.out;
+END;
+)";
+
+}  // namespace zeus::corpus

@@ -1,0 +1,44 @@
+// The Zeus elaborator: turns a checked program and a chosen top-level
+// signal into a flat netlist plus the instance tree (paper §4, §8).
+//
+// Elaboration is where most of the §4.7 static type rules are enforced:
+// they are rules about *instantiated basic signals* (assignment counting,
+// boolean/multiplex legality, IN/OUT directions), so they can only be
+// checked once parameterized types are bound and replication is unrolled.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/ast/ast.h"
+#include "src/elab/design.h"
+#include "src/sema/type_table.h"
+#include "src/support/diagnostics.h"
+
+namespace zeus {
+
+class Elaborator {
+ public:
+  struct Options {
+    /// Treat the unused-port rule (§4.1) as an error instead of a warning.
+    bool strictUnusedPorts = false;
+    /// Maximum component instantiation depth (recursion guard).
+    int maxDepth = 512;
+  };
+
+  Elaborator(DiagnosticEngine& diags, TypeTable& types)
+      : Elaborator(diags, types, Options()) {}
+  Elaborator(DiagnosticEngine& diags, TypeTable& types, Options options);
+
+  /// Elaborates the design rooted at the top-level SIGNAL declaration named
+  /// `topName`.  Returns nullptr if errors were reported.
+  std::unique_ptr<Design> elaborate(const ast::Program& program, Env& rootEnv,
+                                    const std::string& topName);
+
+ private:
+  DiagnosticEngine& diags_;
+  TypeTable& types_;
+  Options options_;
+};
+
+}  // namespace zeus

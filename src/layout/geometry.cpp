@@ -1,0 +1,96 @@
+#include "src/layout/geometry.h"
+
+namespace zeus {
+
+std::optional<Direction> directionFromName(std::string_view name) {
+  if (name == "toptobottom") return Direction::TopToBottom;
+  if (name == "bottomtotop") return Direction::BottomToTop;
+  if (name == "lefttoright") return Direction::LeftToRight;
+  if (name == "righttoleft") return Direction::RightToLeft;
+  if (name == "toplefttobottomright") return Direction::TopLeftToBottomRight;
+  if (name == "bottomrighttotopleft") return Direction::BottomRightToTopLeft;
+  if (name == "toprighttobottomleft") return Direction::TopRightToBottomLeft;
+  if (name == "bottomlefttotopright") return Direction::BottomLeftToTopRight;
+  return std::nullopt;
+}
+
+std::string_view directionName(Direction d) {
+  switch (d) {
+    case Direction::TopToBottom: return "toptobottom";
+    case Direction::BottomToTop: return "bottomtotop";
+    case Direction::LeftToRight: return "lefttoright";
+    case Direction::RightToLeft: return "righttoleft";
+    case Direction::TopLeftToBottomRight: return "toplefttobottomright";
+    case Direction::BottomRightToTopLeft: return "bottomrighttotopleft";
+    case Direction::TopRightToBottomLeft: return "toprighttobottomleft";
+    case Direction::BottomLeftToTopRight: return "bottomlefttotopright";
+  }
+  return "?";
+}
+
+std::optional<Orientation> orientationFromName(std::string_view name) {
+  if (name.empty()) return Orientation::Identity;
+  if (name == "rotate90") return Orientation::Rotate90;
+  if (name == "rotate180") return Orientation::Rotate180;
+  if (name == "rotate270") return Orientation::Rotate270;
+  if (name == "flip0") return Orientation::Flip0;
+  if (name == "flip45") return Orientation::Flip45;
+  if (name == "flip90") return Orientation::Flip90;
+  if (name == "flip135") return Orientation::Flip135;
+  return std::nullopt;
+}
+
+std::string_view orientationName(Orientation o) {
+  switch (o) {
+    case Orientation::Identity: return "";
+    case Orientation::Rotate90: return "rotate90";
+    case Orientation::Rotate180: return "rotate180";
+    case Orientation::Rotate270: return "rotate270";
+    case Orientation::Flip0: return "flip0";
+    case Orientation::Flip45: return "flip45";
+    case Orientation::Flip90: return "flip90";
+    case Orientation::Flip135: return "flip135";
+  }
+  return "?";
+}
+
+void orientedSize(Orientation o, int64_t w, int64_t h, int64_t& ow,
+                  int64_t& oh) {
+  switch (o) {
+    case Orientation::Rotate90:
+    case Orientation::Rotate270:
+    case Orientation::Flip45:
+    case Orientation::Flip135:
+      ow = h;
+      oh = w;
+      return;
+    default:
+      ow = w;
+      oh = h;
+      return;
+  }
+}
+
+Rect orientRect(Orientation o, const Rect& r, int64_t w, int64_t h) {
+  switch (o) {
+    case Orientation::Identity:
+      return r;
+    case Orientation::Rotate90:  // counter-clockwise
+      return {r.y, w - r.x - r.w, r.h, r.w};
+    case Orientation::Rotate180:
+      return {w - r.x - r.w, h - r.y - r.h, r.w, r.h};
+    case Orientation::Rotate270:
+      return {h - r.y - r.h, r.x, r.h, r.w};
+    case Orientation::Flip0:  // mirror about horizontal axis
+      return {r.x, h - r.y - r.h, r.w, r.h};
+    case Orientation::Flip90:  // mirror about vertical axis
+      return {w - r.x - r.w, r.y, r.w, r.h};
+    case Orientation::Flip45:  // transpose
+      return {r.y, r.x, r.h, r.w};
+    case Orientation::Flip135:  // anti-transpose
+      return {h - r.y - r.h, w - r.x - r.w, r.h, r.w};
+  }
+  return r;
+}
+
+}  // namespace zeus

@@ -1,0 +1,69 @@
+// Geometry primitives for the Zeus layout language (§6).
+//
+// Layout semantics are purely relative: ORDER statements separate bounding
+// rectangles along one of eight directions, and orientation changes apply
+// the non-identity elements of the dihedral group D4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace zeus {
+
+struct Rect {
+  int64_t x = 0;
+  int64_t y = 0;  ///< y grows downward (top-to-bottom)
+  int64_t w = 0;
+  int64_t h = 0;
+
+  [[nodiscard]] int64_t right() const { return x + w; }
+  [[nodiscard]] int64_t bottom() const { return y + h; }
+  [[nodiscard]] int64_t area() const { return w * h; }
+  [[nodiscard]] bool overlaps(const Rect& o) const {
+    return x < o.right() && o.x < right() && y < o.bottom() && o.y < bottom();
+  }
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// The eight directions of separation (§6.2).
+enum class Direction {
+  TopToBottom,
+  BottomToTop,
+  LeftToRight,
+  RightToLeft,
+  TopLeftToBottomRight,
+  BottomRightToTopLeft,
+  TopRightToBottomLeft,
+  BottomLeftToTopRight,
+};
+
+std::optional<Direction> directionFromName(std::string_view name);
+std::string_view directionName(Direction d);
+
+/// Orientation changes: all elements of the dihedral group except the
+/// identity (§6.3, counter-clockwise rotations).
+enum class Orientation {
+  Identity,  ///< no change (empty orientation in the source)
+  Rotate90,
+  Rotate180,
+  Rotate270,
+  Flip0,    ///< mirror about the horizontal axis
+  Flip45,   ///< mirror about the main diagonal (transpose)
+  Flip90,   ///< mirror about the vertical axis
+  Flip135,  ///< mirror about the anti-diagonal
+};
+
+std::optional<Orientation> orientationFromName(std::string_view name);
+std::string_view orientationName(Orientation o);
+
+/// Transformed size of a w×h box under an orientation.
+void orientedSize(Orientation o, int64_t w, int64_t h, int64_t& ow,
+                  int64_t& oh);
+
+/// Maps a child rectangle inside a w×h box through an orientation change
+/// of the whole box.
+Rect orientRect(Orientation o, const Rect& r, int64_t w, int64_t h);
+
+}  // namespace zeus

@@ -1,0 +1,59 @@
+#include "src/layout/render.h"
+
+#include <algorithm>
+
+namespace zeus {
+
+std::string renderAscii(const LayoutResult& layout) {
+  int64_t w = layout.bounds.w;
+  int64_t h = layout.bounds.h;
+  if (w <= 0 || h <= 0) return "(empty layout)\n";
+  if (w > 400 || h > 200) {
+    return "(layout too large to draw: " + std::to_string(w) + "x" +
+           std::to_string(h) + " cells)\n";
+  }
+  std::vector<std::string> grid(static_cast<size_t>(h),
+                                std::string(static_cast<size_t>(w), '.'));
+  for (const PlacedInstance& p : layout.placed) {
+    if (!p.leaf) continue;
+    if (p.rect.x < 0 || p.rect.y < 0 || p.rect.x >= w || p.rect.y >= h)
+      continue;
+    // Label with the last letter of the instance's type name.
+    char c = '#';
+    if (p.inst && p.inst->type && !p.inst->type->name.empty()) {
+      for (char ch : p.inst->type->name) {
+        if (ch == '(') break;
+        c = ch;
+      }
+    }
+    grid[static_cast<size_t>(p.rect.y)][static_cast<size_t>(p.rect.x)] = c;
+  }
+  std::string out;
+  for (const std::string& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string renderSvg(const LayoutResult& layout, int cellSize) {
+  int64_t w = layout.bounds.w * cellSize;
+  int64_t h = layout.bounds.h * cellSize;
+  std::string out = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                    std::to_string(w) + "\" height=\"" + std::to_string(h) +
+                    "\">\n";
+  for (const PlacedInstance& p : layout.placed) {
+    bool leaf = p.leaf;
+    out += "  <rect x=\"" + std::to_string(p.rect.x * cellSize) + "\" y=\"" +
+           std::to_string(p.rect.y * cellSize) + "\" width=\"" +
+           std::to_string(p.rect.w * cellSize) + "\" height=\"" +
+           std::to_string(p.rect.h * cellSize) + "\" fill=\"" +
+           (leaf ? "#9ecae1" : "none") + "\" stroke=\"#333\">";
+    out += "<title>" + (p.inst ? p.inst->path : std::string("?")) +
+           "</title></rect>\n";
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace zeus

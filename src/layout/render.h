@@ -1,0 +1,18 @@
+// Renderers for solved layouts: ASCII floorplans for terminals and SVG for
+// documentation.
+#pragma once
+
+#include <string>
+
+#include "src/layout/solver.h"
+
+namespace zeus {
+
+/// Renders unit cells as single characters on a grid; enclosing boxes are
+/// omitted.  Suitable for layouts up to ~200×60 cells.
+std::string renderAscii(const LayoutResult& layout);
+
+/// Renders every placed instance as an SVG rectangle with a tooltip.
+std::string renderSvg(const LayoutResult& layout, int cellSize = 24);
+
+}  // namespace zeus

@@ -1,0 +1,355 @@
+#include "src/layout/solver.h"
+
+#include <algorithm>
+
+#include "src/ast/printer.h"
+
+namespace zeus {
+
+size_t LayoutResult::leafCount() const {
+  size_t n = 0;
+  for (const PlacedInstance& p : placed) {
+    if (p.leaf) ++n;
+  }
+  return n;
+}
+
+bool LayoutResult::hasOverlaps(std::string* description) const {
+  // Only unit cells are compared: enclosing boxes legitimately contain
+  // their children.
+  std::vector<const PlacedInstance*> cells;
+  for (const PlacedInstance& p : placed) {
+    if (p.leaf) cells.push_back(&p);
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t j = i + 1; j < cells.size(); ++j) {
+      if (cells[i]->rect.overlaps(cells[j]->rect) &&
+          cells[i]->inst != cells[j]->inst) {
+        if (description) {
+          *description = "'" + cells[i]->inst->path + "' overlaps '" +
+                         cells[j]->inst->path + "'";
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+LayoutSolver::LayoutSolver(const Design& design, DiagnosticEngine& diags)
+    : design_(design), diags_(diags), ceval_(diags) {}
+
+LayoutResult solveLayout(const Design& design, DiagnosticEngine& diags) {
+  LayoutSolver solver(design, diags);
+  return solver.solve();
+}
+
+LayoutResult LayoutSolver::solve() {
+  if (!design_.top) return result_;
+  Box box = solveInstance(*design_.top, design_.top->loc);
+  result_.bounds = {0, 0, box.w, box.h};
+  result_.placed = std::move(box.children);
+  PlacedInstance top;
+  top.inst = design_.top;
+  top.rect = result_.bounds;
+  result_.placed.insert(result_.placed.begin(), top);
+  return result_;
+}
+
+LayoutSolver::Box LayoutSolver::solveInstance(const InstanceData& inst,
+                                              SourceLoc loc) {
+  (void)loc;
+  if (auto it = memo_.find(&inst); it != memo_.end()) return it->second;
+  Box box;
+  const ast::TypeExpr* def = inst.type ? inst.type->def : nullptr;
+  bool hasLayout =
+      def && (!def->headerLayout.empty() || !def->bodyLayout.empty());
+  if (!hasLayout || !inst.env) {
+    box.w = 1;
+    box.h = 1;
+    box.isLeaf = true;
+    memo_[&inst] = box;
+    return box;
+  }
+  envs_.emplace_back(inst.env);
+  Scope scope{&inst, &envs_.back(), {}};
+  std::vector<Box> items;
+  layoutList(scope, def->headerLayout, items, inst);
+  layoutList(scope, def->bodyLayout, items, inst);
+  box = packItems(std::move(items), Direction::LeftToRight);
+  if (box.children.empty()) {
+    box.w = 1;
+    box.h = 1;
+    box.isLeaf = true;
+  }
+  memo_[&inst] = box;
+  return box;
+}
+
+void LayoutSolver::layoutList(Scope& scope,
+                              const std::vector<ast::LayoutStmtPtr>& stmts,
+                              std::vector<Box>& items,
+                              const InstanceData& owner) {
+  using ast::LayoutStmtKind;
+  for (const ast::LayoutStmtPtr& sp : stmts) {
+    const ast::LayoutStmt& s = *sp;
+    switch (s.kind) {
+      // A replacement statement (`m[i,j] = black`) both replaces the
+      // virtual signal (done during elaboration) and places the resulting
+      // instance like a plain reference (grammar rule `basic`).
+      case LayoutStmtKind::Replacement:
+      case LayoutStmtKind::Ref: {
+        auto orient = orientationFromName(s.orientation);
+        if (!orient) {
+          diags_.error(Diag::LayoutUnknownOrientation, s.loc,
+                       "unknown orientation change '" + s.orientation + "'");
+          orient = Orientation::Identity;
+        }
+        std::vector<Obj*> objs = resolveLayoutSignal(scope, *s.signal);
+        for (Obj* o : objs) {
+          if (o->kind != ObjKind::Instance || !o->inst) continue;  // pruned
+          Box child = solveInstance(*o->inst, s.loc);
+          int64_t ow, oh;
+          orientedSize(*orient, child.w, child.h, ow, oh);
+          Box item;
+          item.w = ow;
+          item.h = oh;
+          item.isLeaf = false;
+          PlacedInstance self;
+          self.inst = o->inst.get();
+          self.rect = {0, 0, ow, oh};
+          self.orientation = *orient;
+          self.leaf = child.isLeaf;
+          item.children.push_back(self);
+          for (const PlacedInstance& pc : child.children) {
+            PlacedInstance t = pc;
+            t.rect = orientRect(*orient, pc.rect, child.w, child.h);
+            item.children.push_back(t);
+          }
+          items.push_back(std::move(item));
+        }
+        break;
+      }
+      case LayoutStmtKind::Order: {
+        auto dir = directionFromName(s.direction);
+        if (!dir) {
+          diags_.error(Diag::LayoutUnknownDirection, s.loc,
+                       "unknown direction of separation '" + s.direction +
+                           "'");
+          dir = Direction::LeftToRight;
+        }
+        std::vector<Box> sub;
+        layoutList(scope, s.body, sub, owner);
+        items.push_back(packItems(std::move(sub), *dir));
+        break;
+      }
+      case LayoutStmtKind::For: {
+        auto from = ceval_.evalNumber(*s.from, *scope.env);
+        auto to = ceval_.evalNumber(*s.to, *scope.env);
+        if (!from || !to) break;
+        Env* saved = scope.env;
+        auto iterate = [&](int64_t i) {
+          envs_.emplace_back(saved);
+          envs_.back().defineLoopVar(s.loopVar, i);
+          scope.env = &envs_.back();
+          layoutList(scope, s.body, items, owner);
+        };
+        if (s.downto) {
+          for (int64_t i = *from; i >= *to; --i) iterate(i);
+        } else {
+          for (int64_t i = *from; i <= *to; ++i) iterate(i);
+        }
+        scope.env = saved;
+        break;
+      }
+      case LayoutStmtKind::When: {
+        bool taken = false;
+        for (const ast::LayoutStmt::WhenArm& arm : s.whenArms) {
+          auto c = ceval_.evalNumber(*arm.cond, *scope.env);
+          if (!c) return;
+          if (*c != 0) {
+            layoutList(scope, arm.body, items, owner);
+            taken = true;
+            break;
+          }
+        }
+        if (!taken) layoutList(scope, s.otherwiseBody, items, owner);
+        break;
+      }
+      case LayoutStmtKind::With: {
+        std::vector<Obj*> objs = resolveLayoutSignal(scope, *s.withSignal);
+        if (objs.size() != 1) {
+          diags_.error(Diag::LayoutUnknownSignal, s.loc,
+                       "WITH requires a single signal");
+          break;
+        }
+        scope.withStack.push_back(objs[0]);
+        layoutList(scope, s.body, items, owner);
+        scope.withStack.pop_back();
+        break;
+      }
+      case LayoutStmtKind::Boundary:
+        recordPins(scope, owner, s.side, s.body);
+        break;
+    }
+  }
+}
+
+void LayoutSolver::recordPins(Scope& scope, const InstanceData& owner,
+                              ast::BoundarySide side,
+                              const std::vector<ast::LayoutStmtPtr>& body) {
+  (void)scope;
+  auto& pins = result_.pinsByInstance[owner.path];
+  for (const ast::LayoutStmtPtr& sp : body) {
+    if (sp->kind != ast::LayoutStmtKind::Ref || !sp->signal) continue;
+    PinPlacement p;
+    p.name = ast::dump(*sp->signal);
+    p.side = side;
+    p.order = static_cast<int>(pins.size());
+    pins.push_back(std::move(p));
+  }
+}
+
+LayoutSolver::Box LayoutSolver::packItems(std::vector<Box> items,
+                                          Direction dir) {
+  int sx = 0, sy = 0;
+  switch (dir) {
+    case Direction::LeftToRight: sx = 1; break;
+    case Direction::RightToLeft: sx = -1; break;
+    case Direction::TopToBottom: sy = 1; break;
+    case Direction::BottomToTop: sy = -1; break;
+    case Direction::TopLeftToBottomRight: sx = 1; sy = 1; break;
+    case Direction::BottomRightToTopLeft: sx = -1; sy = -1; break;
+    case Direction::TopRightToBottomLeft: sx = -1; sy = 1; break;
+    case Direction::BottomLeftToTopRight: sx = 1; sy = -1; break;
+  }
+  Box out;
+  out.isLeaf = false;
+  int64_t cx = 0, cy = 0;
+  struct Placed {
+    int64_t x, y;
+    Box box;
+  };
+  std::vector<Placed> placed;
+  for (Box& item : items) {
+    int64_t x = 0, y = 0;
+    if (sx > 0) {
+      x = cx;
+      cx += item.w;
+    } else if (sx < 0) {
+      cx -= item.w;
+      x = cx;
+    }
+    if (sy > 0) {
+      y = cy;
+      cy += item.h;
+    } else if (sy < 0) {
+      cy -= item.h;
+      y = cy;
+    }
+    placed.push_back({x, y, std::move(item)});
+  }
+  int64_t minX = 0, minY = 0, maxX = 0, maxY = 0;
+  bool first = true;
+  for (const Placed& p : placed) {
+    if (first) {
+      minX = p.x;
+      minY = p.y;
+      maxX = p.x + p.box.w;
+      maxY = p.y + p.box.h;
+      first = false;
+    } else {
+      minX = std::min(minX, p.x);
+      minY = std::min(minY, p.y);
+      maxX = std::max(maxX, p.x + p.box.w);
+      maxY = std::max(maxY, p.y + p.box.h);
+    }
+  }
+  if (first) return out;  // nothing placed
+  out.w = maxX - minX;
+  out.h = maxY - minY;
+  for (Placed& p : placed) {
+    for (PlacedInstance& c : p.box.children) {
+      c.rect.x += p.x - minX;
+      c.rect.y += p.y - minY;
+      out.children.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<Obj*> LayoutSolver::resolveLayoutSignal(Scope& scope,
+                                                    const ast::Expr& e) {
+  using ast::ExprKind;
+  std::vector<Obj*> out;
+  switch (e.kind) {
+    case ExprKind::NameRef: {
+      for (auto it = scope.withStack.rbegin(); it != scope.withStack.rend();
+           ++it) {
+        Obj* base = *it;
+        if (base->kind == ObjKind::Instance && base->inst) {
+          if (Member* m = base->inst->findMember(e.name)) {
+            out.push_back(&m->obj);
+            return out;
+          }
+        }
+      }
+      if (Member* m =
+              const_cast<InstanceData*>(scope.inst)->findMember(e.name)) {
+        out.push_back(&m->obj);
+        return out;
+      }
+      diags_.warning(Diag::LayoutUnknownSignal, e.loc,
+                     "layout reference to unknown signal '" + e.name + "'");
+      return out;
+    }
+    case ExprKind::Select: {
+      std::vector<Obj*> bases = resolveLayoutSignal(scope, *e.base);
+      for (Obj* b : bases) {
+        std::vector<Obj*> expand{b};
+        // Arrays distribute over the selection.
+        while (!expand.empty()) {
+          Obj* o = expand.back();
+          expand.pop_back();
+          if (o->kind == ObjKind::Array) {
+            for (Obj& el : o->elems) expand.push_back(&el);
+          } else if (o->kind == ObjKind::Instance && o->inst) {
+            if (Member* m = o->inst->findMember(e.name)) out.push_back(&m->obj);
+          } else if (o->kind == ObjKind::Record) {
+            const Type* t = o->type;
+            for (size_t i = 0; i < t->fields.size(); ++i) {
+              if (t->fields[i].name == e.name) out.push_back(&o->elems[i]);
+            }
+          }
+        }
+      }
+      return out;
+    }
+    case ExprKind::Index: {
+      std::vector<Obj*> bases = resolveLayoutSignal(scope, *e.base);
+      auto lo = ceval_.evalNumber(*e.indexLo, *scope.env);
+      if (!lo) return out;
+      std::optional<int64_t> hi;
+      if (e.indexHi) {
+        hi = ceval_.evalNumber(*e.indexHi, *scope.env);
+        if (!hi) return out;
+      }
+      for (Obj* b : bases) {
+        if (b->kind != ObjKind::Array) continue;
+        const Type* t = b->type;
+        int64_t first = *lo, last = hi ? *hi : *lo;
+        for (int64_t i = first; i <= last; ++i) {
+          if (i < t->lo || i > t->hi) continue;
+          out.push_back(&b->elems[static_cast<size_t>(i - t->lo)]);
+        }
+      }
+      return out;
+    }
+    default:
+      diags_.warning(Diag::LayoutUnknownSignal, e.loc,
+                     "unsupported layout signal expression");
+      return out;
+  }
+}
+
+}  // namespace zeus

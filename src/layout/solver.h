@@ -1,0 +1,93 @@
+// The layout solver (§6): evaluates ORDER / boundary / orientation /
+// replication statements of every materialised instance bottom-up and
+// produces absolute bounding rectangles.
+//
+// Sizes are in abstract units: a component without layout information of
+// its own (or whose layout places nothing) occupies a 1×1 cell; a
+// component with layout occupies the bounding box of what its layout
+// places.  Instances never mentioned in any layout statement receive no
+// placement — the language specifies only relative positions of what is
+// mentioned.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/elab/design.h"
+#include "src/layout/geometry.h"
+#include "src/sema/const_eval.h"
+#include "src/support/diagnostics.h"
+
+namespace zeus {
+
+struct PlacedInstance {
+  const InstanceData* inst = nullptr;
+  Rect rect;
+  Orientation orientation = Orientation::Identity;
+  bool leaf = false;  ///< the instance placed nothing itself (a unit cell)
+};
+
+struct PinPlacement {
+  std::string name;  ///< pin (formal parameter path) as written
+  ast::BoundarySide side;
+  int order = 0;  ///< position along the side
+};
+
+struct LayoutResult {
+  std::vector<PlacedInstance> placed;  ///< absolute coordinates
+  Rect bounds;
+  std::map<std::string, std::vector<PinPlacement>> pinsByInstance;
+
+  [[nodiscard]] const PlacedInstance* find(const std::string& path) const {
+    for (const PlacedInstance& p : placed)
+      if (p.inst->path == path) return &p;
+    return nullptr;
+  }
+  /// Number of placed instances that placed nothing themselves (cells).
+  [[nodiscard]] size_t leafCount() const;
+  /// True if any two placed leaf cells overlap.
+  [[nodiscard]] bool hasOverlaps(std::string* description = nullptr) const;
+};
+
+class LayoutSolver {
+ public:
+  LayoutSolver(const Design& design, DiagnosticEngine& diags);
+
+  LayoutResult solve();
+
+ private:
+  struct Box {
+    int64_t w = 0;
+    int64_t h = 0;
+    std::vector<PlacedInstance> children;  ///< relative to box origin
+    bool isLeaf = true;
+  };
+  struct Scope {
+    const InstanceData* inst;
+    Env* env;
+    std::vector<Obj*> withStack;
+  };
+
+  Box solveInstance(const InstanceData& inst, SourceLoc loc);
+  void layoutList(Scope& scope, const std::vector<ast::LayoutStmtPtr>& stmts,
+                  std::vector<Box>& items, const InstanceData& owner);
+  Box packItems(std::vector<Box> items, Direction dir);
+  std::vector<Obj*> resolveLayoutSignal(Scope& scope, const ast::Expr& e);
+  void recordPins(Scope& scope, const InstanceData& owner,
+                  ast::BoundarySide side,
+                  const std::vector<ast::LayoutStmtPtr>& body);
+
+  const Design& design_;
+  DiagnosticEngine& diags_;
+  ConstEval ceval_;
+  std::deque<Env> envs_;
+  std::map<const InstanceData*, Box> memo_;
+  LayoutResult result_;
+};
+
+/// Convenience: solve the layout of an elaborated design.
+LayoutResult solveLayout(const Design& design, DiagnosticEngine& diags);
+
+}  // namespace zeus

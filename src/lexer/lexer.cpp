@@ -1,0 +1,157 @@
+#include "src/lexer/lexer.h"
+
+#include <cctype>
+#include <limits>
+
+namespace zeus {
+
+Lexer::Lexer(BufferId buffer, DiagnosticEngine& diags)
+    : buffer_(buffer), diags_(diags),
+      text_(diags.sourceManager().text(buffer)) {}
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    while (!atEnd() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '<' && peek(1) == '*') {
+      size_t commentStart = pos_;
+      pos_ += 2;
+      int depth = 1;
+      while (!atEnd() && depth > 0) {
+        if (peek() == '<' && peek(1) == '*') {
+          depth++;
+          pos_ += 2;
+        } else if (peek() == '*' && peek(1) == '>') {
+          depth--;
+          pos_ += 2;
+        } else {
+          ++pos_;
+        }
+      }
+      if (depth > 0) {
+        diags_.error(Diag::UnterminatedComment, locAt(commentStart),
+                     "unterminated comment");
+        return;
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::make(Tok kind, size_t begin, size_t len) {
+  Token t;
+  t.kind = kind;
+  t.loc = locAt(begin);
+  t.text = text_.substr(begin, len);
+  return t;
+}
+
+Token Lexer::lexNumber() {
+  size_t begin = pos_;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+  bool octal = false;
+  if (peek() == 'B' || peek() == 'b') {
+    octal = true;
+    ++pos_;
+  }
+  Token t = make(Tok::Number, begin, pos_ - begin);
+  std::string_view digits = t.text;
+  if (octal) digits.remove_suffix(1);
+  int64_t value = 0;
+  const int base = octal ? 8 : 10;
+  for (char c : digits) {
+    int d = c - '0';
+    if (octal && d > 7) {
+      diags_.error(Diag::InvalidOctalDigit, t.loc,
+                   "digit '" + std::string(1, c) + "' not valid in octal");
+      t.kind = Tok::Error;
+      return t;
+    }
+    if (value > (std::numeric_limits<int64_t>::max() - d) / base) {
+      diags_.error(Diag::NumberTooLarge, t.loc, "number literal too large");
+      t.kind = Tok::Error;
+      return t;
+    }
+    value = value * base + d;
+  }
+  t.number = value;
+  return t;
+}
+
+Token Lexer::lexWord() {
+  size_t begin = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek()))) ++pos_;
+  Token t = make(Tok::Ident, begin, pos_ - begin);
+  t.kind = keywordFor(t.text);
+  return t;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  if (atEnd()) return make(Tok::Eof, pos_, 0);
+
+  char c = peek();
+  if (std::isdigit(static_cast<unsigned char>(c))) return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(c))) return lexWord();
+
+  size_t begin = pos_;
+  auto two = [&](Tok kind) {
+    pos_ += 2;
+    return make(kind, begin, 2);
+  };
+  auto one = [&](Tok kind) {
+    pos_ += 1;
+    return make(kind, begin, 1);
+  };
+
+  switch (c) {
+    case '+': return one(Tok::Plus);
+    case '-': return one(Tok::Minus);
+    case '(': return one(Tok::LParen);
+    case ')': return one(Tok::RParen);
+    case '[': return one(Tok::LBracket);
+    case ']': return one(Tok::RBracket);
+    case '{': return one(Tok::LBrace);
+    case '}': return one(Tok::RBrace);
+    case ',': return one(Tok::Comma);
+    case ';': return one(Tok::Semicolon);
+    case '*': return one(Tok::Star);
+    case '.':
+      if (peek(1) == '.') return two(Tok::Range);
+      return one(Tok::Dot);
+    case ':':
+      if (peek(1) == '=') return two(Tok::Assign);
+      return one(Tok::Colon);
+    case '=':
+      if (peek(1) == '=') return two(Tok::Alias);
+      return one(Tok::Equal);
+    case '<':
+      if (peek(1) == '=') return two(Tok::LessEq);
+      if (peek(1) == '>') return two(Tok::NotEqual);
+      return one(Tok::Less);
+    case '>':
+      if (peek(1) == '=') return two(Tok::GreaterEq);
+      return one(Tok::Greater);
+    default:
+      diags_.error(Diag::InvalidCharacter, locAt(begin),
+                   "invalid character '" + std::string(1, c) + "'");
+      ++pos_;
+      return make(Tok::Error, begin, 1);
+  }
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    out.push_back(t);
+    if (t.kind == Tok::Eof) break;
+  }
+  return out;
+}
+
+}  // namespace zeus

@@ -1,0 +1,41 @@
+// The Zeus scanner (paper §2).
+//
+// Converts one source buffer into a token stream.  Comments `<* ... *>`
+// nest and are skipped; a trailing B/b on a number marks octal.
+#pragma once
+
+#include <vector>
+
+#include "src/lexer/token.h"
+#include "src/support/diagnostics.h"
+
+namespace zeus {
+
+class Lexer {
+ public:
+  Lexer(BufferId buffer, DiagnosticEngine& diags);
+
+  /// Scans the next token.  After end of input, keeps returning Eof.
+  Token next();
+
+  /// Scans the whole buffer (convenience for the parser and tests).
+  std::vector<Token> tokenize();
+
+ private:
+  [[nodiscard]] char peek(size_t ahead = 0) const;
+  [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+  void skipWhitespaceAndComments();
+  Token lexNumber();
+  Token lexWord();
+  Token make(Tok kind, size_t begin, size_t len);
+  [[nodiscard]] SourceLoc locAt(size_t offset) const {
+    return {buffer_, static_cast<uint32_t>(offset)};
+  }
+
+  BufferId buffer_;
+  DiagnosticEngine& diags_;
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace zeus

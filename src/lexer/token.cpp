@@ -1,0 +1,106 @@
+#include "src/lexer/token.h"
+
+#include <unordered_map>
+
+namespace zeus {
+
+std::string_view tokName(Tok t) {
+  switch (t) {
+    case Tok::Eof: return "end of input";
+    case Tok::Error: return "<error>";
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::Dot: return ".";
+    case Tok::Comma: return ",";
+    case Tok::Semicolon: return ";";
+    case Tok::Colon: return ":";
+    case Tok::Less: return "<";
+    case Tok::LessEq: return "<=";
+    case Tok::Greater: return ">";
+    case Tok::GreaterEq: return ">=";
+    case Tok::Equal: return "=";
+    case Tok::NotEqual: return "<>";
+    case Tok::Assign: return ":=";
+    case Tok::Alias: return "==";
+    case Tok::Range: return "..";
+    case Tok::Star: return "*";
+    case Tok::KwAND: return "AND";
+    case Tok::KwARRAY: return "ARRAY";
+    case Tok::KwBEGIN: return "BEGIN";
+    case Tok::KwBIN: return "BIN";
+    case Tok::KwBOTTOM: return "BOTTOM";
+    case Tok::KwCLK: return "CLK";
+    case Tok::KwCOMPONENT: return "COMPONENT";
+    case Tok::KwCONST: return "CONST";
+    case Tok::KwDIV: return "DIV";
+    case Tok::KwDO: return "DO";
+    case Tok::KwDOWNTO: return "DOWNTO";
+    case Tok::KwELSE: return "ELSE";
+    case Tok::KwELSIF: return "ELSIF";
+    case Tok::KwEND: return "END";
+    case Tok::KwFOR: return "FOR";
+    case Tok::KwIF: return "IF";
+    case Tok::KwIN: return "IN";
+    case Tok::KwIS: return "IS";
+    case Tok::KwLEFT: return "LEFT";
+    case Tok::KwMOD: return "MOD";
+    case Tok::KwNOT: return "NOT";
+    case Tok::KwNUM: return "NUM";
+    case Tok::KwOF: return "OF";
+    case Tok::KwOR: return "OR";
+    case Tok::KwORDER: return "ORDER";
+    case Tok::KwOTHERWISE: return "OTHERWISE";
+    case Tok::KwOTHERWISEWHEN: return "OTHERWISEWHEN";
+    case Tok::KwOUT: return "OUT";
+    case Tok::KwPARALLEL: return "PARALLEL";
+    case Tok::KwRSET: return "RSET";
+    case Tok::KwRESULT: return "RESULT";
+    case Tok::KwRIGHT: return "RIGHT";
+    case Tok::KwSEQUENTIAL: return "SEQUENTIAL";
+    case Tok::KwSEQUENTIALLY: return "SEQUENTIALLY";
+    case Tok::KwSIGNAL: return "SIGNAL";
+    case Tok::KwTHEN: return "THEN";
+    case Tok::KwTO: return "TO";
+    case Tok::KwTOP: return "TOP";
+    case Tok::KwTYPE: return "TYPE";
+    case Tok::KwUSES: return "USES";
+    case Tok::KwWHEN: return "WHEN";
+    case Tok::KwWITH: return "WITH";
+  }
+  return "<bad token>";
+}
+
+Tok keywordFor(std::string_view word) {
+  static const std::unordered_map<std::string_view, Tok> kMap = {
+      {"AND", Tok::KwAND}, {"ARRAY", Tok::KwARRAY}, {"BEGIN", Tok::KwBEGIN},
+      {"BIN", Tok::KwBIN}, {"BOTTOM", Tok::KwBOTTOM}, {"CLK", Tok::KwCLK},
+      {"COMPONENT", Tok::KwCOMPONENT}, {"CONST", Tok::KwCONST},
+      {"DIV", Tok::KwDIV}, {"DO", Tok::KwDO}, {"DOWNTO", Tok::KwDOWNTO},
+      {"ELSE", Tok::KwELSE}, {"ELSIF", Tok::KwELSIF}, {"END", Tok::KwEND},
+      {"FOR", Tok::KwFOR}, {"IF", Tok::KwIF}, {"IN", Tok::KwIN},
+      {"IS", Tok::KwIS}, {"LEFT", Tok::KwLEFT}, {"MOD", Tok::KwMOD},
+      {"NOT", Tok::KwNOT}, {"NUM", Tok::KwNUM}, {"OF", Tok::KwOF},
+      {"OR", Tok::KwOR}, {"ORDER", Tok::KwORDER},
+      {"OTHERWISE", Tok::KwOTHERWISE},
+      {"OTHERWISEWHEN", Tok::KwOTHERWISEWHEN}, {"OUT", Tok::KwOUT},
+      {"PARALLEL", Tok::KwPARALLEL}, {"RSET", Tok::KwRSET},
+      {"RESULT", Tok::KwRESULT}, {"RIGHT", Tok::KwRIGHT},
+      {"SEQUENTIAL", Tok::KwSEQUENTIAL},
+      {"SEQUENTIALLY", Tok::KwSEQUENTIALLY}, {"SIGNAL", Tok::KwSIGNAL},
+      {"THEN", Tok::KwTHEN}, {"TO", Tok::KwTO}, {"TOP", Tok::KwTOP},
+      {"TYPE", Tok::KwTYPE}, {"USES", Tok::KwUSES}, {"WHEN", Tok::KwWHEN},
+      {"WITH", Tok::KwWITH},
+  };
+  auto it = kMap.find(word);
+  return it == kMap.end() ? Tok::Ident : it->second;
+}
+
+}  // namespace zeus

@@ -1,0 +1,70 @@
+// Token definitions for the Zeus vocabulary (paper §2).
+//
+// Keywords are the exact upper-case words listed in the report; any other
+// letter/digit word is an identifier.  Numbers may carry a trailing B/b to
+// mark octal.  `<* ... *>` is the (nestable) comment bracket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/support/source.h"
+
+namespace zeus {
+
+enum class Tok : uint8_t {
+  // bookkeeping
+  Eof,
+  Error,
+  // literals / names
+  Ident,
+  Number,
+  // special symbols (§2)
+  Plus,          // +
+  Minus,         // -
+  LParen,        // (
+  RParen,        // )
+  LBracket,      // [
+  RBracket,      // ]
+  LBrace,        // {   (layout statement list)
+  RBrace,        // }
+  Dot,           // .
+  Comma,         // ,
+  Semicolon,     // ;
+  Colon,         // :
+  Less,          // <
+  LessEq,        // <=
+  Greater,       // >
+  GreaterEq,     // >=
+  Equal,         // =
+  NotEqual,      // <>
+  Assign,        // :=
+  Alias,         // ==
+  Range,         // ..
+  Star,          // *  (unspecified signal / multiplication)
+  // keywords
+  KwAND, KwARRAY, KwBEGIN, KwBIN, KwBOTTOM, KwCLK, KwCOMPONENT, KwCONST,
+  KwDIV, KwDO, KwDOWNTO, KwELSE, KwELSIF, KwEND, KwFOR, KwIF, KwIN, KwIS,
+  KwLEFT, KwMOD, KwNOT, KwNUM, KwOF, KwOR, KwORDER, KwOTHERWISE,
+  KwOTHERWISEWHEN, KwOUT, KwPARALLEL, KwRSET, KwRESULT, KwRIGHT,
+  KwSEQUENTIAL, KwSEQUENTIALLY, KwSIGNAL, KwTHEN, KwTO, KwTOP, KwTYPE,
+  KwUSES, KwWHEN, KwWITH,
+};
+
+/// Human-readable spelling of a token kind, for diagnostics.
+std::string_view tokName(Tok t);
+
+/// Returns the keyword token for an exact upper-case word, or Tok::Ident.
+Tok keywordFor(std::string_view word);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  SourceLoc loc;
+  std::string_view text;  ///< slice of the source buffer
+  int64_t number = 0;     ///< value when kind == Number
+
+  [[nodiscard]] bool is(Tok k) const { return kind == k; }
+};
+
+}  // namespace zeus

@@ -1,0 +1,824 @@
+#include "src/parser/parser.h"
+
+#include <cassert>
+
+namespace zeus {
+
+using namespace ast;
+
+namespace {
+
+/// Binary operator precedence (§3.1): relations < (+ - OR) < (* DIV MOD AND).
+int binPrecedence(Tok t) {
+  switch (t) {
+    case Tok::Equal:
+    case Tok::NotEqual:
+    case Tok::Less:
+    case Tok::LessEq:
+    case Tok::Greater:
+    case Tok::GreaterEq:
+      return 1;
+    case Tok::Plus:
+    case Tok::Minus:
+    case Tok::KwOR:
+      return 2;
+    case Tok::Star:
+    case Tok::KwDIV:
+    case Tok::KwMOD:
+    case Tok::KwAND:
+      return 3;
+    default:
+      return -1;
+  }
+}
+
+BinOp binOpFor(Tok t) {
+  switch (t) {
+    case Tok::Equal: return BinOp::Eq;
+    case Tok::NotEqual: return BinOp::Ne;
+    case Tok::Less: return BinOp::Lt;
+    case Tok::LessEq: return BinOp::Le;
+    case Tok::Greater: return BinOp::Gt;
+    case Tok::GreaterEq: return BinOp::Ge;
+    case Tok::Plus: return BinOp::Add;
+    case Tok::Minus: return BinOp::Sub;
+    case Tok::KwOR: return BinOp::Or;
+    case Tok::Star: return BinOp::Mul;
+    case Tok::KwDIV: return BinOp::Div;
+    case Tok::KwMOD: return BinOp::Mod;
+    case Tok::KwAND: return BinOp::And;
+    default: assert(false); return BinOp::Add;
+  }
+}
+
+bool startsStatement(Tok t) {
+  switch (t) {
+    case Tok::Ident:
+    case Tok::Star:
+    case Tok::KwIF:
+    case Tok::KwFOR:
+    case Tok::KwWHEN:
+    case Tok::KwRESULT:
+    case Tok::KwSEQUENTIAL:
+    case Tok::KwPARALLEL:
+    case Tok::KwWITH:
+    case Tok::KwCLK:
+    case Tok::KwRSET:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool endsStatementSequence(Tok t) {
+  switch (t) {
+    case Tok::KwEND:
+    case Tok::KwELSE:
+    case Tok::KwELSIF:
+    case Tok::KwOTHERWISE:
+    case Tok::KwOTHERWISEWHEN:
+    case Tok::Eof:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Parser::Parser(BufferId buffer, DiagnosticEngine& diags) : diags_(diags) {
+  Lexer lex(buffer, diags);
+  tokens_ = lex.tokenize();
+}
+
+Token Parser::advance() {
+  Token t = cur();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(Tok k) {
+  if (check(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::expect(Tok k, const char* context) {
+  if (accept(k)) return true;
+  diags_.error(Diag::ExpectedToken, cur().loc,
+               std::string("expected '") + std::string(tokName(k)) + "' " +
+                   context + ", found '" + std::string(tokName(cur().kind)) +
+                   "'");
+  return false;
+}
+
+void Parser::skipTo(std::initializer_list<Tok> sync) {
+  while (!check(Tok::Eof)) {
+    for (Tok t : sync)
+      if (check(t)) return;
+    advance();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+ast::Program Parser::parseProgram() {
+  Program p;
+  while (!check(Tok::Eof)) {
+    size_t before = pos_;
+    parseDeclarationBlock(p.decls);
+    if (pos_ == before) {
+      diags_.error(Diag::ExpectedDeclaration, cur().loc,
+                   "expected CONST, TYPE or SIGNAL declaration");
+      skipTo({Tok::KwCONST, Tok::KwTYPE, Tok::KwSIGNAL});
+      if (pos_ == before) break;
+    }
+  }
+  return p;
+}
+
+void Parser::parseDeclarationBlock(std::vector<DeclPtr>& out) {
+  for (;;) {
+    if (check(Tok::KwCONST)) {
+      parseConstBlock(out);
+    } else if (check(Tok::KwTYPE)) {
+      parseTypeBlock(out);
+    } else if (check(Tok::KwSIGNAL)) {
+      parseSignalBlock(out);
+    } else {
+      return;
+    }
+  }
+}
+
+void Parser::parseConstBlock(std::vector<DeclPtr>& out) {
+  expect(Tok::KwCONST, "to start constant declarations");
+  while (check(Tok::Ident)) {
+    auto d = std::make_unique<Decl>(DeclKind::Const, cur().loc);
+    d->name = std::string(advance().text);
+    expect(Tok::Equal, "in constant declaration");
+    d->constValue = parseExpr();
+    expect(Tok::Semicolon, "after constant declaration");
+    out.push_back(std::move(d));
+  }
+}
+
+void Parser::parseTypeBlock(std::vector<DeclPtr>& out) {
+  expect(Tok::KwTYPE, "to start type declarations");
+  while (check(Tok::Ident)) {
+    auto d = std::make_unique<Decl>(DeclKind::Type, cur().loc);
+    d->name = std::string(advance().text);
+    if (accept(Tok::LParen)) {
+      d->typeFormals = parseIdList();
+      expect(Tok::RParen, "after type formal parameters");
+    }
+    expect(Tok::Equal, "in type declaration");
+    d->type = parseTypeExpr();
+    expect(Tok::Semicolon, "after type declaration");
+    out.push_back(std::move(d));
+  }
+}
+
+void Parser::parseSignalBlock(std::vector<DeclPtr>& out) {
+  expect(Tok::KwSIGNAL, "to start signal declarations");
+  while (check(Tok::Ident)) {
+    auto d = std::make_unique<Decl>(DeclKind::Signal, cur().loc);
+    d->names = parseIdList();
+    expect(Tok::Colon, "in signal declaration");
+    d->type = parseTypeExpr();
+    expect(Tok::Semicolon, "after signal declaration");
+    out.push_back(std::move(d));
+  }
+}
+
+std::vector<std::string> Parser::parseIdList() {
+  std::vector<std::string> names;
+  do {
+    if (!check(Tok::Ident)) {
+      diags_.error(Diag::ExpectedToken, cur().loc, "expected identifier");
+      break;
+    }
+    names.emplace_back(advance().text);
+  } while (accept(Tok::Comma));
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+ast::TypeExprPtr Parser::parseType() { return parseTypeExpr(); }
+
+ast::TypeExprPtr Parser::parseTypeExpr() {
+  SourceLoc loc = cur().loc;
+  if (check(Tok::KwCOMPONENT)) return parseComponentType();
+  if (accept(Tok::KwARRAY)) {
+    expect(Tok::LBracket, "after ARRAY");
+    // Multi-dimension sugar: ARRAY [a..b, c..d] OF t nests arrays.
+    struct Range {
+      ExprPtr lo, hi;
+    };
+    std::vector<Range> ranges;
+    do {
+      Range r;
+      r.lo = parseExpr();
+      expect(Tok::Range, "in array bounds");
+      r.hi = parseExpr();
+      ranges.push_back(std::move(r));
+    } while (accept(Tok::Comma));
+    expect(Tok::RBracket, "after array bounds");
+    expect(Tok::KwOF, "in array type");
+    TypeExprPtr elem = parseTypeExpr();
+    for (size_t i = ranges.size(); i-- > 0;) {
+      auto arr = std::make_unique<TypeExpr>(TypeExprKind::Array, loc);
+      arr->lo = std::move(ranges[i].lo);
+      arr->hi = std::move(ranges[i].hi);
+      arr->elem = std::move(elem);
+      elem = std::move(arr);
+    }
+    return elem;
+  }
+  if (check(Tok::Ident)) {
+    auto t = std::make_unique<TypeExpr>(TypeExprKind::Named, loc);
+    t->name = std::string(advance().text);
+    if (accept(Tok::LParen)) {
+      if (!check(Tok::RParen)) {
+        do {
+          t->args.push_back(parseExpr());
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "after type actual parameters");
+    }
+    return t;
+  }
+  diags_.error(Diag::ExpectedType, loc, "expected a type");
+  // Return a placeholder so callers can continue.
+  auto t = std::make_unique<TypeExpr>(TypeExprKind::Named, loc);
+  t->name = "<error>";
+  return t;
+}
+
+void Parser::parseFParams(std::vector<FParam>& out) {
+  if (check(Tok::RParen)) return;  // empty parameter list
+  do {
+    FParam p;
+    p.loc = cur().loc;
+    if (accept(Tok::KwIN)) {
+      p.mode = ParamMode::In;
+    } else if (accept(Tok::KwOUT)) {
+      p.mode = ParamMode::Out;
+    } else {
+      p.mode = ParamMode::InOut;
+    }
+    p.names = parseIdList();
+    expect(Tok::Colon, "in formal parameter list");
+    p.type = parseTypeExpr();
+    out.push_back(std::move(p));
+  } while (accept(Tok::Semicolon));
+}
+
+ast::TypeExprPtr Parser::parseComponentType() {
+  SourceLoc loc = cur().loc;
+  expect(Tok::KwCOMPONENT, "to start component type");
+  auto t = std::make_unique<TypeExpr>(TypeExprKind::Component, loc);
+  expect(Tok::LParen, "after COMPONENT");
+  parseFParams(t->params);
+  expect(Tok::RParen, "after formal parameters");
+
+  if (check(Tok::LBrace)) t->headerLayout = parseLayoutBlock();
+
+  if (accept(Tok::Colon)) t->resultType = parseTypeExpr();
+
+  if (accept(Tok::KwIS)) {
+    t->hasBody = true;
+    if (accept(Tok::KwUSES)) {
+      t->hasUses = true;
+      if (!check(Tok::Semicolon)) t->uses = parseIdList();
+      expect(Tok::Semicolon, "after USES list");
+    }
+    parseDeclarationBlock(t->decls);
+    if (check(Tok::LBrace)) t->bodyLayout = parseLayoutBlock();
+    expect(Tok::KwBEGIN, "to start component body");
+    t->body = parseStatementSequence();
+    expect(Tok::KwEND, "to close component body");
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+ast::StmtPtr Parser::parseStatement() { return parseOneStatement(); }
+
+std::vector<ast::StmtPtr> Parser::parseStatementSequence() {
+  std::vector<StmtPtr> out;
+  for (;;) {
+    while (accept(Tok::Semicolon)) {
+    }
+    if (endsStatementSequence(cur().kind)) break;
+    if (!startsStatement(cur().kind)) {
+      diags_.error(Diag::ExpectedStatement, cur().loc,
+                   "expected a statement, found '" +
+                       std::string(tokName(cur().kind)) + "'");
+      skipTo({Tok::Semicolon, Tok::KwEND, Tok::KwELSE, Tok::KwELSIF,
+              Tok::KwOTHERWISE, Tok::KwOTHERWISEWHEN});
+      if (!accept(Tok::Semicolon)) break;
+      continue;
+    }
+    out.push_back(parseOneStatement());
+    if (!accept(Tok::Semicolon)) break;
+  }
+  return out;
+}
+
+ast::StmtPtr Parser::parseOneStatement() {
+  SourceLoc loc = cur().loc;
+  switch (cur().kind) {
+    case Tok::KwIF: return parseIf();
+    case Tok::KwFOR: return parseReplication();
+    case Tok::KwWHEN: return parseCondGeneration();
+    case Tok::KwWITH: return parseWith();
+    case Tok::KwSEQUENTIAL: return parseSeqOrPar(/*sequential=*/true);
+    case Tok::KwPARALLEL: return parseSeqOrPar(/*sequential=*/false);
+    case Tok::KwRESULT: {
+      advance();
+      auto s = std::make_unique<Stmt>(StmtKind::Result, loc);
+      s->value = parseExpr();
+      return s;
+    }
+    default:
+      break;
+  }
+
+  // Assignment, aliasing or connection: all begin with a signal.
+  ExprPtr sig = parseSignalPath();
+  if (accept(Tok::Assign)) {
+    auto s = std::make_unique<Stmt>(StmtKind::Assign, loc);
+    s->lhs = std::move(sig);
+    s->rhs = parseExpr();
+    return s;
+  }
+  if (accept(Tok::Alias)) {
+    auto s = std::make_unique<Stmt>(StmtKind::Assign, loc);
+    s->isAlias = true;
+    s->lhs = std::move(sig);
+    s->rhs = parseExpr();
+    return s;
+  }
+  if (check(Tok::LParen)) {
+    auto s = std::make_unique<Stmt>(StmtKind::Connection, loc);
+    s->target = std::move(sig);
+    s->actuals = parseExpr();  // the parenthesised actual list
+    return s;
+  }
+  diags_.error(Diag::UnexpectedToken, cur().loc,
+               "expected ':=', '==' or a connection after signal");
+  auto s = std::make_unique<Stmt>(StmtKind::Empty, loc);
+  return s;
+}
+
+ast::StmtPtr Parser::parseIf() {
+  SourceLoc loc = cur().loc;
+  expect(Tok::KwIF, "");
+  auto s = std::make_unique<Stmt>(StmtKind::If, loc);
+  for (;;) {
+    StmtArm arm;
+    arm.cond = parseExpr();
+    expect(Tok::KwTHEN, "after IF condition");
+    arm.body = parseStatementSequence();
+    s->arms.push_back(std::move(arm));
+    if (accept(Tok::KwELSIF)) continue;
+    break;
+  }
+  if (accept(Tok::KwELSE)) s->elseBody = parseStatementSequence();
+  expect(Tok::KwEND, "to close IF statement");
+  return s;
+}
+
+ast::StmtPtr Parser::parseReplication() {
+  SourceLoc loc = cur().loc;
+  expect(Tok::KwFOR, "");
+  auto s = std::make_unique<Stmt>(StmtKind::Replication, loc);
+  if (check(Tok::Ident)) s->loopVar = std::string(advance().text);
+  else diags_.error(Diag::ExpectedToken, cur().loc, "expected loop variable");
+  expect(Tok::Assign, "after FOR variable");
+  s->from = parseExpr();
+  if (accept(Tok::KwDOWNTO)) {
+    s->downto = true;
+  } else {
+    expect(Tok::KwTO, "in FOR statement");
+  }
+  s->to = parseExpr();
+  expect(Tok::KwDO, "in FOR statement");
+  s->sequentially = accept(Tok::KwSEQUENTIALLY);
+  s->body = parseStatementSequence();
+  expect(Tok::KwEND, "to close FOR statement");
+  return s;
+}
+
+ast::StmtPtr Parser::parseCondGeneration() {
+  SourceLoc loc = cur().loc;
+  expect(Tok::KwWHEN, "");
+  auto s = std::make_unique<Stmt>(StmtKind::CondGen, loc);
+  for (;;) {
+    StmtArm arm;
+    arm.cond = parseExpr();
+    expect(Tok::KwTHEN, "after WHEN condition");
+    arm.body = parseStatementSequence();
+    s->arms.push_back(std::move(arm));
+    if (accept(Tok::KwOTHERWISEWHEN)) continue;
+    break;
+  }
+  if (accept(Tok::KwOTHERWISE)) s->elseBody = parseStatementSequence();
+  expect(Tok::KwEND, "to close WHEN statement");
+  return s;
+}
+
+ast::StmtPtr Parser::parseWith() {
+  SourceLoc loc = cur().loc;
+  expect(Tok::KwWITH, "");
+  auto s = std::make_unique<Stmt>(StmtKind::With, loc);
+  s->withSignal = parseSignalPath();
+  expect(Tok::KwDO, "after WITH signal");
+  s->body = parseStatementSequence();
+  expect(Tok::KwEND, "to close WITH statement");
+  return s;
+}
+
+ast::StmtPtr Parser::parseSeqOrPar(bool sequential) {
+  SourceLoc loc = cur().loc;
+  advance();  // SEQUENTIAL or PARALLEL
+  auto s = std::make_unique<Stmt>(
+      sequential ? StmtKind::Sequential : StmtKind::Parallel, loc);
+  s->body = parseStatementSequence();
+  expect(Tok::KwEND, "to close statement");
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ast::ExprPtr Parser::parseExpression() { return parseExpr(); }
+
+ast::ExprPtr Parser::parseExpr(int minPrec) {
+  ExprPtr lhs = parsePrimary();
+  for (;;) {
+    int prec = binPrecedence(cur().kind);
+    if (prec < 0 || prec < minPrec) break;
+    Tok op = advance().kind;
+    ExprPtr rhs = parseExpr(prec + 1);
+    auto bin = std::make_unique<Expr>(ExprKind::Binary, lhs->loc);
+    bin->binOp = binOpFor(op);
+    bin->lhs = std::move(lhs);
+    bin->rhs = std::move(rhs);
+    lhs = std::move(bin);
+  }
+  return lhs;
+}
+
+ast::ExprPtr Parser::parsePrimary() {
+  SourceLoc loc = cur().loc;
+  switch (cur().kind) {
+    case Tok::Number: {
+      Token t = advance();
+      return makeNumber(t.number, loc);
+    }
+    case Tok::Plus:
+    case Tok::Minus:
+    case Tok::KwNOT: {
+      Tok op = advance().kind;
+      auto e = std::make_unique<Expr>(ExprKind::Unary, loc);
+      e->unOp = op == Tok::Plus    ? UnOp::Plus
+                : op == Tok::Minus ? UnOp::Minus
+                                   : UnOp::Not;
+      // NOT binds a single factor, not a whole expression.
+      e->base = parsePrimary();
+      return parsePostfix(std::move(e));
+    }
+    case Tok::Star: {
+      advance();
+      auto e = std::make_unique<Expr>(ExprKind::Star, loc);
+      if (accept(Tok::Colon)) e->base = parseExpr(3);
+      return e;
+    }
+    case Tok::LParen: {
+      advance();
+      auto tuple = std::make_unique<Expr>(ExprKind::Tuple, loc);
+      if (!check(Tok::RParen)) {
+        do {
+          tuple->elems.push_back(parseExpr());
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "to close parenthesised expression");
+      // A one-element tuple is just parenthesisation (§4.7: "the parenthesis
+      // structure within the n signal expressions is unimportant").
+      if (tuple->elems.size() == 1) {
+        ExprPtr inner = std::move(tuple->elems[0]);
+        return parsePostfix(std::move(inner));
+      }
+      // Tuples can be indexed too: ((0,0),(0,1))[i] in constant context.
+      return parsePostfix(std::move(tuple));
+    }
+    case Tok::KwBIN: {
+      advance();
+      auto call = std::make_unique<Expr>(ExprKind::Call, loc);
+      call->name = "BIN";
+      expect(Tok::LParen, "after BIN");
+      call->elems.push_back(parseExpr());
+      expect(Tok::Comma, "between BIN arguments");
+      call->elems.push_back(parseExpr());
+      expect(Tok::RParen, "after BIN arguments");
+      return call;
+    }
+    case Tok::KwCLK:
+      advance();
+      return makeNameRef("CLK", loc);
+    case Tok::KwRSET:
+      advance();
+      return makeNameRef("RSET", loc);
+    case Tok::KwAND:
+    case Tok::KwOR: {
+      // Predefined AND/OR used as a function call: AND(a,b,...)
+      std::string name(tokName(cur().kind));
+      advance();
+      auto call = std::make_unique<Expr>(ExprKind::Call, loc);
+      call->name = name;
+      expect(Tok::LParen, "in predefined function call");
+      if (!check(Tok::RParen)) {
+        do {
+          call->elems.push_back(parseExpr());
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "after arguments");
+      return call;
+    }
+    case Tok::Ident: {
+      std::string name(advance().text);
+      // Call with bracketed type args: plus[n](a,b)
+      if (check(Tok::LBracket)) {
+        // Look ahead: an index like x[2] vs type args like plus[n](...).
+        // Parse the bracket group, then decide by the following token.
+        size_t save = pos_;
+        advance();  // '['
+        std::vector<ExprPtr> groupExprs;
+        bool simpleGroup = true;
+        if (!check(Tok::RBracket)) {
+          do {
+            if (check(Tok::KwNUM)) {
+              simpleGroup = false;
+              break;
+            }
+            groupExprs.push_back(parseExpr());
+            if (check(Tok::Range)) {
+              simpleGroup = false;
+              break;
+            }
+          } while (accept(Tok::Comma));
+        }
+        if (simpleGroup && check(Tok::RBracket) &&
+            peek().kind == Tok::LParen) {
+          advance();  // ']'
+          auto call = std::make_unique<Expr>(ExprKind::Call, loc);
+          call->name = std::move(name);
+          call->typeArgs = std::move(groupExprs);
+          expect(Tok::LParen, "in function component call");
+          if (!check(Tok::RParen)) {
+            do {
+              call->elems.push_back(parseExpr());
+            } while (accept(Tok::Comma));
+          }
+          expect(Tok::RParen, "after call arguments");
+          return call;
+        }
+        // Not a call — rewind and parse as an indexed signal.
+        pos_ = save;
+        ExprPtr base = makeNameRef(std::move(name), loc);
+        return parsePostfix(std::move(base));
+      }
+      if (check(Tok::LParen)) {
+        advance();
+        auto call = std::make_unique<Expr>(ExprKind::Call, loc);
+        call->name = std::move(name);
+        if (!check(Tok::RParen)) {
+          do {
+            call->elems.push_back(parseExpr());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "after call arguments");
+        return parsePostfix(std::move(call));
+      }
+      return parsePostfix(makeNameRef(std::move(name), loc));
+    }
+    default:
+      diags_.error(Diag::ExpectedExpression, loc,
+                   "expected an expression, found '" +
+                       std::string(tokName(cur().kind)) + "'");
+      advance();
+      return makeNumber(0, loc);
+  }
+}
+
+ast::ExprPtr Parser::parsePostfix(ast::ExprPtr base) {
+  for (;;) {
+    if (check(Tok::LBracket)) {
+      advance();
+      // Comma-separated index specs nest: m[i,j] == m[i][j].
+      do {
+        auto idx = std::make_unique<Expr>(ExprKind::Index, base->loc);
+        idx->base = std::move(base);
+        if (accept(Tok::KwNUM)) {
+          expect(Tok::LParen, "after NUM");
+          idx->numIndex = parseSignalPath();
+          expect(Tok::RParen, "after NUM argument");
+        } else {
+          idx->indexLo = parseExpr();
+          if (accept(Tok::Range)) idx->indexHi = parseExpr();
+        }
+        base = std::move(idx);
+      } while (accept(Tok::Comma));
+      expect(Tok::RBracket, "to close index");
+      continue;
+    }
+    if (check(Tok::Dot)) {
+      advance();
+      auto sel = std::make_unique<Expr>(ExprKind::Select, base->loc);
+      sel->base = std::move(base);
+      if (check(Tok::Ident)) {
+        sel->name = std::string(advance().text);
+      } else if (check(Tok::KwIN) || check(Tok::KwOUT)) {
+        // Field names "in"/"out" are common (REG.in); the lexer only
+        // keywords exact upper-case, so this handles IN/OUT used as fields.
+        sel->name = std::string(advance().text);
+      } else {
+        diags_.error(Diag::ExpectedToken, cur().loc,
+                     "expected field name after '.'");
+      }
+      base = std::move(sel);
+      continue;
+    }
+    break;
+  }
+  return base;
+}
+
+ast::ExprPtr Parser::parseSignalPath() {
+  SourceLoc loc = cur().loc;
+  if (accept(Tok::Star)) return std::make_unique<Expr>(ExprKind::Star, loc);
+  if (check(Tok::KwCLK)) {
+    advance();
+    return makeNameRef("CLK", loc);
+  }
+  if (check(Tok::KwRSET)) {
+    advance();
+    return makeNameRef("RSET", loc);
+  }
+  if (!check(Tok::Ident)) {
+    diags_.error(Diag::ExpectedToken, cur().loc, "expected a signal");
+    return makeNameRef("<error>", loc);
+  }
+  ExprPtr base = makeNameRef(std::string(advance().text), loc);
+  return parsePostfix(std::move(base));
+}
+
+// ---------------------------------------------------------------------------
+// Layout language
+// ---------------------------------------------------------------------------
+
+std::vector<ast::LayoutStmtPtr> Parser::parseLayoutBlock() {
+  expect(Tok::LBrace, "to open layout block");
+  auto list = parseLayoutList({Tok::RBrace});
+  expect(Tok::RBrace, "to close layout block");
+  return list;
+}
+
+std::vector<ast::LayoutStmtPtr> Parser::parseLayoutList(
+    std::initializer_list<Tok> terminators) {
+  std::vector<LayoutStmtPtr> out;
+  auto atTerminator = [&] {
+    for (Tok t : terminators)
+      if (check(t)) return true;
+    return check(Tok::Eof);
+  };
+  for (;;) {
+    while (accept(Tok::Semicolon)) {
+    }
+    if (atTerminator()) break;
+    LayoutStmtPtr s = parseLayoutStatement();
+    if (!s) break;
+    out.push_back(std::move(s));
+    if (!accept(Tok::Semicolon)) break;
+  }
+  return out;
+}
+
+ast::LayoutStmtPtr Parser::parseLayoutStatement() {
+  SourceLoc loc = cur().loc;
+  switch (cur().kind) {
+    case Tok::KwORDER: {
+      advance();
+      auto s = std::make_unique<LayoutStmt>(LayoutStmtKind::Order, loc);
+      if (check(Tok::Ident)) s->direction = std::string(advance().text);
+      else diags_.error(Diag::ExpectedToken, cur().loc,
+                        "expected direction of separation after ORDER");
+      s->body = parseLayoutList({Tok::KwEND});
+      expect(Tok::KwEND, "to close ORDER statement");
+      return s;
+    }
+    case Tok::KwTOP:
+    case Tok::KwRIGHT:
+    case Tok::KwBOTTOM:
+    case Tok::KwLEFT: {
+      auto s = std::make_unique<LayoutStmt>(LayoutStmtKind::Boundary, loc);
+      switch (advance().kind) {
+        case Tok::KwTOP: s->side = BoundarySide::Top; break;
+        case Tok::KwRIGHT: s->side = BoundarySide::Right; break;
+        case Tok::KwBOTTOM: s->side = BoundarySide::Bottom; break;
+        default: s->side = BoundarySide::Left; break;
+      }
+      // The boundary pin list is greedy (grammar rule 9); it ends at the
+      // enclosing terminator or the next boundary keyword.
+      s->body = parseLayoutList({Tok::RBrace, Tok::KwEND, Tok::KwTOP,
+                                 Tok::KwRIGHT, Tok::KwBOTTOM, Tok::KwLEFT});
+      return s;
+    }
+    case Tok::KwFOR: {
+      advance();
+      auto s = std::make_unique<LayoutStmt>(LayoutStmtKind::For, loc);
+      if (check(Tok::Ident)) s->loopVar = std::string(advance().text);
+      else diags_.error(Diag::ExpectedToken, cur().loc,
+                        "expected loop variable");
+      // The paper writes both "FOR i := 1 TO n" and "FOR i = 1 TO n" in
+      // layout blocks; accept either.
+      if (!accept(Tok::Assign)) expect(Tok::Equal, "after FOR variable");
+      s->from = parseExpr();
+      if (accept(Tok::KwDOWNTO)) s->downto = true;
+      else expect(Tok::KwTO, "in layout FOR");
+      s->to = parseExpr();
+      expect(Tok::KwDO, "in layout FOR");
+      s->body = parseLayoutList({Tok::KwEND});
+      expect(Tok::KwEND, "to close layout FOR");
+      return s;
+    }
+    case Tok::KwWHEN: {
+      advance();
+      auto s = std::make_unique<LayoutStmt>(LayoutStmtKind::When, loc);
+      for (;;) {
+        LayoutStmt::WhenArm arm;
+        arm.cond = parseExpr();
+        expect(Tok::KwTHEN, "after WHEN condition");
+        arm.body = parseLayoutList(
+            {Tok::KwEND, Tok::KwOTHERWISE, Tok::KwOTHERWISEWHEN});
+        s->whenArms.push_back(std::move(arm));
+        if (accept(Tok::KwOTHERWISEWHEN)) continue;
+        break;
+      }
+      if (accept(Tok::KwOTHERWISE))
+        s->otherwiseBody = parseLayoutList({Tok::KwEND});
+      expect(Tok::KwEND, "to close layout WHEN");
+      return s;
+    }
+    case Tok::KwWITH: {
+      advance();
+      auto s = std::make_unique<LayoutStmt>(LayoutStmtKind::With, loc);
+      s->withSignal = parseSignalPath();
+      expect(Tok::KwDO, "after WITH signal");
+      s->body = parseLayoutList({Tok::KwEND});
+      expect(Tok::KwEND, "to close layout WITH");
+      return s;
+    }
+    case Tok::Ident: {
+      // [orientation] signal [= type]
+      std::string orientation;
+      if (peek().kind == Tok::Ident) {
+        orientation = std::string(advance().text);
+      }
+      ExprPtr sig = parseSignalPath();
+      if (accept(Tok::Equal)) {
+        auto s =
+            std::make_unique<LayoutStmt>(LayoutStmtKind::Replacement, loc);
+        s->orientation = std::move(orientation);
+        s->signal = std::move(sig);
+        s->replacementType = parseTypeExpr();
+        return s;
+      }
+      auto s = std::make_unique<LayoutStmt>(LayoutStmtKind::Ref, loc);
+      s->orientation = std::move(orientation);
+      s->signal = std::move(sig);
+      return s;
+    }
+    default:
+      diags_.error(Diag::UnexpectedToken, loc,
+                   "expected a layout statement, found '" +
+                       std::string(tokName(cur().kind)) + "'");
+      advance();
+      return nullptr;
+  }
+}
+
+}  // namespace zeus

@@ -1,0 +1,83 @@
+// Recursive-descent parser for Zeus (paper §7).
+//
+// The grammar's one genuine ambiguity — `*` is both multiplication (in
+// constant expressions) and the empty signal — is resolved positionally:
+// `*` in operand position is the empty signal, `*` in operator position is
+// multiplication.  Which expressions must be constant, signal or
+// signal-constant expressions is decided later by sema, as in the report.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/lexer/lexer.h"
+#include "src/support/diagnostics.h"
+
+namespace zeus {
+
+class Parser {
+ public:
+  Parser(BufferId buffer, DiagnosticEngine& diags);
+
+  /// Parses a whole compilation unit.  Diagnostics collect in the engine;
+  /// a partial tree is still returned on error for tooling.
+  ast::Program parseProgram();
+
+  // Entry points used by tests.
+  ast::ExprPtr parseExpression();
+  ast::TypeExprPtr parseType();
+  ast::StmtPtr parseStatement();
+
+ private:
+  // token plumbing
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& peek(size_t ahead = 1) const {
+    size_t i = pos_ + ahead;
+    return tokens_[i < tokens_.size() ? i : tokens_.size() - 1];
+  }
+  Token advance();
+  bool check(Tok k) const { return cur().kind == k; }
+  bool accept(Tok k);
+  bool expect(Tok k, const char* context);
+  void skipTo(std::initializer_list<Tok> sync);
+
+  // declarations
+  void parseDeclarationBlock(std::vector<ast::DeclPtr>& out);
+  void parseConstBlock(std::vector<ast::DeclPtr>& out);
+  void parseTypeBlock(std::vector<ast::DeclPtr>& out);
+  void parseSignalBlock(std::vector<ast::DeclPtr>& out);
+  std::vector<std::string> parseIdList();
+
+  // types
+  ast::TypeExprPtr parseTypeExpr();
+  ast::TypeExprPtr parseComponentType();
+  void parseFParams(std::vector<ast::FParam>& out);
+
+  // statements
+  std::vector<ast::StmtPtr> parseStatementSequence();
+  ast::StmtPtr parseOneStatement();
+  ast::StmtPtr parseIf();
+  ast::StmtPtr parseReplication();
+  ast::StmtPtr parseCondGeneration();
+  ast::StmtPtr parseWith();
+  ast::StmtPtr parseSeqOrPar(bool sequential);
+
+  // expressions (Pratt over the constant-expression precedence of §3.1)
+  ast::ExprPtr parseExpr(int minPrec = 0);
+  ast::ExprPtr parsePrimary();
+  ast::ExprPtr parsePostfix(ast::ExprPtr base);
+  ast::ExprPtr parseSignalPath();
+
+  // layout language
+  std::vector<ast::LayoutStmtPtr> parseLayoutBlock();  ///< inside { }
+  std::vector<ast::LayoutStmtPtr> parseLayoutList(
+      std::initializer_list<Tok> terminators);
+  ast::LayoutStmtPtr parseLayoutStatement();
+
+  DiagnosticEngine& diags_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace zeus

@@ -1,0 +1,133 @@
+#include "src/sema/checker.h"
+
+#include "src/sema/const_eval.h"
+
+namespace zeus {
+
+Checker::Checker(DiagnosticEngine& diags, TypeTable& types)
+    : diags_(diags), types_(types) {}
+
+CheckedProgram Checker::check(const ast::Program& program) {
+  CheckedProgram out;
+  out.program = &program;
+  Env* root = types_.makeEnv(nullptr);
+  out.rootEnv = root;
+  checkDeclList(program.decls, *root);
+  for (const ast::DeclPtr& d : program.decls) {
+    if (d->kind == ast::DeclKind::Signal) out.topSignals.push_back(d.get());
+  }
+  return out;
+}
+
+void Checker::checkDeclList(const std::vector<ast::DeclPtr>& decls,
+                            Env& env) {
+  ConstEval ceval(diags_);
+  bool seenSignal = false;
+  for (const ast::DeclPtr& dp : decls) {
+    const ast::Decl& d = *dp;
+    switch (d.kind) {
+      case ast::DeclKind::Const: {
+        if (seenSignal) {
+          diags_.error(Diag::SignalAfterOtherDecls, d.loc,
+                       "constant declarations must precede signal "
+                       "declarations");
+        }
+        auto v = ceval.eval(*d.constValue, env);
+        if (v && !env.defineConst(d.name, std::move(*v))) {
+          diags_.error(Diag::DuplicateDeclaration, d.loc,
+                       "duplicate declaration of '" + d.name + "'");
+        }
+        break;
+      }
+      case ast::DeclKind::Type: {
+        if (seenSignal) {
+          diags_.error(Diag::SignalAfterOtherDecls, d.loc,
+                       "type declarations must precede signal declarations");
+        }
+        if (!env.defineType(d.name, TypeBinding{&d, &env})) {
+          diags_.error(Diag::DuplicateDeclaration, d.loc,
+                       "duplicate declaration of '" + d.name + "'");
+        }
+        // Walk into the definition with type formals bound to a probe
+        // value, purely for the syntactic statement checks; parameterized
+        // bodies are re-resolved properly at elaboration.
+        Env* probe = types_.makeEnv(&env);
+        for (const std::string& f : d.typeFormals) probe->defineLoopVar(f, 1);
+        checkTypeExpr(*d.type, *probe);
+        break;
+      }
+      case ast::DeclKind::Signal:
+        seenSignal = true;
+        if (d.type) checkTypeExpr(*d.type, env);
+        break;
+    }
+  }
+}
+
+void Checker::checkTypeExpr(const ast::TypeExpr& te, Env& env) {
+  switch (te.kind) {
+    case ast::TypeExprKind::Named:
+      return;
+    case ast::TypeExprKind::Array:
+      if (te.elem) checkTypeExpr(*te.elem, env);
+      return;
+    case ast::TypeExprKind::Component: {
+      for (const ast::FParam& p : te.params) {
+        if (p.type) checkTypeExpr(*p.type, env);
+      }
+      if (!te.hasBody) {
+        return;  // record type — nothing further to check
+      }
+      Env* bodyEnv = types_.makeEnv(&env);
+      checkDeclList(te.decls, *bodyEnv);
+      const bool isFunction = te.resultType != nullptr;
+      checkStmtList(te.body, isFunction, /*inIf=*/false);
+      return;
+    }
+  }
+}
+
+void Checker::checkStmtList(const std::vector<ast::StmtPtr>& stmts,
+                            bool inFunction, bool inIf) {
+  for (const ast::StmtPtr& s : stmts) checkStmt(*s, inFunction, inIf);
+}
+
+void Checker::checkStmt(const ast::Stmt& s, bool inFunction, bool inIf) {
+  using ast::StmtKind;
+  switch (s.kind) {
+    case StmtKind::Assign:
+      if (s.isAlias && inIf) {
+        diags_.error(Diag::AliasInsideConditional, s.loc,
+                     "aliasing ('==') must not occur within a conditional "
+                     "statement");
+      }
+      return;
+    case StmtKind::Result:
+      if (!inFunction) {
+        diags_.error(Diag::ResultOutsideFunction, s.loc,
+                     "RESULT is only allowed in function component types");
+      }
+      return;
+    case StmtKind::If:
+      for (const ast::StmtArm& arm : s.arms)
+        checkStmtList(arm.body, inFunction, /*inIf=*/true);
+      checkStmtList(s.elseBody, inFunction, /*inIf=*/true);
+      return;
+    case StmtKind::CondGen:
+      for (const ast::StmtArm& arm : s.arms)
+        checkStmtList(arm.body, inFunction, inIf);
+      checkStmtList(s.elseBody, inFunction, inIf);
+      return;
+    case StmtKind::Replication:
+    case StmtKind::Sequential:
+    case StmtKind::Parallel:
+    case StmtKind::With:
+      checkStmtList(s.body, inFunction, inIf);
+      return;
+    case StmtKind::Connection:
+    case StmtKind::Empty:
+      return;
+  }
+}
+
+}  // namespace zeus

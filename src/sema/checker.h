@@ -1,0 +1,48 @@
+// Program-level semantic checks that do not need elaboration.
+//
+// The checker builds the root environment (top-level constants and types),
+// and enforces the purely syntactic rules of the report:
+//  * declaration order — SIGNAL declarations come after CONST/TYPE (§3),
+//  * no duplicate declarations in one scope,
+//  * RESULT only inside function component types,
+//  * aliasing (`==`) never inside an IF statement (§4.1),
+//  * component types without body carry no statements (grammar).
+//
+// Everything that concerns instantiated basic signals — the §4.7 tables —
+// is checked by the elaborator.
+#pragma once
+
+#include <optional>
+
+#include "src/ast/ast.h"
+#include "src/sema/type_table.h"
+#include "src/support/diagnostics.h"
+
+namespace zeus {
+
+struct CheckedProgram {
+  const ast::Program* program = nullptr;
+  Env* rootEnv = nullptr;  ///< owned by the TypeTable
+  std::vector<const ast::Decl*> topSignals;
+};
+
+class Checker {
+ public:
+  Checker(DiagnosticEngine& diags, TypeTable& types);
+
+  /// Runs all checks.  Returns the checked program even if diagnostics
+  /// were reported (the caller decides whether to continue).
+  CheckedProgram check(const ast::Program& program);
+
+ private:
+  void checkDeclList(const std::vector<ast::DeclPtr>& decls, Env& env);
+  void checkTypeExpr(const ast::TypeExpr& te, Env& env);
+  void checkStmtList(const std::vector<ast::StmtPtr>& stmts,
+                     bool inFunction, bool inIf);
+  void checkStmt(const ast::Stmt& s, bool inFunction, bool inIf);
+
+  DiagnosticEngine& diags_;
+  TypeTable& types_;
+};
+
+}  // namespace zeus

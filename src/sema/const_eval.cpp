@@ -1,0 +1,237 @@
+#include "src/sema/const_eval.h"
+
+namespace zeus {
+
+namespace {
+
+/// Modula-2 floor division.
+int64_t floorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t floorMod(int64_t a, int64_t b) { return a - floorDiv(a, b) * b; }
+
+}  // namespace
+
+std::string ConstVal::describe() const {
+  if (isNumber) return std::to_string(num);
+  std::string out;
+  struct Walk {
+    static void go(const SigConst& s, std::string& out) {
+      if (s.isLeaf) {
+        out += logicName(s.leaf);
+        return;
+      }
+      out += '(';
+      for (size_t i = 0; i < s.elems.size(); ++i) {
+        if (i) out += ',';
+        go(s.elems[i], out);
+      }
+      out += ')';
+    }
+  };
+  Walk::go(sig, out);
+  return out;
+}
+
+SigConst ConstEval::binConst(int64_t value, int64_t bits) {
+  std::vector<SigConst> elems;
+  elems.reserve(static_cast<size_t>(bits > 0 ? bits : 0));
+  for (int64_t i = 0; i < bits; ++i) {
+    elems.push_back(SigConst::ofLeaf(logicFromBool((value >> i) & 1)));
+  }
+  return SigConst::ofTuple(std::move(elems));
+}
+
+std::optional<int64_t> ConstEval::evalNumber(const ast::Expr& e,
+                                             const Env& env) {
+  auto v = eval(e, env);
+  if (!v) return std::nullopt;
+  if (!v->isNumber) {
+    diags_.error(Diag::NotAConstant, e.loc,
+                 "expected a numerical constant, got a signal constant");
+    return std::nullopt;
+  }
+  return v->num;
+}
+
+std::optional<ConstVal> ConstEval::eval(const ast::Expr& e, const Env& env) {
+  using ast::ExprKind;
+  switch (e.kind) {
+    case ExprKind::Number:
+      return ConstVal::ofNumber(e.number);
+
+    case ExprKind::NameRef: {
+      if (e.name == "UNDEF")
+        return ConstVal::ofSig(SigConst::ofLeaf(Logic::Undef));
+      if (e.name == "NOINFL")
+        return ConstVal::ofSig(SigConst::ofLeaf(Logic::NoInfl));
+      if (auto lv = env.lookupLoopVar(e.name)) return ConstVal::ofNumber(*lv);
+      if (const ConstVal* c = env.lookupConst(e.name)) return *c;
+      diags_.error(Diag::NotAConstant, e.loc,
+                   "'" + e.name + "' is not a constant");
+      return std::nullopt;
+    }
+
+    case ExprKind::Tuple: {
+      std::vector<SigConst> elems;
+      for (const ast::ExprPtr& el : e.elems) {
+        auto v = eval(*el, env);
+        if (!v) return std::nullopt;
+        if (v->isNumber) {
+          if (v->num != 0 && v->num != 1) {
+            diags_.error(Diag::NotAConstant, el->loc,
+                         "signal constant elements must be 0, 1, UNDEF or "
+                         "NOINFL");
+            return std::nullopt;
+          }
+          elems.push_back(SigConst::ofLeaf(logicFromBool(v->num == 1)));
+        } else {
+          elems.push_back(std::move(v->sig));
+        }
+      }
+      return ConstVal::ofSig(SigConst::ofTuple(std::move(elems)));
+    }
+
+    case ExprKind::Index: {
+      auto base = eval(*e.base, env);
+      if (!base) return std::nullopt;
+      if (base->isNumber || base->sig.isLeaf) {
+        diags_.error(Diag::NotAConstant, e.loc,
+                     "cannot index a non-structured constant");
+        return std::nullopt;
+      }
+      if (e.numIndex) {
+        diags_.error(Diag::NotAConstant, e.loc,
+                     "NUM indexing is not allowed in constant expressions");
+        return std::nullopt;
+      }
+      auto lo = evalNumber(*e.indexLo, env);
+      if (!lo) return std::nullopt;
+      auto pick = [&](int64_t i) -> std::optional<SigConst> {
+        if (i < 1 || i > static_cast<int64_t>(base->sig.elems.size())) {
+          diags_.error(Diag::IndexOutOfRange, e.loc,
+                       "constant index " + std::to_string(i) +
+                           " out of range 1.." +
+                           std::to_string(base->sig.elems.size()));
+          return std::nullopt;
+        }
+        return base->sig.elems[static_cast<size_t>(i - 1)];
+      };
+      if (!e.indexHi) {
+        auto el = pick(*lo);
+        if (!el) return std::nullopt;
+        return ConstVal::ofSig(std::move(*el));
+      }
+      auto hi = evalNumber(*e.indexHi, env);
+      if (!hi) return std::nullopt;
+      std::vector<SigConst> slice;
+      for (int64_t i = *lo; i <= *hi; ++i) {
+        auto el = pick(i);
+        if (!el) return std::nullopt;
+        slice.push_back(std::move(*el));
+      }
+      return ConstVal::ofSig(SigConst::ofTuple(std::move(slice)));
+    }
+
+    case ExprKind::Call: {
+      if (e.name == "BIN") {
+        if (e.elems.size() != 2) {
+          diags_.error(Diag::WrongArgumentCount, e.loc,
+                       "BIN takes exactly two arguments");
+          return std::nullopt;
+        }
+        auto value = evalNumber(*e.elems[0], env);
+        auto bits = evalNumber(*e.elems[1], env);
+        if (!value || !bits) return std::nullopt;
+        if (*bits < 0) {
+          diags_.error(Diag::BadArrayBounds, e.loc,
+                       "BIN width must be non-negative");
+          return std::nullopt;
+        }
+        return ConstVal::ofSig(binConst(*value, *bits));
+      }
+      if (e.name == "odd") {
+        if (e.elems.size() != 1) {
+          diags_.error(Diag::WrongArgumentCount, e.loc,
+                       "odd takes exactly one argument");
+          return std::nullopt;
+        }
+        auto v = evalNumber(*e.elems[0], env);
+        if (!v) return std::nullopt;
+        return ConstVal::ofNumber(floorMod(*v, 2));
+      }
+      if (e.name == "min" || e.name == "max") {
+        if (e.elems.empty()) {
+          diags_.error(Diag::WrongArgumentCount, e.loc,
+                       e.name + " needs at least one argument");
+          return std::nullopt;
+        }
+        std::optional<int64_t> acc;
+        for (const ast::ExprPtr& arg : e.elems) {
+          auto v = evalNumber(*arg, env);
+          if (!v) return std::nullopt;
+          if (!acc) acc = *v;
+          else acc = e.name == "min" ? std::min(*acc, *v) : std::max(*acc, *v);
+        }
+        return ConstVal::ofNumber(*acc);
+      }
+      diags_.error(Diag::NotAConstant, e.loc,
+                   "'" + e.name + "' cannot be used in a constant expression");
+      return std::nullopt;
+    }
+
+    case ExprKind::Unary: {
+      auto v = evalNumber(*e.base, env);
+      if (!v) return std::nullopt;
+      switch (e.unOp) {
+        case ast::UnOp::Plus: return ConstVal::ofNumber(*v);
+        case ast::UnOp::Minus: return ConstVal::ofNumber(-*v);
+        case ast::UnOp::Not: return ConstVal::ofNumber(*v == 0 ? 1 : 0);
+      }
+      return std::nullopt;
+    }
+
+    case ExprKind::Binary: {
+      auto a = evalNumber(*e.lhs, env);
+      auto b = evalNumber(*e.rhs, env);
+      if (!a || !b) return std::nullopt;
+      switch (e.binOp) {
+        case ast::BinOp::Add: return ConstVal::ofNumber(*a + *b);
+        case ast::BinOp::Sub: return ConstVal::ofNumber(*a - *b);
+        case ast::BinOp::Mul: return ConstVal::ofNumber(*a * *b);
+        case ast::BinOp::Div:
+        case ast::BinOp::Mod:
+          if (*b == 0) {
+            diags_.error(Diag::DivisionByZero, e.loc, "division by zero");
+            return std::nullopt;
+          }
+          return ConstVal::ofNumber(e.binOp == ast::BinOp::Div
+                                        ? floorDiv(*a, *b)
+                                        : floorMod(*a, *b));
+        case ast::BinOp::And:
+          return ConstVal::ofNumber((*a != 0 && *b != 0) ? 1 : 0);
+        case ast::BinOp::Or:
+          return ConstVal::ofNumber((*a != 0 || *b != 0) ? 1 : 0);
+        case ast::BinOp::Eq: return ConstVal::ofNumber(*a == *b ? 1 : 0);
+        case ast::BinOp::Ne: return ConstVal::ofNumber(*a != *b ? 1 : 0);
+        case ast::BinOp::Lt: return ConstVal::ofNumber(*a < *b ? 1 : 0);
+        case ast::BinOp::Le: return ConstVal::ofNumber(*a <= *b ? 1 : 0);
+        case ast::BinOp::Gt: return ConstVal::ofNumber(*a > *b ? 1 : 0);
+        case ast::BinOp::Ge: return ConstVal::ofNumber(*a >= *b ? 1 : 0);
+      }
+      return std::nullopt;
+    }
+
+    case ExprKind::Select:
+    case ExprKind::Star:
+      diags_.error(Diag::NotAConstant, e.loc,
+                   "not a constant expression");
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace zeus

@@ -1,0 +1,37 @@
+// Compile-time evaluation of Zeus constant expressions (§3.1).
+//
+// Numeric expressions follow Modula-2: DIV/MOD are floor division, AND/OR/
+// NOT act on truth values, relations yield 0/1.  Signal constants are
+// nested tuples over {0, 1, UNDEF, NOINFL}; indexing a signal constant with
+// a numeric constant selects an element (1-based, as in the mux4 example).
+// The predefined constant functions are BIN, min, max and odd.
+#pragma once
+
+#include <optional>
+
+#include "src/ast/ast.h"
+#include "src/sema/env.h"
+#include "src/support/diagnostics.h"
+
+namespace zeus {
+
+class ConstEval {
+ public:
+  explicit ConstEval(DiagnosticEngine& diags) : diags_(diags) {}
+
+  /// Evaluates a constant expression.  Reports a diagnostic and returns
+  /// nullopt on failure.
+  std::optional<ConstVal> eval(const ast::Expr& e, const Env& env);
+
+  /// Evaluates an expression that must be numeric.
+  std::optional<int64_t> evalNumber(const ast::Expr& e, const Env& env);
+
+  /// Builds the BIN(value, bits) signal constant: `bits` booleans,
+  /// index 1 = least significant bit.
+  static SigConst binConst(int64_t value, int64_t bits);
+
+ private:
+  DiagnosticEngine& diags_;
+};
+
+}  // namespace zeus

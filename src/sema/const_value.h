@@ -1,0 +1,73 @@
+// Compile-time values: numerical constants and signal constants (§3.1).
+//
+// A signal constant is a nested tuple over the basic values 0, 1, UNDEF
+// and NOINFL, e.g.  a = ((0,1),(1,0),(0,0)).  Numerical constants are
+// 64-bit signed integers with Modula-2 style arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/logic.h"
+
+namespace zeus {
+
+/// A (possibly nested) signal constant.
+struct SigConst {
+  bool isLeaf = true;
+  Logic leaf = Logic::Undef;
+  std::vector<SigConst> elems;
+
+  static SigConst ofLeaf(Logic v) {
+    SigConst s;
+    s.isLeaf = true;
+    s.leaf = v;
+    return s;
+  }
+  static SigConst ofTuple(std::vector<SigConst> elems) {
+    SigConst s;
+    s.isLeaf = false;
+    s.elems = std::move(elems);
+    return s;
+  }
+
+  /// Appends the basic values in natural (leftmost-first) order.
+  void flattenInto(std::vector<Logic>& out) const {
+    if (isLeaf) {
+      out.push_back(leaf);
+      return;
+    }
+    for (const SigConst& e : elems) e.flattenInto(out);
+  }
+
+  [[nodiscard]] std::vector<Logic> flatten() const {
+    std::vector<Logic> out;
+    flattenInto(out);
+    return out;
+  }
+};
+
+/// A compile-time constant: either a number or a signal constant.
+struct ConstVal {
+  bool isNumber = true;
+  int64_t num = 0;
+  SigConst sig;
+
+  static ConstVal ofNumber(int64_t n) {
+    ConstVal v;
+    v.isNumber = true;
+    v.num = n;
+    return v;
+  }
+  static ConstVal ofSig(SigConst s) {
+    ConstVal v;
+    v.isNumber = false;
+    v.sig = std::move(s);
+    return v;
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace zeus

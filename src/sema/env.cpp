@@ -1,0 +1,57 @@
+#include "src/sema/env.h"
+
+namespace zeus {
+
+bool Env::defineConst(const std::string& name, ConstVal value) {
+  if (definesLocally(name)) return false;
+  consts_.emplace(name, std::move(value));
+  return true;
+}
+
+bool Env::defineType(const std::string& name, TypeBinding binding) {
+  if (definesLocally(name)) return false;
+  types_.emplace(name, binding);
+  return true;
+}
+
+bool Env::defineLoopVar(const std::string& name, int64_t value) {
+  if (definesLocally(name)) return false;
+  loopVars_.emplace(name, value);
+  return true;
+}
+
+bool Env::definesLocally(const std::string& name) const {
+  return consts_.count(name) || types_.count(name) || loopVars_.count(name);
+}
+
+const ConstVal* Env::lookupConst(const std::string& name) const {
+  for (const Env* e = this; e; e = e->parent_) {
+    if (auto it = e->consts_.find(name); it != e->consts_.end())
+      return &it->second;
+    if (e->definesLocally(name)) return nullptr;  // shadowed by other kind
+    if (!e->allowsOuter(name)) return nullptr;
+  }
+  return nullptr;
+}
+
+const TypeBinding* Env::lookupType(const std::string& name) const {
+  for (const Env* e = this; e; e = e->parent_) {
+    if (auto it = e->types_.find(name); it != e->types_.end())
+      return &it->second;
+    if (e->definesLocally(name)) return nullptr;
+    if (!e->allowsOuter(name)) return nullptr;
+  }
+  return nullptr;
+}
+
+std::optional<int64_t> Env::lookupLoopVar(const std::string& name) const {
+  for (const Env* e = this; e; e = e->parent_) {
+    if (auto it = e->loopVars_.find(name); it != e->loopVars_.end())
+      return it->second;
+    if (e->definesLocally(name)) return std::nullopt;
+    if (!e->allowsOuter(name)) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace zeus

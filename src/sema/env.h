@@ -1,0 +1,71 @@
+// Lexical environments for name resolution (constants, types, loop
+// variables and type formal parameters).
+//
+// Signals are deliberately NOT part of Env: Zeus forbids non-local signals
+// (§3), so the elaborator keeps a separate, flat per-component signal scope.
+//
+// A component type with a USES list restricts which outer names its body
+// may reference (§3.2); the restriction is recorded on the Env node that
+// represents the component boundary and enforced during lookup.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/ast/ast.h"
+#include "src/sema/const_value.h"
+
+namespace zeus {
+
+class Env;
+
+/// A user type declaration together with the environment it was declared in
+/// (needed to resolve its definition and actual parameters later, lazily).
+struct TypeBinding {
+  const ast::Decl* decl = nullptr;  ///< DeclKind::Type
+  const Env* declEnv = nullptr;     ///< environment surrounding the decl
+};
+
+class Env {
+ public:
+  explicit Env(const Env* parent = nullptr) : parent_(parent) {}
+
+  // -- definition --
+  bool defineConst(const std::string& name, ConstVal value);
+  bool defineType(const std::string& name, TypeBinding binding);
+  bool defineLoopVar(const std::string& name, int64_t value);
+
+  /// Marks this Env as a component boundary with a USES restriction.
+  void restrictUses(std::set<std::string> allowed) {
+    restricted_ = true;
+    allowed_ = std::move(allowed);
+  }
+
+  // -- lookup (walks parents; honours USES restrictions) --
+  [[nodiscard]] const ConstVal* lookupConst(const std::string& name) const;
+  [[nodiscard]] const TypeBinding* lookupType(const std::string& name) const;
+  [[nodiscard]] std::optional<int64_t> lookupLoopVar(
+      const std::string& name) const;
+
+  /// True if `name` is defined directly in this Env (not a parent).
+  [[nodiscard]] bool definesLocally(const std::string& name) const;
+
+  [[nodiscard]] const Env* parent() const { return parent_; }
+
+ private:
+  /// Whether a lookup that *crosses upward out of this Env* may see `name`.
+  [[nodiscard]] bool allowsOuter(const std::string& name) const {
+    return !restricted_ || allowed_.count(name) > 0;
+  }
+
+  const Env* parent_;
+  std::map<std::string, ConstVal> consts_;
+  std::map<std::string, TypeBinding> types_;
+  std::map<std::string, int64_t> loopVars_;
+  bool restricted_ = false;
+  std::set<std::string> allowed_;
+};
+
+}  // namespace zeus

@@ -1,0 +1,239 @@
+#include "src/sema/type_table.h"
+
+#include <cassert>
+
+namespace zeus {
+
+namespace {
+constexpr int kMaxTypeDepth = 200;
+}
+
+TypeTable::TypeTable(DiagnosticEngine& diags)
+    : diags_(diags), constEval_(diags) {
+  Type* b = newType();
+  b->kind = Type::Kind::Basic;
+  b->basic = BasicKind::Boolean;
+  b->name = "boolean";
+  b->numBasic = 1;
+  boolean_ = b;
+
+  Type* m = newType();
+  m->kind = Type::Kind::Basic;
+  m->basic = BasicKind::Multiplex;
+  m->name = "multiplex";
+  m->numBasic = 1;
+  multiplex_ = m;
+
+  Type* v = newType();
+  v->kind = Type::Kind::Basic;
+  v->basic = BasicKind::Virtual;
+  v->name = "virtual";
+  v->numBasic = 0;
+  virtual_ = v;
+
+  // COMPONENT REG(IN in: boolean; OUT out: boolean)  (§5.1)
+  Type* r = newType();
+  r->kind = Type::Kind::Component;
+  r->builtin = BuiltinComponent::Reg;
+  r->hasBody = true;  // connectable like a component with a body
+  r->name = "REG";
+  r->fields.push_back({"in", ast::ParamMode::In, boolean_, {}});
+  r->fields.push_back({"out", ast::ParamMode::Out, boolean_, {}});
+  r->numBasic = 2;
+  reg_ = r;
+}
+
+Type* TypeTable::newType() {
+  types_.push_back(std::make_unique<Type>());
+  return types_.back().get();
+}
+
+Env* TypeTable::makeEnv(const Env* parent) {
+  envs_.push_back(std::make_unique<Env>(parent));
+  return envs_.back().get();
+}
+
+const Type* TypeTable::makeArray(int64_t lo, int64_t hi, const Type* elem) {
+  Type* t = newType();
+  t->kind = Type::Kind::Array;
+  t->lo = lo;
+  t->hi = hi;
+  t->elem = elem;
+  t->name = "ARRAY[" + std::to_string(lo) + ".." + std::to_string(hi) +
+            "] OF " + (elem ? elem->name : "<error>");
+  t->numBasic =
+      hi < lo ? 0 : static_cast<size_t>(hi - lo + 1) * (elem ? elem->numBasic : 0);
+  return t;
+}
+
+const Type* TypeTable::instantiateNamed(const std::string& name,
+                                        const std::vector<int64_t>& args,
+                                        const Env& env, SourceLoc loc) {
+  if (const TypeBinding* tb = env.lookupType(name)) {
+    const ast::Decl* decl = tb->decl;
+    if (decl->typeFormals.size() != args.size()) {
+      diags_.error(Diag::WrongArgumentCount, loc,
+                   "type '" + name + "' expects " +
+                       std::to_string(decl->typeFormals.size()) +
+                       " parameter(s), got " + std::to_string(args.size()));
+      return nullptr;
+    }
+    auto key = std::make_pair(decl, args);
+    if (auto it = namedCache_.find(key); it != namedCache_.end())
+      return it->second;
+
+    if (++depth_ > kMaxTypeDepth) {
+      --depth_;
+      diags_.error(Diag::RecursionTooDeep, loc,
+                   "type instantiation recursion too deep at '" + name + "'");
+      return nullptr;
+    }
+    Env* bindEnv = makeEnv(tb->declEnv);
+    for (size_t i = 0; i < args.size(); ++i)
+      bindEnv->defineLoopVar(decl->typeFormals[i], args[i]);
+
+    const Type* t = resolve(*decl->type, *bindEnv);
+    --depth_;
+    if (!t) return nullptr;
+
+    // Give the instantiation a readable name (tree(4)).
+    if (t->name.empty() || t->name == "COMPONENT") {
+      std::string display = name;
+      if (!args.empty()) {
+        display += "(";
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i) display += ",";
+          display += std::to_string(args[i]);
+        }
+        display += ")";
+      }
+      const_cast<Type*>(t)->name = display;
+    }
+    namedCache_.emplace(std::move(key), t);
+    return t;
+  }
+
+  // Predefined pervasive types.
+  if (args.empty()) {
+    if (name == "boolean") return boolean_;
+    if (name == "multiplex") return multiplex_;
+    if (name == "virtual") return virtual_;
+    if (name == "REG") return reg_;
+  }
+  diags_.error(Diag::NotAType, loc, "unknown type '" + name + "'");
+  return nullptr;
+}
+
+const Type* TypeTable::resolve(const ast::TypeExpr& te, const Env& env) {
+  switch (te.kind) {
+    case ast::TypeExprKind::Named: {
+      std::vector<int64_t> args;
+      for (const ast::ExprPtr& a : te.args) {
+        auto v = constEval_.evalNumber(*a, env);
+        if (!v) return nullptr;
+        args.push_back(*v);
+      }
+      return instantiateNamed(te.name, args, env, te.loc);
+    }
+    case ast::TypeExprKind::Array: {
+      auto lo = constEval_.evalNumber(*te.lo, env);
+      auto hi = constEval_.evalNumber(*te.hi, env);
+      if (!lo || !hi) return nullptr;
+      const Type* elem = resolve(*te.elem, env);
+      if (!elem) return nullptr;
+      return makeArray(*lo, *hi, elem);
+    }
+    case ast::TypeExprKind::Component:
+      return resolveComponent(te, env);
+  }
+  return nullptr;
+}
+
+const Type* TypeTable::resolveComponent(const ast::TypeExpr& te,
+                                        const Env& env) {
+  auto key = std::make_pair(&te, &env);
+  if (auto it = anonCache_.find(key); it != anonCache_.end())
+    return it->second;
+
+  Type* t = newType();
+  t->kind = Type::Kind::Component;
+  t->def = &te;
+  t->hasBody = te.hasBody;
+  t->name = "COMPONENT";
+  anonCache_.emplace(key, t);  // insert early: field types may not recurse,
+                               // but diagnostics paths are simpler this way
+
+  bool ok = true;
+  for (const ast::FParam& p : te.params) {
+    const Type* ft = resolve(*p.type, env);
+    if (!ft) {
+      ok = false;
+      continue;
+    }
+    for (const std::string& n : p.names) {
+      if (t->findField(n)) {
+        diags_.error(Diag::DuplicateDeclaration, p.loc,
+                     "duplicate parameter name '" + n + "'");
+        ok = false;
+        continue;
+      }
+      t->fields.push_back({n, p.mode, ft, p.loc});
+      t->numBasic += ft->numBasic;
+    }
+  }
+
+  if (te.resultType) {
+    t->resultType = resolve(*te.resultType, env);
+    if (!t->resultType) ok = false;
+  }
+
+  if (te.hasBody) {
+    Env* bodyEnv = makeEnv(&env);
+    if (te.hasUses) {
+      bodyEnv->restrictUses(
+          std::set<std::string>(te.uses.begin(), te.uses.end()));
+    }
+    t->bodyEnv = bodyEnv;
+  } else {
+    // A record type of signals; result types on records are meaningless.
+    if (te.resultType) {
+      diags_.error(Diag::RecordTypeHasBody, te.loc,
+                   "a component type without body cannot have a result type");
+      ok = false;
+    }
+  }
+
+  if (!ok) {
+    anonCache_[key] = nullptr;
+    return nullptr;
+  }
+  return t;
+}
+
+void TypeTable::flatten(const Type& t, ast::ParamMode inherited,
+                        const std::string& prefix,
+                        std::vector<FlatBit>& out) const {
+  switch (t.kind) {
+    case Type::Kind::Basic:
+      if (t.basic == BasicKind::Virtual) return;  // replaced before use
+      out.push_back({prefix, t.basic, inherited});
+      return;
+    case Type::Kind::Array:
+      for (int64_t i = t.lo; i <= t.hi; ++i) {
+        flatten(*t.elem, inherited,
+                prefix + "[" + std::to_string(i) + "]", out);
+      }
+      return;
+    case Type::Kind::Component:
+      for (const Field& f : t.fields) {
+        // The IN or OUT property is inherited by substructures (§3.2);
+        // an explicit IN/OUT on a field overrides an inherited INOUT.
+        ast::ParamMode mode = f.mode;
+        if (mode == ast::ParamMode::InOut) mode = inherited;
+        flatten(*f.type, mode, prefix + "." + f.name, out);
+      }
+      return;
+  }
+}
+
+}  // namespace zeus

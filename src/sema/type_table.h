@@ -1,0 +1,141 @@
+// Canonical Zeus types (§3.2) and their lazy instantiation.
+//
+// A `Type` is the resolved, parameter-free form of a type expression:
+// basic (boolean / multiplex / virtual), array with constant bounds, or
+// component with resolved field types.  Component *bodies* are never
+// resolved here — the elaborator materialises them lazily, which is what
+// makes recursive parameterized types (tree(n), htree(n), routing
+// networks) terminate: an instance whose WHEN-guard excludes its use is
+// simply never elaborated ("this hardware is only generated if it is
+// used", §4.2).
+//
+// Parameterized named types are memoised on (declaration, argument list),
+// so tree(4) is one Type no matter how often it is written.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/sema/const_eval.h"
+#include "src/sema/env.h"
+#include "src/support/diagnostics.h"
+
+namespace zeus {
+
+enum class BasicKind : uint8_t { Boolean, Multiplex, Virtual };
+
+struct Type;
+
+/// One formal parameter / record field of a component type.
+struct Field {
+  std::string name;
+  ast::ParamMode mode = ast::ParamMode::InOut;
+  const Type* type = nullptr;
+  SourceLoc loc;
+};
+
+/// Which predefined component a Type stands for.
+enum class BuiltinComponent : uint8_t { None, Reg };
+
+struct Type {
+  enum class Kind : uint8_t { Basic, Array, Component };
+  Kind kind = Kind::Basic;
+
+  // Basic
+  BasicKind basic = BasicKind::Boolean;
+
+  // Array
+  int64_t lo = 0;
+  int64_t hi = -1;  ///< hi < lo means the array is empty
+  const Type* elem = nullptr;
+
+  // Component
+  std::vector<Field> fields;
+  bool hasBody = false;
+  const Type* resultType = nullptr;  ///< non-null for function components
+  const ast::TypeExpr* def = nullptr;  ///< body AST; null for builtins
+  const Env* bodyEnv = nullptr;  ///< env for elaborating the body
+  BuiltinComponent builtin = BuiltinComponent::None;
+
+  std::string name;     ///< display name, e.g. "tree(4)"
+  size_t numBasic = 0;  ///< number of basic substructures
+
+  [[nodiscard]] bool isBasic() const { return kind == Kind::Basic; }
+  [[nodiscard]] bool isComponent() const { return kind == Kind::Component; }
+  [[nodiscard]] bool isFunction() const {
+    return kind == Kind::Component && resultType != nullptr;
+  }
+  [[nodiscard]] int64_t arrayLen() const {
+    return hi < lo ? 0 : hi - lo + 1;
+  }
+  [[nodiscard]] const Field* findField(const std::string& n) const {
+    for (const Field& f : fields)
+      if (f.name == n) return &f;
+    return nullptr;
+  }
+};
+
+/// One basic substructure of a flattened type.
+struct FlatBit {
+  std::string path;  ///< e.g. "[2].in" (relative, prefixed by caller)
+  BasicKind kind = BasicKind::Boolean;
+  ast::ParamMode mode = ast::ParamMode::InOut;  ///< inherited IN/OUT (§3.2)
+};
+
+class TypeTable {
+ public:
+  explicit TypeTable(DiagnosticEngine& diags);
+
+  const Type* boolean() const { return boolean_; }
+  const Type* multiplex() const { return multiplex_; }
+  const Type* virtualType() const { return virtual_; }
+  const Type* reg() const { return reg_; }
+
+  /// Resolves a type expression in an environment.  Returns nullptr and
+  /// reports a diagnostic on failure.
+  const Type* resolve(const ast::TypeExpr& te, const Env& env);
+
+  /// Resolves a named type with already-evaluated actual parameters.
+  const Type* instantiateNamed(const std::string& name,
+                               const std::vector<int64_t>& args,
+                               const Env& env, SourceLoc loc);
+
+  /// Builds an anonymous array type (used by predefined functions whose
+  /// result is ARRAY[1..m] OF boolean).
+  const Type* makeArray(int64_t lo, int64_t hi, const Type* elem);
+
+  /// Appends the basic substructures of `t` in natural order.
+  /// `inherited` is the parameter mode inherited from enclosing fields.
+  void flatten(const Type& t, ast::ParamMode inherited,
+               const std::string& prefix, std::vector<FlatBit>& out) const;
+
+  /// Owns an Env for the lifetime of the table (formal bindings etc.).
+  Env* makeEnv(const Env* parent);
+
+ private:
+  Type* newType();
+  const Type* resolveComponent(const ast::TypeExpr& te, const Env& env);
+
+  DiagnosticEngine& diags_;
+  ConstEval constEval_;
+  std::deque<std::unique_ptr<Type>> types_;
+  std::deque<std::unique_ptr<Env>> envs_;
+
+  // memoisation
+  std::map<std::pair<const ast::Decl*, std::vector<int64_t>>, const Type*>
+      namedCache_;
+  std::map<std::pair<const ast::TypeExpr*, const Env*>, const Type*>
+      anonCache_;
+  int depth_ = 0;
+
+  const Type* boolean_;
+  const Type* multiplex_;
+  const Type* virtual_;
+  const Type* reg_;
+};
+
+}  // namespace zeus

@@ -1,0 +1,248 @@
+#include "src/sim/firing_evaluator.h"
+
+#include <cassert>
+
+#include "src/sim/value.h"
+
+namespace zeus {
+
+namespace {
+uint64_t xorshift(uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+}  // namespace
+
+FiringEvaluator::FiringEvaluator(const SimGraph& graph) : g_(graph) {
+  const Netlist& nl = g_.design->netlist;
+  value_.assign(g_.denseCount, Logic::NoInfl);
+  active_.assign(g_.denseCount, 0);
+  pending_.assign(g_.denseCount, 0);
+  netFired_.assign(g_.denseCount, 0);
+  nodeFired_.assign(nl.nodeCount(), 0);
+  nodeKnown_.assign(nl.nodeCount(), 0);
+  nodeZeros_.assign(nl.nodeCount(), 0);
+  nodeOnes_.assign(nl.nodeCount(), 0);
+  nodeUndef_.assign(nl.nodeCount(), 0);
+  inputStart_.assign(nl.nodeCount() + 1, 0);
+  for (NodeId ni = 0; ni < nl.nodeCount(); ++ni) {
+    inputStart_[ni + 1] =
+        inputStart_[ni] + static_cast<uint32_t>(nl.node(ni).inputs.size());
+  }
+  inputVal_.assign(inputStart_.back(), Logic::Undef);
+  inputKnown_.assign(inputStart_.back(), 0);
+  worklist_.reserve(g_.denseCount);
+}
+
+void FiringEvaluator::contribute(uint32_t net, Logic v) {
+  if (v != Logic::NoInfl) {
+    if (++active_[net] == 1) value_[net] = v;
+    else value_[net] = Logic::Undef;
+  }
+  assert(pending_[net] > 0);
+  if (--pending_[net] == 0) fireNet(net, value_[net]);
+}
+
+void FiringEvaluator::fireNet(uint32_t net, Logic value) {
+  assert(!netFired_[net]);
+  netFired_[net] = 1;
+  value_[net] = value;
+  if (active_[net] > 1 && collisions_) collisions_->push_back(net);
+  worklist_.push_back(net);
+}
+
+void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
+  const Netlist& nl = g_.design->netlist;
+  uint64_t rng = seeds.rngState ? seeds.rngState : 0x9E3779B97F4A7C15ull;
+
+  // Reset per-cycle state.
+  std::fill(value_.begin(), value_.end(), Logic::NoInfl);
+  std::fill(active_.begin(), active_.end(), 0u);
+  std::fill(netFired_.begin(), netFired_.end(), 0);
+  std::fill(nodeFired_.begin(), nodeFired_.end(), 0);
+  std::fill(nodeKnown_.begin(), nodeKnown_.end(), 0u);
+  std::fill(nodeZeros_.begin(), nodeZeros_.end(), 0u);
+  std::fill(nodeOnes_.begin(), nodeOnes_.end(), 0u);
+  std::fill(nodeUndef_.begin(), nodeUndef_.end(), 0);
+  std::fill(inputKnown_.begin(), inputKnown_.end(), 0);
+  worklist_.clear();
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    pending_[i] = g_.nets[i].nonRegDrivers;
+  }
+  out.collisions.clear();
+  collisions_ = &out.collisions;
+
+  // Seed register outputs (REG drivers contribute their stored value and
+  // are not counted in pending_).
+  for (size_t k = 0; k < g_.regNodes.size(); ++k) {
+    const Node& reg = nl.node(g_.regNodes[k]);
+    uint32_t net = g_.denseOf[reg.output];
+    Logic v = (*seeds.regValues)[k];
+    if (v != Logic::NoInfl) {
+      if (++active_[net] == 1) value_[net] = v;
+      else value_[net] = Logic::Undef;
+    }
+  }
+  // Seed primary inputs.
+  if (seeds.inputValues) {
+    for (size_t i = 0; i < g_.denseCount; ++i) {
+      if (!g_.nets[i].isInput || !(*seeds.inputSet)[i]) continue;
+      Logic v = (*seeds.inputValues)[i];
+      if (v != Logic::NoInfl) {
+        if (++active_[i] == 1) value_[i] = v;
+        else value_[i] = Logic::Undef;
+      }
+    }
+  }
+  // Fire source nodes (Const / Random).
+  for (NodeId ni : g_.sourceNodes) {
+    const Node& node = nl.node(ni);
+    nodeFired_[ni] = 1;
+    ++stats_.nodeFirings;
+    Logic v = node.op == NodeOp::Const
+                  ? node.constVal
+                  : logicFromBool(xorshift(rng) & 1);
+    contribute(g_.denseOf[node.output], v);
+  }
+  // Fire all nets whose every (non-REG) driver has contributed.
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    if (pending_[i] == 0 && !netFired_[i]) fireNet(static_cast<uint32_t>(i),
+                                                   value_[i]);
+  }
+
+  // Propagate.
+  size_t cursor = 0;
+  while (cursor < worklist_.size()) {
+    uint32_t net = worklist_[cursor++];
+    Logic v = value_[net];
+    for (uint32_t e = g_.consumerStart[net]; e < g_.consumerStart[net + 1];
+         ++e) {
+      NodeId ni = g_.consumers[e];
+      uint32_t idx = g_.consumerInputIdx[e];
+      const Node& node = nl.node(ni);
+      if (node.op == NodeOp::Reg) continue;  // latched at end of cycle
+      ++stats_.inputEvents;
+
+      uint32_t slot = inputStart_[ni] + idx;
+      if (!inputKnown_[slot]) {
+        inputKnown_[slot] = 1;
+        inputVal_[slot] = v;
+        ++nodeKnown_[ni];
+        Logic gv = gateInput(v);
+        if (gv == Logic::Zero) ++nodeZeros_[ni];
+        else if (gv == Logic::One) ++nodeOnes_[ni];
+        else nodeUndef_[ni] = 1;
+      }
+      if (nodeFired_[ni]) {
+        // Already fired (short-circuit); later arrivals still release the
+        // output net's pending count — no, the node contributed exactly
+        // once when it fired.  Nothing to do.
+        continue;
+      }
+
+      uint32_t total = static_cast<uint32_t>(node.inputs.size());
+      Logic outV = Logic::Undef;
+      bool fire = false;
+      switch (node.op) {
+        case NodeOp::Buf: {
+          outV = v;
+          // Implicit type conversion (§3.2): a boolean assignee turns a
+          // disconnected multiplex value into UNDEF.
+          if (outV == Logic::NoInfl &&
+              g_.nets[g_.denseOf[node.output]].isBool) {
+            outV = Logic::Undef;
+          }
+          fire = true;
+          break;
+        }
+        case NodeOp::Not: {
+          Logic in[1] = {v};
+          outV = evalGate(NodeOp::Not, in);
+          fire = true;
+          break;
+        }
+        case NodeOp::And:
+        case NodeOp::Nand:
+        case NodeOp::Or:
+        case NodeOp::Nor: {
+          GateCounters c;
+          c.known = nodeKnown_[ni];
+          c.zeros = nodeZeros_[ni];
+          c.ones = nodeOnes_[ni];
+          fire = gateCanFire(node.op, c, total, outV);
+          break;
+        }
+        case NodeOp::Xor: {
+          if (nodeKnown_[ni] == total) {
+            outV = nodeUndef_[ni] ? Logic::Undef
+                                  : logicFromBool(nodeOnes_[ni] & 1);
+            fire = true;
+          }
+          break;
+        }
+        case NodeOp::Equal: {
+          uint32_t m = total / 2;
+          uint32_t base = inputStart_[ni];
+          // Short-circuit on a known mismatching pair.
+          uint32_t partner = idx < m ? idx + m : idx - m;
+          if (inputKnown_[base + partner]) {
+            Logic x = gateInput(inputVal_[base + idx]);
+            Logic y = gateInput(inputVal_[base + partner]);
+            if (isDefined(x) && isDefined(y) && x != y) {
+              outV = Logic::Zero;
+              fire = true;
+            }
+          }
+          if (!fire && nodeKnown_[ni] == total) {
+            std::vector<Logic> a(inputVal_.begin() + base,
+                                 inputVal_.begin() + base + m);
+            std::vector<Logic> b(inputVal_.begin() + base + m,
+                                 inputVal_.begin() + base + total);
+            outV = evalEqual(a, b);
+            fire = true;
+          }
+          break;
+        }
+        case NodeOp::Switch: {
+          uint32_t base = inputStart_[ni];
+          if (!inputKnown_[base]) break;  // condition still unknown
+          Logic c = gateInput(inputVal_[base]);
+          if (c == Logic::Zero) {
+            outV = Logic::NoInfl;
+            fire = true;
+          } else if (c == Logic::Undef) {
+            outV = Logic::Undef;
+            fire = true;
+          } else if (inputKnown_[base + 1]) {
+            outV = inputVal_[base + 1];
+            fire = true;
+          }
+          break;
+        }
+        case NodeOp::Const:
+        case NodeOp::Random:
+        case NodeOp::Reg:
+          break;  // handled elsewhere
+      }
+      if (fire) {
+        nodeFired_[ni] = 1;
+        ++stats_.nodeFirings;
+        contribute(g_.denseOf[node.output], outV);
+      }
+    }
+  }
+
+  // On a DAG every net fires; guard against inconsistencies anyway.
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    if (!netFired_[i]) value_[i] = Logic::Undef;
+  }
+
+  out.netValues = value_;
+  out.activeCounts = active_;
+  out.rngState = rng;
+  collisions_ = nullptr;
+}
+
+}  // namespace zeus

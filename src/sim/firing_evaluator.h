@@ -1,0 +1,77 @@
+// Event-driven evaluator implementing the firing rules of §8.
+//
+// A node fires on its exiting edge as soon as its value is determined:
+// AND fires 0 on the first 0 input, an IF node fires NOINFL as soon as its
+// condition is 0, and so on.  Every node fires exactly once per cycle, and
+// a (multiplex) signal fires once all of its drivers have contributed —
+// the "strongest signal survives" resolution with the runtime
+// multiple-assignment check that guards against burning transistors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/graph.h"
+#include "src/support/logic.h"
+
+namespace zeus {
+
+struct EvalStats {
+  uint64_t nodeFirings = 0;   ///< nodes that produced a value
+  uint64_t inputEvents = 0;   ///< node-input arrival events processed
+  uint64_t sweeps = 0;        ///< naive evaluator only
+};
+
+/// Seed values for one cycle of evaluation.
+struct CycleSeeds {
+  /// Per dense net: externally injected value (primary inputs); only
+  /// entries with inputSet are used.
+  const std::vector<Logic>* inputValues = nullptr;
+  const std::vector<char>* inputSet = nullptr;
+  /// Per REG node (indexed as in graph.regNodes): stored value.
+  const std::vector<Logic>* regValues = nullptr;
+  uint64_t rngState = 0;  ///< for RANDOM nodes
+};
+
+/// Results of one cycle.
+struct CycleResult {
+  std::vector<Logic> netValues;        ///< per dense net, raw (may be NOINFL)
+  std::vector<uint32_t> activeCounts;  ///< active (0/1/UNDEF) contributions
+  std::vector<uint32_t> collisions;    ///< dense nets with >1 active driver
+  uint64_t rngState = 0;
+};
+
+class FiringEvaluator {
+ public:
+  explicit FiringEvaluator(const SimGraph& graph);
+
+  void evaluate(const CycleSeeds& seeds, CycleResult& out);
+  [[nodiscard]] const EvalStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+ private:
+  void fireNet(uint32_t net, Logic value);
+  void contribute(uint32_t net, Logic value);
+
+  const SimGraph& g_;
+  EvalStats stats_;
+
+  // Per-cycle state, reused across cycles.
+  std::vector<Logic> value_;
+  std::vector<uint32_t> active_;
+  std::vector<uint32_t> pending_;  ///< remaining driver contributions
+  std::vector<char> netFired_;
+  std::vector<char> nodeFired_;
+  std::vector<uint32_t> nodeKnown_;
+  std::vector<uint32_t> nodeZeros_;
+  std::vector<uint32_t> nodeOnes_;
+  std::vector<char> nodeUndef_;  ///< saw an UNDEF/NOINFL input
+  // Per-node input storage (CSR) for EQUAL and SWITCH.
+  std::vector<uint32_t> inputStart_;
+  std::vector<Logic> inputVal_;
+  std::vector<char> inputKnown_;
+  std::vector<uint32_t> worklist_;
+  std::vector<uint32_t>* collisions_ = nullptr;
+};
+
+}  // namespace zeus

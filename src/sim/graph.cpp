@@ -1,0 +1,219 @@
+#include "src/sim/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace zeus {
+
+SimGraph buildSimGraph(const Design& design, DiagnosticEngine& diags) {
+  SimGraph g;
+  g.design = &design;
+  const Netlist& nl = design.netlist;
+
+  // Dense numbering of class roots.
+  g.denseOf.assign(nl.netCount(), 0);
+  for (NetId i = 0; i < nl.netCount(); ++i) {
+    NetId root = nl.find(i);
+    if (root == i) {
+      g.denseOf[i] = static_cast<uint32_t>(g.rootOf.size());
+      g.rootOf.push_back(i);
+    }
+  }
+  for (NetId i = 0; i < nl.netCount(); ++i) {
+    g.denseOf[i] = g.denseOf[nl.find(i)];
+  }
+  g.denseCount = g.rootOf.size();
+
+  // Net info: class-wide boolean-ness and input-ness.
+  g.nets.assign(g.denseCount, {});
+  for (NetId i = 0; i < nl.netCount(); ++i) {
+    const Net& n = nl.net(i);
+    SimGraph::NetInfo& info = g.nets[g.denseOf[i]];
+    if (n.kind == BasicKind::Boolean) info.isBool = true;
+    if (n.isPrimaryInput) info.isInput = true;
+  }
+
+  // Driver counts, consumer and driver edges.
+  std::vector<std::vector<std::pair<NodeId, uint32_t>>> consumerLists(
+      g.denseCount);
+  std::vector<std::vector<NodeId>> driverLists(g.denseCount);
+  for (NodeId ni = 0; ni < nl.nodeCount(); ++ni) {
+    const Node& node = nl.node(ni);
+    if (node.output != kNoNet) {
+      SimGraph::NetInfo& info = g.nets[g.denseOf[node.output]];
+      if (node.op == NodeOp::Reg) info.regDriven = true;
+      else info.nonRegDrivers++;
+      driverLists[g.denseOf[node.output]].push_back(ni);
+    }
+    for (uint32_t ii = 0; ii < node.inputs.size(); ++ii) {
+      consumerLists[g.denseOf[node.inputs[ii]]].push_back({ni, ii});
+    }
+    if (node.op == NodeOp::Reg) g.regNodes.push_back(ni);
+    else if (node.inputs.empty()) g.sourceNodes.push_back(ni);
+  }
+  g.consumerStart.assign(g.denseCount + 1, 0);
+  g.driverStart.assign(g.denseCount + 1, 0);
+  for (size_t i = 0; i < g.denseCount; ++i) {
+    g.consumerStart[i + 1] =
+        g.consumerStart[i] + static_cast<uint32_t>(consumerLists[i].size());
+    g.driverStart[i + 1] =
+        g.driverStart[i] + static_cast<uint32_t>(driverLists[i].size());
+  }
+  g.consumers.resize(g.consumerStart.back());
+  g.consumerInputIdx.resize(g.consumerStart.back());
+  g.driverNodes.resize(g.driverStart.back());
+  for (size_t i = 0; i < g.denseCount; ++i) {
+    uint32_t base = g.consumerStart[i];
+    for (size_t k = 0; k < consumerLists[i].size(); ++k) {
+      g.consumers[base + k] = consumerLists[i][k].first;
+      g.consumerInputIdx[base + k] = consumerLists[i][k].second;
+    }
+    std::copy(driverLists[i].begin(), driverLists[i].end(),
+              g.driverNodes.begin() + g.driverStart[i]);
+  }
+
+  // Topological sort (Kahn) over non-REG nodes; net levels on the fly.
+  g.netLevel.assign(g.denseCount, 0);
+  std::vector<uint32_t> netPending(g.denseCount);
+  std::vector<uint32_t> nodePending(nl.nodeCount(), 0);
+  for (NodeId ni = 0; ni < nl.nodeCount(); ++ni) {
+    const Node& node = nl.node(ni);
+    if (node.op == NodeOp::Reg) continue;
+    nodePending[ni] = static_cast<uint32_t>(node.inputs.size());
+  }
+  size_t processedNodes = 0;
+  size_t nonRegNodes = 0;
+  for (NodeId ni = 0; ni < nl.nodeCount(); ++ni) {
+    if (nl.node(ni).op != NodeOp::Reg) ++nonRegNodes;
+  }
+  std::vector<char> nodeDone(nl.nodeCount(), 0);
+  std::vector<uint32_t> nodeLevel(nl.nodeCount(), 0);
+  for (size_t i = 0; i < g.denseCount; ++i) {
+    netPending[i] = g.nets[i].nonRegDrivers;
+  }
+  // Source nodes (Const/Random) complete immediately.
+  for (NodeId ni : g.sourceNodes) {
+    nodeDone[ni] = 1;
+    g.topoOrder.push_back(ni);
+    ++processedNodes;
+    const Node& node = nl.node(ni);
+    if (node.output != kNoNet) --netPending[g.denseOf[node.output]];
+  }
+  std::deque<uint32_t> readyNets;
+  for (size_t i = 0; i < g.denseCount; ++i) {
+    if (netPending[i] == 0) readyNets.push_back(static_cast<uint32_t>(i));
+  }
+  while (!readyNets.empty()) {
+    uint32_t net = readyNets.front();
+    readyNets.pop_front();
+    uint32_t level = g.netLevel[net];
+    g.maxLevel = std::max(g.maxLevel, level);
+    for (uint32_t e = g.consumerStart[net]; e < g.consumerStart[net + 1];
+         ++e) {
+      NodeId ni = g.consumers[e];
+      const Node& node = nl.node(ni);
+      if (node.op == NodeOp::Reg) continue;  // latches at end of cycle
+      nodeLevel[ni] = std::max(nodeLevel[ni], level + 1);
+      if (--nodePending[ni] == 0) {
+        nodeDone[ni] = 1;
+        g.topoOrder.push_back(ni);
+        ++processedNodes;
+        if (node.output != kNoNet) {
+          uint32_t on = g.denseOf[node.output];
+          g.netLevel[on] = std::max(g.netLevel[on], nodeLevel[ni]);
+          if (--netPending[on] == 0) readyNets.push_back(on);
+        }
+      }
+    }
+  }
+  if (processedNodes < nonRegNodes) {
+    g.hasCycle = true;
+    // Report a user-visible signal on the loop if one exists (generated
+    // gate nets are named "$...").
+    NodeId report = kNoNet;
+    for (NodeId ni = 0; ni < nl.nodeCount(); ++ni) {
+      const Node& node = nl.node(ni);
+      if (node.op == NodeOp::Reg || nodeDone[ni] || node.output == kNoNet)
+        continue;
+      if (report == kNoNet) report = ni;
+      if (nl.net(nl.find(node.output)).name[0] != '$') {
+        report = ni;
+        break;
+      }
+    }
+    if (report != kNoNet) {
+      const Node& node = nl.node(report);
+      std::string name = nl.net(nl.find(node.output)).name;
+      g.cycleDescription =
+          "combinational feedback loop through signal '" + name +
+          "' (feedback must lead through a register, §1)";
+      diags.error(Diag::CombinationalLoop, node.loc, g.cycleDescription);
+    }
+  }
+  return g;
+}
+
+void checkSequentialOrder(const Design& design, const SimGraph& graph,
+                          DiagnosticEngine& diags) {
+  if (graph.hasCycle) return;
+  const Netlist& nl = design.netlist;
+  for (const SeqGroups& sg : design.sequentials) {
+    const auto& groups = sg.groups;
+    if (groups.size() < 2) continue;
+    // Budget guard: this is an O(G * E) reachability sweep.
+    size_t totalNets = 0;
+    for (const auto& grp : groups) totalNets += grp.size();
+    if (totalNets * graph.consumers.size() > 50'000'000) continue;
+
+    // Membership: net -> earliest group that assigns it.
+    std::vector<int32_t> groupOf(graph.denseCount, -1);
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      for (NetId n : groups[gi]) {
+        uint32_t dn = graph.dense(n);
+        if (groupOf[dn] < 0) groupOf[dn] = static_cast<int32_t>(gi);
+      }
+    }
+    // Forward BFS from each group's nets; reaching a net assigned in an
+    // earlier group means the specified order is incompatible.
+    for (size_t gj = 1; gj < groups.size(); ++gj) {
+      std::vector<char> seen(graph.denseCount, 0);
+      std::deque<uint32_t> work;
+      for (NetId n : groups[gj]) {
+        uint32_t dn = graph.dense(n);
+        if (!seen[dn]) {
+          seen[dn] = 1;
+          work.push_back(dn);
+        }
+      }
+      bool violated = false;
+      while (!work.empty() && !violated) {
+        uint32_t net = work.front();
+        work.pop_front();
+        for (uint32_t e = graph.consumerStart[net];
+             e < graph.consumerStart[net + 1]; ++e) {
+          const Node& node = nl.node(graph.consumers[e]);
+          if (node.op == NodeOp::Reg || node.output == kNoNet) continue;
+          uint32_t on = graph.dense(node.output);
+          if (seen[on]) continue;
+          seen[on] = 1;
+          if (groupOf[on] >= 0 &&
+              groupOf[on] < static_cast<int32_t>(gj)) {
+            diags.warning(
+                Diag::SequentialOrderViolated, sg.loc,
+                "SEQUENTIAL annotation incompatible with data flow: "
+                "statement " +
+                    std::to_string(gj + 1) + " feeds signal '" +
+                    nl.net(graph.rootOf[on]).name + "' assigned by statement " +
+                    std::to_string(groupOf[on] + 1));
+            violated = true;
+            break;
+          }
+          work.push_back(on);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zeus

@@ -1,0 +1,67 @@
+// The semantics graph (paper §8): the canonicalised netlist prepared for
+// evaluation — dense net numbering over alias-class roots, consumer edges,
+// combinational-cycle detection (REG is the only cycle breaker) and a
+// topological order for the naive evaluator and the SEQUENTIAL check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/elab/design.h"
+#include "src/support/diagnostics.h"
+
+namespace zeus {
+
+struct SimGraph {
+  const Design* design = nullptr;
+
+  // Dense numbering of alias-class roots.
+  std::vector<uint32_t> denseOf;   ///< NetId -> dense index (via class root)
+  std::vector<NetId> rootOf;       ///< dense index -> representative NetId
+  size_t denseCount = 0;
+
+  struct NetInfo {
+    uint32_t nonRegDrivers = 0;  ///< driver nodes that must fire first
+    bool isBool = false;         ///< class contains a boolean member
+    bool isInput = false;        ///< primary input (incl. CLK/RSET)
+    bool regDriven = false;      ///< some driver is a REG
+  };
+  std::vector<NetInfo> nets;  ///< per dense index
+
+  // Consumers in CSR form: for each dense net, the nodes reading it and
+  // at which input position.
+  std::vector<uint32_t> consumerStart;  ///< size denseCount+1
+  std::vector<NodeId> consumers;
+  std::vector<uint32_t> consumerInputIdx;
+
+  // Drivers in CSR form (including REG nodes).
+  std::vector<uint32_t> driverStart;  ///< size denseCount+1
+  std::vector<NodeId> driverNodes;
+
+  std::vector<NodeId> regNodes;
+  std::vector<NodeId> sourceNodes;  ///< Const / Random (no net inputs)
+
+  std::vector<NodeId> topoOrder;    ///< non-REG nodes, topological
+  std::vector<uint32_t> netLevel;   ///< per dense net, longest path depth
+  uint32_t maxLevel = 0;
+
+  bool hasCycle = false;
+  std::string cycleDescription;
+
+  [[nodiscard]] uint32_t dense(NetId id) const {
+    return denseOf[design->netlist.find(id)];
+  }
+};
+
+/// Builds the graph.  Reports CombinationalLoop through `diags` when the
+/// non-register part of the design is cyclic (then hasCycle is set and the
+/// graph must not be simulated).
+SimGraph buildSimGraph(const Design& design, DiagnosticEngine& diags);
+
+/// Verifies the user's SEQUENTIAL annotations against the data dependences
+/// of the graph (§4.5: the simulator checks that the specified sequence is
+/// compatible).  Violations are reported as warnings.
+void checkSequentialOrder(const Design& design, const SimGraph& graph,
+                          DiagnosticEngine& diags);
+
+}  // namespace zeus

@@ -1,0 +1,36 @@
+// Baseline evaluator: full re-evaluation sweeps to a fixpoint.
+//
+// This is the ablation partner of the firing evaluator (DESIGN.md, E8).
+// Each sweep recomputes every node from the current net values and then
+// every net from its drivers' outputs (Jacobi style); on an acyclic graph
+// the values at level k are correct after k sweeps, so the loop terminates
+// in depth+O(1) sweeps with exactly the same results as the firing rules.
+// Its cost per cycle is sweeps × (V + E), versus the firing evaluator's
+// single event-driven pass — this is the measurable content of the paper's
+// claim that the firing semantics "imply a simulator which is conceptually
+// simpler than state-of-the-art switch-level circuit simulators".
+#pragma once
+
+#include "src/sim/firing_evaluator.h"
+
+namespace zeus {
+
+class NaiveEvaluator {
+ public:
+  explicit NaiveEvaluator(const SimGraph& graph);
+
+  void evaluate(const CycleSeeds& seeds, CycleResult& out);
+  [[nodiscard]] const EvalStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+ private:
+  const SimGraph& g_;
+  EvalStats stats_;
+  std::vector<Logic> nodeOut_;
+  std::vector<Logic> netVal_;
+  std::vector<uint32_t> active_;
+  std::vector<Logic> seedVal_;
+  std::vector<char> seedSet_;
+};
+
+}  // namespace zeus

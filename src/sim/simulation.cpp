@@ -1,0 +1,202 @@
+#include "src/sim/simulation.h"
+
+#include <stdexcept>
+
+namespace zeus {
+
+Simulation::Simulation(const SimGraph& graph, EvaluatorKind kind)
+    : g_(graph), kind_(kind) {
+  if (g_.hasCycle) {
+    throw std::runtime_error("cannot simulate a cyclic design: " +
+                             g_.cycleDescription);
+  }
+  if (kind_ == EvaluatorKind::Firing) {
+    firing_ = std::make_unique<FiringEvaluator>(g_);
+  } else {
+    naive_ = std::make_unique<NaiveEvaluator>(g_);
+  }
+  inputValues_.assign(g_.denseCount, Logic::Undef);
+  inputSet_.assign(g_.denseCount, 0);
+  regValues_.assign(g_.regNodes.size(), Logic::Undef);
+  // CLK reads as 1 while a cycle is evaluated.
+  uint32_t clk = g_.dense(g_.design->clk);
+  inputValues_[clk] = Logic::One;
+  inputSet_[clk] = 1;
+  setRset(false);
+}
+
+void Simulation::reset() {
+  std::fill(inputValues_.begin(), inputValues_.end(), Logic::Undef);
+  std::fill(inputSet_.begin(), inputSet_.end(), 0);
+  std::fill(regValues_.begin(), regValues_.end(), Logic::Undef);
+  uint32_t clk = g_.dense(g_.design->clk);
+  inputValues_[clk] = Logic::One;
+  inputSet_[clk] = 1;
+  setRset(false);
+  cycle_ = 0;
+  errors_.clear();
+  evaluated_ = false;
+}
+
+const Port* Simulation::findPortOrThrow(const std::string& name) const {
+  const Port* p = g_.design->findPort(name);
+  if (!p) throw std::invalid_argument("no port named '" + name + "'");
+  return p;
+}
+
+void Simulation::applyPortValue(const Port& port,
+                                const std::vector<Logic>& bits) {
+  if (bits.size() != port.nets.size()) {
+    throw std::invalid_argument("port '" + port.name + "' has " +
+                                std::to_string(port.nets.size()) +
+                                " bit(s), got " +
+                                std::to_string(bits.size()));
+  }
+  for (size_t i = 0; i < bits.size(); ++i) {
+    uint32_t dn = g_.dense(port.nets[i]);
+    inputValues_[dn] = bits[i];
+    inputSet_[dn] = 1;
+  }
+}
+
+void Simulation::setInput(const std::string& port, Logic v) {
+  applyPortValue(*findPortOrThrow(port), {v});
+}
+
+void Simulation::setInput(const std::string& port,
+                          const std::vector<Logic>& bits) {
+  applyPortValue(*findPortOrThrow(port), bits);
+}
+
+void Simulation::setInputUint(const std::string& port, uint64_t value) {
+  const Port* p = findPortOrThrow(port);
+  std::vector<Logic> bits(p->nets.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = logicFromBool((value >> i) & 1);
+  }
+  applyPortValue(*p, bits);
+}
+
+void Simulation::clearInput(const std::string& port) {
+  const Port* p = findPortOrThrow(port);
+  for (NetId n : p->nets) {
+    uint32_t dn = g_.dense(n);
+    inputSet_[dn] = 0;
+    inputValues_[dn] = Logic::Undef;
+  }
+}
+
+void Simulation::setRset(bool active) {
+  uint32_t rset = g_.dense(g_.design->rset);
+  inputValues_[rset] = logicFromBool(active);
+  inputSet_[rset] = 1;
+}
+
+void Simulation::setRandomSeed(uint64_t seed) {
+  rngState_ = seed ? seed : 1;
+}
+
+void Simulation::restoreRegisters(const std::vector<Logic>& state) {
+  if (state.size() != regValues_.size()) {
+    throw std::invalid_argument(
+        "register snapshot has wrong size for this design");
+  }
+  regValues_ = state;
+}
+
+void Simulation::runCycle(bool latch) {
+  CycleSeeds seeds;
+  seeds.inputValues = &inputValues_;
+  seeds.inputSet = &inputSet_;
+  seeds.regValues = &regValues_;
+  seeds.rngState = rngState_;
+  if (firing_) firing_->evaluate(seeds, result_);
+  else naive_->evaluate(seeds, result_);
+  rngState_ = result_.rngState;
+  evaluated_ = true;
+
+  for (uint32_t dn : result_.collisions) {
+    errors_.push_back(
+        {cycle_, g_.design->netlist.net(g_.rootOf[dn]).name,
+         "more than one (0,1,UNDEF)-assignment active in one cycle"});
+  }
+
+  if (!latch) return;
+  const Netlist& nl = g_.design->netlist;
+  // Two-phase latch: every register reads its input's resolved value from
+  // this cycle; "if in is not changed during a clock cycle, it keeps its
+  // value" (§5.1) — no active assignment means keep.
+  for (size_t k = 0; k < g_.regNodes.size(); ++k) {
+    const Node& reg = nl.node(g_.regNodes[k]);
+    uint32_t in = g_.dense(reg.inputs[0]);
+    if (result_.activeCounts[in] > 0) {
+      Logic v = result_.netValues[in];
+      regValues_[k] = v == Logic::NoInfl ? Logic::Undef : v;
+    }
+  }
+  ++cycle_;
+}
+
+void Simulation::step(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) runCycle(/*latch=*/true);
+}
+
+void Simulation::evaluateOnly() { runCycle(/*latch=*/false); }
+
+Logic Simulation::netValue(NetId net) const {
+  if (!evaluated_) return Logic::Undef;
+  Logic v = result_.netValues[g_.dense(net)];
+  return v;
+}
+
+Logic Simulation::netValueByName(const std::string& name) const {
+  const Netlist& nl = g_.design->netlist;
+  for (NetId i = 0; i < nl.netCount(); ++i) {
+    if (nl.net(i).name == name) return netValue(i);
+  }
+  throw std::invalid_argument("no net named '" + name + "'");
+}
+
+std::vector<Logic> Simulation::outputBits(const std::string& port) const {
+  const Port* p = findPortOrThrow(port);
+  std::vector<Logic> out;
+  out.reserve(p->nets.size());
+  for (size_t i = 0; i < p->nets.size(); ++i) {
+    Logic v = netValue(p->nets[i]);
+    // Observation of a boolean port converts NOINFL to UNDEF (§4.1).
+    if (v == Logic::NoInfl && p->kinds[i] == BasicKind::Boolean)
+      v = Logic::Undef;
+    out.push_back(v);
+  }
+  return out;
+}
+
+Logic Simulation::output(const std::string& port) const {
+  std::vector<Logic> bits = outputBits(port);
+  if (bits.size() != 1) {
+    throw std::invalid_argument("port '" + port + "' is not a single bit");
+  }
+  return bits[0];
+}
+
+std::optional<uint64_t> Simulation::outputUint(
+    const std::string& port) const {
+  std::vector<Logic> bits = outputBits(port);
+  uint64_t value = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (!isDefined(bits[i])) return std::nullopt;
+    if (bits[i] == Logic::One) value |= uint64_t{1} << i;
+  }
+  return value;
+}
+
+const EvalStats& Simulation::stats() const {
+  return firing_ ? firing_->stats() : naive_->stats();
+}
+
+void Simulation::resetStats() {
+  if (firing_) firing_->resetStats();
+  else naive_->resetStats();
+}
+
+}  // namespace zeus

@@ -1,0 +1,101 @@
+// Cycle-accurate simulation of an elaborated Zeus design (§5, §8).
+//
+// Time proceeds in discrete clock cycles.  Each step() evaluates every
+// signal once (firing rules or the naive baseline), records runtime errors
+// (multiple active drivers on one signal — the "burning transistors"
+// check), then latches every REG: a register keeps its value when its
+// input was not changed during the cycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/firing_evaluator.h"
+#include "src/sim/naive_evaluator.h"
+
+namespace zeus {
+
+enum class EvaluatorKind { Firing, Naive };
+
+struct SimError {
+  uint64_t cycle;
+  std::string netName;
+  std::string message;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(const SimGraph& graph,
+                      EvaluatorKind kind = EvaluatorKind::Firing);
+
+  /// Clears registers to UNDEF, inputs to unset, cycle count to 0.
+  void reset();
+
+  // -- driving inputs (persist until changed) --
+  void setInput(const std::string& port, Logic v);
+  void setInput(const std::string& port, const std::vector<Logic>& bits);
+  /// Sets an array port from an unsigned value; port index 1 is the LSB.
+  void setInputUint(const std::string& port, uint64_t value);
+  void clearInput(const std::string& port);
+  void setRset(bool active);
+  /// Seed for RANDOM components (deterministic runs).
+  void setRandomSeed(uint64_t seed);
+
+  // -- checkpointing --
+  /// Captures the register state (one value per REG, in graph order).
+  [[nodiscard]] std::vector<Logic> saveRegisters() const {
+    return regValues_;
+  }
+  /// Restores a previously saved register state.
+  void restoreRegisters(const std::vector<Logic>& state);
+
+  /// Evaluates `n` clock cycles (evaluate + latch each).
+  void step(uint64_t n = 1);
+  /// Evaluates combinationally without latching registers (inspection).
+  void evaluateOnly();
+
+  // -- observing --
+  [[nodiscard]] Logic output(const std::string& port) const;
+  [[nodiscard]] std::vector<Logic> outputBits(const std::string& port) const;
+  /// Value of an array port as an unsigned number; nullopt when any bit is
+  /// UNDEF or NOINFL.
+  [[nodiscard]] std::optional<uint64_t> outputUint(
+      const std::string& port) const;
+  [[nodiscard]] Logic netValue(NetId net) const;
+  [[nodiscard]] Logic netValueByName(const std::string& name) const;
+
+  [[nodiscard]] uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] const std::vector<SimError>& errors() const {
+    return errors_;
+  }
+  [[nodiscard]] const EvalStats& stats() const;
+  void resetStats();
+
+  [[nodiscard]] const SimGraph& graph() const { return g_; }
+  [[nodiscard]] const Design& design() const { return *g_.design; }
+
+ private:
+  const Port* findPortOrThrow(const std::string& name) const;
+  void applyPortValue(const Port& port, const std::vector<Logic>& bits);
+  void runCycle(bool latch);
+
+  const SimGraph& g_;
+  EvaluatorKind kind_;
+  std::unique_ptr<FiringEvaluator> firing_;
+  std::unique_ptr<NaiveEvaluator> naive_;
+
+  std::vector<Logic> inputValues_;  ///< per dense net
+  std::vector<char> inputSet_;
+  std::vector<Logic> regValues_;  ///< per graph.regNodes index
+  CycleResult result_;
+  uint64_t cycle_ = 0;
+  uint64_t rngState_ = 0x9E3779B97F4A7C15ull;
+  std::vector<SimError> errors_;
+  bool evaluated_ = false;
+};
+
+}  // namespace zeus

@@ -1,0 +1,125 @@
+#include "src/sim/value.h"
+
+#include <cassert>
+
+namespace zeus {
+
+Logic gateInput(Logic v) { return v == Logic::NoInfl ? Logic::Undef : v; }
+
+Logic evalGate(NodeOp op, std::span<const Logic> inputs) {
+  switch (op) {
+    case NodeOp::Buf:
+      assert(inputs.size() == 1);
+      return inputs[0];
+    case NodeOp::Not: {
+      assert(inputs.size() == 1);
+      Logic v = gateInput(inputs[0]);
+      if (v == Logic::Zero) return Logic::One;
+      if (v == Logic::One) return Logic::Zero;
+      return Logic::Undef;
+    }
+    case NodeOp::And:
+    case NodeOp::Nand: {
+      bool anyZero = false, allOnes = true;
+      for (Logic raw : inputs) {
+        Logic v = gateInput(raw);
+        if (v == Logic::Zero) anyZero = true;
+        if (v != Logic::One) allOnes = false;
+      }
+      Logic out = anyZero  ? Logic::Zero
+                  : allOnes ? Logic::One
+                            : Logic::Undef;
+      if (op == NodeOp::Nand && isDefined(out))
+        out = out == Logic::Zero ? Logic::One : Logic::Zero;
+      return out;
+    }
+    case NodeOp::Or:
+    case NodeOp::Nor: {
+      bool anyOne = false, allZeros = true;
+      for (Logic raw : inputs) {
+        Logic v = gateInput(raw);
+        if (v == Logic::One) anyOne = true;
+        if (v != Logic::Zero) allZeros = false;
+      }
+      Logic out = anyOne    ? Logic::One
+                  : allZeros ? Logic::Zero
+                             : Logic::Undef;
+      if (op == NodeOp::Nor && isDefined(out))
+        out = out == Logic::Zero ? Logic::One : Logic::Zero;
+      return out;
+    }
+    case NodeOp::Xor: {
+      // Parity; defined only when every input is defined (§8).
+      bool parity = false;
+      for (Logic raw : inputs) {
+        Logic v = gateInput(raw);
+        if (!isDefined(v)) return Logic::Undef;
+        parity ^= (v == Logic::One);
+      }
+      return logicFromBool(parity);
+    }
+    default:
+      assert(false && "not a simple gate");
+      return Logic::Undef;
+  }
+}
+
+Logic evalEqual(std::span<const Logic> a, std::span<const Logic> b) {
+  assert(a.size() == b.size());
+  bool allDefined = true;
+  for (size_t i = 0; i < a.size(); ++i) {
+    Logic x = gateInput(a[i]);
+    Logic y = gateInput(b[i]);
+    if (isDefined(x) && isDefined(y)) {
+      if (x != y) return Logic::Zero;  // definitely unequal
+    } else {
+      allDefined = false;
+    }
+  }
+  return allDefined ? Logic::One : Logic::Undef;
+}
+
+Logic evalSwitch(Logic cond, Logic data) {
+  Logic c = gateInput(cond);
+  if (c == Logic::Zero) return Logic::NoInfl;
+  if (c == Logic::One) return data;
+  return Logic::Undef;
+}
+
+bool gateCanFire(NodeOp op, const GateCounters& c, uint32_t total,
+                 Logic& out) {
+  switch (op) {
+    case NodeOp::And:
+    case NodeOp::Nand: {
+      bool inv = op == NodeOp::Nand;
+      if (c.zeros > 0) {
+        out = inv ? Logic::One : Logic::Zero;
+        return true;
+      }
+      if (c.known == total) {
+        out = c.ones == total ? (inv ? Logic::Zero : Logic::One)
+                              : Logic::Undef;
+        return true;
+      }
+      return false;
+    }
+    case NodeOp::Or:
+    case NodeOp::Nor: {
+      bool inv = op == NodeOp::Nor;
+      if (c.ones > 0) {
+        out = inv ? Logic::Zero : Logic::One;
+        return true;
+      }
+      if (c.known == total) {
+        out = c.zeros == total ? (inv ? Logic::One : Logic::Zero)
+                               : Logic::Undef;
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;  // other node kinds use their own firing rules
+  }
+}
+
+}  // namespace zeus

@@ -1,0 +1,47 @@
+// Four-valued evaluation of the predefined components (paper §8).
+//
+// These functions are the single source of truth for gate semantics: the
+// firing evaluator, the naive evaluator and the elaborator's constant
+// folder all call them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/elab/netlist.h"
+#include "src/support/logic.h"
+
+namespace zeus {
+
+/// Gate inputs treat NOINFL like UNDEF (§8: gates output UNDEF "in all
+/// other cases", which includes disconnected inputs).
+Logic gateInput(Logic v);
+
+/// Evaluates AND/OR/NAND/NOR/XOR/NOT/BUF over fully-known inputs.
+Logic evalGate(NodeOp op, std::span<const Logic> inputs);
+
+/// EQUAL(a, b) over m-bit operands: 1 iff all pairs defined and equal,
+/// 0 as soon as some pair is (0,1), UNDEF otherwise (§8).
+Logic evalEqual(std::span<const Logic> a, std::span<const Logic> b);
+
+/// IF-node semantics (§8): cond=0 -> NOINFL, cond=1 -> data,
+/// cond undefined/disconnected -> UNDEF.
+Logic evalSwitch(Logic cond, Logic data);
+
+/// Partial (short-circuit) evaluation for the firing rules: given that
+/// `known` of the `total` inputs are known with counters of each value,
+/// returns true and sets `out` if the gate can already fire.
+struct GateCounters {
+  uint32_t known = 0;
+  uint32_t zeros = 0;
+  uint32_t ones = 0;
+
+  void add(Logic v) {
+    ++known;
+    if (gateInput(v) == Logic::Zero) ++zeros;
+    else if (gateInput(v) == Logic::One) ++ones;
+  }
+};
+bool gateCanFire(NodeOp op, const GateCounters& c, uint32_t total, Logic& out);
+
+}  // namespace zeus

@@ -1,0 +1,80 @@
+#include "src/sim/wave.h"
+
+#include <stdexcept>
+
+namespace zeus {
+
+void WaveRecorder::watchPort(const std::string& port,
+                             const std::string& label) {
+  const Port* p = sim_.design().findPort(port);
+  if (!p) throw std::invalid_argument("no port named '" + port + "'");
+  for (size_t i = 0; i < p->nets.size(); ++i) {
+    Track t;
+    t.label = (label.empty() ? port : label);
+    if (p->nets.size() > 1) t.label += "[" + std::to_string(i + 1) + "]";
+    t.nets = {p->nets[i]};
+    tracks_.push_back(std::move(t));
+  }
+}
+
+void WaveRecorder::watchNet(NetId net, const std::string& label) {
+  Track t;
+  t.label = label;
+  t.nets = {net};
+  tracks_.push_back(std::move(t));
+}
+
+void WaveRecorder::sample() {
+  for (Track& t : tracks_) {
+    t.history.push_back(sim_.netValue(t.nets[0]));
+  }
+  ++samples_;
+}
+
+std::string WaveRecorder::renderTable() const {
+  size_t width = 0;
+  for (const Track& t : tracks_) width = std::max(width, t.label.size());
+  std::string out;
+  for (const Track& t : tracks_) {
+    out += t.label;
+    out.append(width - t.label.size() + 1, ' ');
+    out += "| ";
+    for (Logic v : t.history) {
+      switch (v) {
+        case Logic::Zero: out += '0'; break;
+        case Logic::One: out += '1'; break;
+        case Logic::Undef: out += 'x'; break;
+        case Logic::NoInfl: out += 'z'; break;
+      }
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WaveRecorder::renderVcd(const std::string& module) const {
+  std::string out = "$timescale 1ns $end\n$scope module " + module +
+                    " $end\n";
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    out += "$var wire 1 s" + std::to_string(i) + " " + tracks_[i].label +
+           " $end\n";
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+  for (size_t c = 0; c < samples_; ++c) {
+    out += "#" + std::to_string(c) + "\n";
+    for (size_t i = 0; i < tracks_.size(); ++i) {
+      char ch = 'x';
+      switch (tracks_[i].history[c]) {
+        case Logic::Zero: ch = '0'; break;
+        case Logic::One: ch = '1'; break;
+        case Logic::Undef: ch = 'x'; break;
+        case Logic::NoInfl: ch = 'z'; break;
+      }
+      out += std::string(1, ch) + "s" + std::to_string(i) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace zeus

@@ -1,0 +1,45 @@
+// Waveform capture: records watched signals every cycle and renders them
+// as an ASCII table or a VCD file — used by the examples to show the
+// systolic computation sequences the paper illustrates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace zeus {
+
+class WaveRecorder {
+ public:
+  explicit WaveRecorder(const Simulation& sim) : sim_(sim) {}
+
+  /// Watches a single-bit port or an internal net by name.
+  void watchPort(const std::string& port, const std::string& label = "");
+  void watchNet(NetId net, const std::string& label);
+
+  /// Call once per cycle after Simulation::step().
+  void sample();
+
+  /// Renders an ASCII table: one row per watched signal, one column per
+  /// sampled cycle.
+  [[nodiscard]] std::string renderTable() const;
+
+  /// Renders a minimal VCD dump.
+  [[nodiscard]] std::string renderVcd(const std::string& module = "zeus")
+      const;
+
+  [[nodiscard]] size_t sampleCount() const { return samples_; }
+
+ private:
+  struct Track {
+    std::string label;
+    std::vector<NetId> nets;  ///< one per bit
+    std::vector<Logic> history;
+  };
+  const Simulation& sim_;
+  std::vector<Track> tracks_;
+  size_t samples_ = 0;
+};
+
+}  // namespace zeus

@@ -1,0 +1,34 @@
+#include "src/support/diagnostics.h"
+
+#include <algorithm>
+
+namespace zeus {
+
+void DiagnosticEngine::report(Diag code, Severity sev, SourceLoc loc,
+                              std::string message) {
+  if (sev == Severity::Error) ++errorCount_;
+  diags_.push_back({code, sev, loc, std::move(message)});
+}
+
+bool DiagnosticEngine::has(Diag code) const {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [code](const Diagnostic& d) { return d.code == code; });
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    switch (d.severity) {
+      case Severity::Note: out += "note "; break;
+      case Severity::Warning: out += "warning "; break;
+      case Severity::Error: out += "error "; break;
+    }
+    out += sm_.describe(d.loc);
+    out += ": ";
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace zeus

@@ -1,0 +1,126 @@
+// Diagnostic engine shared by every phase of the Zeus toolchain.
+//
+// Phases report problems through DiagnosticEngine::report(); nothing throws
+// for user errors.  Callers inspect hasErrors() / take the accumulated list.
+// Each diagnostic carries a stable Diag code so tests can assert on the
+// *kind* of error instead of matching message strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/source.h"
+
+namespace zeus {
+
+/// Stable identifiers for every diagnostic the toolchain can emit.
+enum class Diag {
+  // Lexer
+  UnterminatedComment,
+  InvalidCharacter,
+  InvalidOctalDigit,
+  NumberTooLarge,
+  // Parser
+  ExpectedToken,
+  UnexpectedToken,
+  ExpectedDeclaration,
+  ExpectedStatement,
+  ExpectedExpression,
+  ExpectedType,
+  SignalAfterOtherDecls,
+  // Sema / const eval
+  UnknownIdentifier,
+  NotAConstant,
+  DivisionByZero,
+  WrongArgumentCount,
+  NotAType,
+  NotAComponentType,
+  NotAFunctionComponent,
+  RecursionTooDeep,
+  BadArrayBounds,
+  DuplicateDeclaration,
+  InOutBasicMustBeMultiplex,
+  UnstructuredInOutMustBeBoolean,
+  SubstructureInAndOut,
+  ResultOutsideFunction,
+  FunctionUsedAsSignal,
+  RecordTypeHasBody,
+  // Elaboration / static type rules (§4.7)
+  WidthMismatch,
+  MultipleUnconditionalAssignment,
+  ConditionalAndUnconditionalAssignment,
+  ConditionalAssignToBoolean,
+  AliasOfBooleans,
+  AliasBooleanNotException,
+  AliasInsideConditional,
+  MultiplexToMultiplexAssign,
+  AssignToInParameter,
+  AssignToOutOfInstance,
+  UnusedPort,
+  ConnectionRepeated,
+  ConnectionOnNonComponent,
+  ConditionNotSingleBit,
+  CombinationalLoop,
+  NumIndexNotConstantWidth,
+  BadConnectionShape,
+  VirtualNotReplaced,
+  VirtualReplacedTwice,
+  ReplacementOnNonVirtual,
+  SequentialOrderViolated,
+  IndexOutOfRange,
+  // Layout
+  LayoutUnknownDirection,
+  LayoutUnknownOrientation,
+  LayoutUnknownSignal,
+  // Generic
+  Internal,
+};
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported problem.
+struct Diagnostic {
+  Diag code;
+  Severity severity;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics across all phases of one compilation.
+class DiagnosticEngine {
+ public:
+  explicit DiagnosticEngine(const SourceManager& sm) : sm_(sm) {}
+
+  void report(Diag code, Severity sev, SourceLoc loc, std::string message);
+  void error(Diag code, SourceLoc loc, std::string message) {
+    report(code, Severity::Error, loc, std::move(message));
+  }
+  void warning(Diag code, SourceLoc loc, std::string message) {
+    report(code, Severity::Warning, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
+  [[nodiscard]] size_t errorCount() const { return errorCount_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// True if any diagnostic with the given code was reported.
+  [[nodiscard]] bool has(Diag code) const;
+
+  /// Renders every diagnostic as "severity loc: message", one per line.
+  [[nodiscard]] std::string renderAll() const;
+
+  /// Drops all collected diagnostics (used for speculative evaluation).
+  void clear() {
+    diags_.clear();
+    errorCount_ = 0;
+  }
+
+  const SourceManager& sourceManager() const { return sm_; }
+
+ private:
+  const SourceManager& sm_;
+  std::vector<Diagnostic> diags_;
+  size_t errorCount_ = 0;
+};
+
+}  // namespace zeus

@@ -1,0 +1,55 @@
+// The four-valued signal domain of Zeus (paper §3.3, §8).
+//
+//   0, 1   — defined logic values
+//   UNDEF  — undefined (x)
+//   NOINFL — no influence: disconnected / high impedance (z)
+//
+// Only signals of type multiplex can carry NOINFL.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace zeus {
+
+enum class Logic : uint8_t { Zero = 0, One = 1, Undef = 2, NoInfl = 3 };
+
+inline constexpr bool isDefined(Logic v) {
+  return v == Logic::Zero || v == Logic::One;
+}
+
+inline constexpr Logic logicFromBool(bool b) {
+  return b ? Logic::One : Logic::Zero;
+}
+
+inline constexpr std::string_view logicName(Logic v) {
+  switch (v) {
+    case Logic::Zero: return "0";
+    case Logic::One: return "1";
+    case Logic::Undef: return "UNDEF";
+    case Logic::NoInfl: return "NOINFL";
+  }
+  return "?";
+}
+
+/// The "strength" rule for simultaneous assignments (§8): NOINFL is
+/// overruled by any other value; any two active (0/1/UNDEF) assignments
+/// collide to UNDEF.  `collision` is set when a collision occurred — the
+/// simulator reports it as a runtime error ("burning transistors" guard).
+struct Resolution {
+  Logic value = Logic::NoInfl;
+  int activeCount = 0;  ///< number of (0,1,UNDEF) contributions
+
+  void add(Logic v) {
+    if (v == Logic::NoInfl) return;
+    ++activeCount;
+    if (activeCount == 1) {
+      value = v;
+    } else {
+      value = Logic::Undef;
+    }
+  }
+  [[nodiscard]] bool collision() const { return activeCount > 1; }
+};
+
+}  // namespace zeus

@@ -1,0 +1,47 @@
+#include "src/support/source.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zeus {
+
+BufferId SourceManager::addBuffer(std::string name, std::string text) {
+  Buffer buf;
+  buf.name = std::move(name);
+  buf.text = std::move(text);
+  buf.lineStarts.push_back(0);
+  for (uint32_t i = 0; i < buf.text.size(); ++i) {
+    if (buf.text[i] == '\n') buf.lineStarts.push_back(i + 1);
+  }
+  buffers_.push_back(std::move(buf));
+  return static_cast<BufferId>(buffers_.size());
+}
+
+std::string_view SourceManager::text(BufferId id) const {
+  assert(id >= 1 && id <= buffers_.size());
+  return buffers_[id - 1].text;
+}
+
+std::string_view SourceManager::name(BufferId id) const {
+  assert(id >= 1 && id <= buffers_.size());
+  return buffers_[id - 1].name;
+}
+
+LineCol SourceManager::expand(SourceLoc loc) const {
+  if (!loc.valid() || loc.buffer > buffers_.size()) return {};
+  const Buffer& buf = buffers_[loc.buffer - 1];
+  auto it = std::upper_bound(buf.lineStarts.begin(), buf.lineStarts.end(),
+                             loc.offset);
+  uint32_t line = static_cast<uint32_t>(it - buf.lineStarts.begin());
+  uint32_t lineStart = buf.lineStarts[line - 1];
+  return {buf.name, line, loc.offset - lineStart + 1};
+}
+
+std::string SourceManager::describe(SourceLoc loc) const {
+  if (!loc.valid()) return "<unknown>";
+  LineCol lc = expand(loc);
+  return std::string(lc.bufferName) + ":" + std::to_string(lc.line) + ":" +
+         std::to_string(lc.col);
+}
+
+}  // namespace zeus

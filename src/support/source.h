@@ -1,0 +1,61 @@
+// Source buffer management and source locations for the Zeus toolchain.
+//
+// A SourceManager owns the text of every compiled buffer and hands out
+// stable integer buffer ids.  SourceLoc is a lightweight (buffer, offset)
+// pair that every token and AST node carries; the manager can expand it to
+// a human readable line:column position on demand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zeus {
+
+/// Identifies one source buffer registered with a SourceManager.
+using BufferId = uint32_t;
+
+/// A position inside a registered source buffer.
+///
+/// The default-constructed location is "unknown" and prints as "<unknown>".
+struct SourceLoc {
+  BufferId buffer = 0;
+  uint32_t offset = 0;
+
+  [[nodiscard]] bool valid() const { return buffer != 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Expanded, human-readable form of a SourceLoc.
+struct LineCol {
+  std::string_view bufferName;
+  uint32_t line = 0;  ///< 1-based
+  uint32_t col = 0;   ///< 1-based
+};
+
+/// Owns source text for the lifetime of a compilation.
+class SourceManager {
+ public:
+  /// Registers a buffer and returns its id.  The text is copied.
+  BufferId addBuffer(std::string name, std::string text);
+
+  [[nodiscard]] std::string_view text(BufferId id) const;
+  [[nodiscard]] std::string_view name(BufferId id) const;
+
+  /// Expands a location to line/column.  Invalid locations yield {0,0}.
+  [[nodiscard]] LineCol expand(SourceLoc loc) const;
+
+  /// Formats a location as "name:line:col" (or "<unknown>").
+  [[nodiscard]] std::string describe(SourceLoc loc) const;
+
+ private:
+  struct Buffer {
+    std::string name;
+    std::string text;
+    std::vector<uint32_t> lineStarts;  ///< byte offset of each line start
+  };
+  std::vector<Buffer> buffers_;  ///< index = BufferId - 1
+};
+
+}  // namespace zeus

@@ -1,0 +1,119 @@
+// E1: the ripple-carry adder family (paper §10 "Adders", Fig. Adder).
+#include <gtest/gtest.h>
+
+#include "tests/support/paper_examples.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+std::string adderSource(int width) {
+  return std::string(kAdders) + "SIGNAL adder: rippleCarry(" +
+         std::to_string(width) + ");\n";
+}
+
+TEST(Adder, ElaboratesWithLayout) {
+  Built b = buildOk(adderSource(4), "adder");
+  ASSERT_NE(b.design, nullptr);
+  LayoutResult layout = solveLayout(*b.design, b.comp->diags());
+  // Four full adders side by side.
+  EXPECT_EQ(layout.bounds.w, 4);
+  EXPECT_EQ(layout.bounds.h, 1);
+  EXPECT_EQ(layout.leafCount(), 4u);
+  std::string overlap;
+  EXPECT_FALSE(layout.hasOverlaps(&overlap)) << overlap;
+}
+
+TEST(Adder, AddsExhaustively4Bit) {
+  Built b = buildOk(adderSource(4), "adder");
+  ASSERT_NE(b.design, nullptr);
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  Simulation sim(g);
+  for (uint64_t a = 0; a < 16; ++a) {
+    for (uint64_t x = 0; x < 16; ++x) {
+      for (uint64_t c = 0; c <= 1; ++c) {
+        sim.setInputUint("a", a);
+        sim.setInputUint("b", x);
+        sim.setInput("cin", logicFromBool(c));
+        sim.step();
+        uint64_t total = a + x + c;
+        ASSERT_EQ(sim.outputUint("s").value_or(999), total & 15)
+            << a << "+" << x << "+" << c;
+        ASSERT_EQ(sim.output("cout"), logicFromBool(total >= 16));
+      }
+    }
+  }
+  EXPECT_TRUE(sim.errors().empty());
+}
+
+class AdderWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidth, RandomOperands) {
+  const int width = GetParam();
+  Built b = buildOk(adderSource(width), "adder");
+  ASSERT_NE(b.design, nullptr);
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  uint64_t rng = 12345;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  const uint64_t mask =
+      width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  for (int trial = 0; trial < 20; ++trial) {
+    uint64_t a = next() & mask;
+    uint64_t x = next() & mask;
+    sim.setInputUint("a", a);
+    sim.setInputUint("b", x);
+    sim.setInput("cin", Logic::Zero);
+    sim.step();
+    ASSERT_EQ(sim.outputUint("s").value_or(~0ull), (a + x) & mask);
+    ASSERT_EQ(sim.output("cout"), logicFromBool(((a + x) >> width) & 1));
+  }
+  EXPECT_TRUE(sim.errors().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidth,
+                         ::testing::Values(2, 3, 8, 16, 32, 48));
+
+TEST(Adder, SequentialAnnotationAccepted) {
+  // The paper's SEQUENTIAL carries the actual carry-chain order; the
+  // compatibility check must not warn.
+  Built b = buildOk(adderSource(8), "adder");
+  ASSERT_NE(b.design, nullptr);
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  checkSequentialOrder(*b.design, g, b.comp->diags());
+  EXPECT_FALSE(b.comp->diags().has(Diag::SequentialOrderViolated))
+      << b.comp->diagnosticsText();
+}
+
+TEST(Adder, ReversedSequentialAnnotationWarns) {
+  // Claiming the carry chain runs high-to-low contradicts the data flow.
+  std::string src = std::string(kAdders) + R"(
+bad = COMPONENT (IN a,b: ARRAY[1..4] OF boolean; IN cin: boolean;
+                 OUT cout: boolean; OUT s: ARRAY[1..4] OF boolean) IS
+  SIGNAL add: ARRAY[1..4] OF fulladder;
+BEGIN
+  SEQUENTIAL
+    add[4](a[4],b[4],*,cout,s[4]);
+    FOR i := 3 DOWNTO 2 DO SEQUENTIALLY
+      add[i](a[i],b[i],add[i-1].cout,add[i+1].cin,s[i]);
+    END;
+    add[1](a[1],b[1],cin,*,s[1]);
+  END
+END;
+SIGNAL badder: bad;
+)";
+  Built b = buildOk(src, "badder");
+  ASSERT_NE(b.design, nullptr);
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  checkSequentialOrder(*b.design, g, b.comp->diags());
+  EXPECT_TRUE(b.comp->diags().has(Diag::SequentialOrderViolated));
+}
+
+}  // namespace
+}  // namespace zeus::test

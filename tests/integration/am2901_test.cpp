@@ -1,0 +1,170 @@
+// The AM2901 bit-slice ALU (paper abstract: "the language has been tested
+// on ... AM2901").  Exercises the full datapath: two-port register file
+// with NUM addressing, the Zeus-source ripple ALU with flags, source and
+// destination decoding with shift paths.
+#include <gtest/gtest.h>
+
+#include "tests/support/paper_examples.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+// Instruction field encodings (LSB-first bit vectors).
+enum Src { AQ = 0, AB = 1, ZQ = 2, ZB = 3, ZA = 4, DA = 5, DQ = 6, DZ = 7 };
+enum Fn { ADD = 0, SUBR = 1, SUBS = 2, OR_ = 3, AND_ = 4, NOTRS = 5,
+          EXOR = 6, EXNOR = 7 };
+enum Dst { QREG = 0, NOP = 1, RAMA = 2, RAMF = 3, RAMQD = 4, RAMD = 5,
+           RAMQU = 6, RAMU = 7 };
+
+class Am2901Driver {
+ public:
+  Am2901Driver()
+      : built_(buildOk(corpus::kAm2901, "alu")),
+        graph_(buildSimGraph(*built_.design, built_.comp->diags())),
+        sim_(graph_) {
+    sim_.setInput("cin", Logic::Zero);
+    for (const char* p : {"ram0in", "ram3in", "q0in", "q3in"}) {
+      sim_.setInput(p, Logic::Zero);
+    }
+    sim_.setInputUint("d", 0);
+    sim_.setInputUint("aaddr", 0);
+    sim_.setInputUint("baddr", 0);
+  }
+
+  void instr(Src s, Fn f, Dst dst, uint64_t a, uint64_t b, uint64_t d,
+             int cin = 0) {
+    sim_.setInputUint("i",
+                      static_cast<uint64_t>(s) |
+                          (static_cast<uint64_t>(f) << 3) |
+                          (static_cast<uint64_t>(dst) << 6));
+    sim_.setInputUint("aaddr", a);
+    sim_.setInputUint("baddr", b);
+    sim_.setInputUint("d", d);
+    sim_.setInput("cin", logicFromBool(cin));
+    sim_.step();
+  }
+
+  uint64_t y() { return sim_.outputUint("y").value_or(999); }
+  Logic cout() { return sim_.output("cout"); }
+  Logic f3() { return sim_.output("f3"); }
+  Logic fzero() { return sim_.output("fzero"); }
+  Simulation& sim() { return sim_; }
+
+  /// Loads a constant into register r via D + ADD with zero.
+  void loadReg(uint64_t r, uint64_t value) {
+    instr(DZ, ADD, RAMF, 0, r, value);
+  }
+
+ private:
+  Built built_;
+  SimGraph graph_;
+  Simulation sim_;
+};
+
+TEST(Am2901, LoadAndReadRegisters) {
+  Am2901Driver alu;
+  alu.loadReg(3, 9);
+  alu.loadReg(7, 5);
+  // Y = A data (RAMA writes F to B but outputs A): read reg 3 via A port.
+  alu.instr(AB, ADD, RAMA, 3, 3, 0);
+  EXPECT_EQ(alu.y(), 9u);
+  EXPECT_TRUE(alu.sim().errors().empty());
+}
+
+TEST(Am2901, AddWithCarry) {
+  Am2901Driver alu;
+  alu.loadReg(1, 9);
+  alu.loadReg(2, 5);
+  // F = A + B: src AB reads R=A(reg1), S=B(reg2).
+  alu.instr(AB, ADD, NOP, 1, 2, 0);
+  EXPECT_EQ(alu.y(), 14u);
+  EXPECT_EQ(alu.cout(), Logic::Zero);
+  // 9 + 9 = 18 : carry out, y = 2.
+  alu.instr(AB, ADD, NOP, 1, 1, 0);
+  EXPECT_EQ(alu.y(), 2u);
+  EXPECT_EQ(alu.cout(), Logic::One);
+  // Carry-in adds one.
+  alu.instr(AB, ADD, NOP, 1, 2, 0, 1);
+  EXPECT_EQ(alu.y(), 15u);
+}
+
+TEST(Am2901, Subtract) {
+  Am2901Driver alu;
+  alu.loadReg(1, 9);
+  alu.loadReg(2, 5);
+  // SUBR: S - R = B - A (R=A=9, S=B=5): 5-9 = -4 = 12 mod 16, borrow.
+  alu.instr(AB, SUBR, NOP, 1, 2, 0);
+  EXPECT_EQ(alu.y(), 12u);
+  EXPECT_EQ(alu.cout(), Logic::Zero);  // borrow
+  // SUBS: R - S = 9-5 = 4, no borrow.
+  alu.instr(AB, SUBS, NOP, 1, 2, 0);
+  EXPECT_EQ(alu.y(), 4u);
+  EXPECT_EQ(alu.cout(), Logic::One);
+}
+
+TEST(Am2901, LogicOps) {
+  Am2901Driver alu;
+  alu.loadReg(1, 0b1100);
+  alu.loadReg(2, 0b1010);
+  alu.instr(AB, OR_, NOP, 1, 2, 0);
+  EXPECT_EQ(alu.y(), 0b1110u);
+  alu.instr(AB, AND_, NOP, 1, 2, 0);
+  EXPECT_EQ(alu.y(), 0b1000u);
+  alu.instr(AB, EXOR, NOP, 1, 2, 0);
+  EXPECT_EQ(alu.y(), 0b0110u);
+  alu.instr(AB, EXNOR, NOP, 1, 2, 0);
+  EXPECT_EQ(alu.y(), 0b1001u);
+  alu.instr(AB, NOTRS, NOP, 1, 2, 0);  // ~R AND S
+  EXPECT_EQ(alu.y(), 0b0010u);
+}
+
+TEST(Am2901, Flags) {
+  Am2901Driver alu;
+  alu.loadReg(1, 8);
+  alu.instr(AB, ADD, NOP, 1, 1, 0);  // 8+8 = 16 -> F=0, carry, not F3
+  EXPECT_EQ(alu.fzero(), Logic::One);
+  EXPECT_EQ(alu.cout(), Logic::One);
+  EXPECT_EQ(alu.f3(), Logic::Zero);
+  alu.loadReg(2, 12);
+  alu.instr(AB, ADD, NOP, 2, 2, 0);  // 12+12 = 24 -> F=8, F3 set
+  EXPECT_EQ(alu.f3(), Logic::One);
+  EXPECT_EQ(alu.fzero(), Logic::Zero);
+}
+
+TEST(Am2901, QRegisterAndShifts) {
+  Am2901Driver alu;
+  // Load Q with 6 via D.
+  alu.instr(DZ, ADD, QREG, 0, 0, 6);
+  // Read Q: src ZQ gives R=0, S=Q.
+  alu.instr(ZQ, ADD, NOP, 0, 0, 0);
+  EXPECT_EQ(alu.y(), 6u);
+  // RAMQU: write 2F into B and 2Q into Q. F = Q = 6 -> reg5 = 12, Q = 12.
+  alu.instr(ZQ, ADD, RAMQU, 0, 5, 0);
+  alu.instr(ZQ, ADD, NOP, 0, 0, 0);
+  EXPECT_EQ(alu.y(), 12u);
+  alu.instr(AB, ADD, NOP, 5, 5, 0);  // hmm reads reg5 as both: 12+12=24%16=8
+  EXPECT_EQ(alu.y(), 8u);
+  // RAMQD: F/2 into B, Q/2 into Q. F = Q = 12 -> reg4 = 6, Q = 6.
+  alu.instr(ZQ, ADD, RAMQD, 0, 4, 0);
+  alu.instr(ZQ, ADD, NOP, 0, 0, 0);
+  EXPECT_EQ(alu.y(), 6u);
+}
+
+TEST(Am2901, SixteenBitCounterProgram) {
+  // A small "program": accumulate 1+2+...+10 in register 0.
+  Am2901Driver alu;
+  alu.loadReg(0, 0);
+  uint64_t expect = 0;
+  for (uint64_t k = 1; k <= 10; ++k) {
+    // F = D + A(reg0), write back to reg 0.
+    alu.instr(DA, ADD, RAMF, 0, 0, k);
+    expect = (expect + k) & 0xF;
+  }
+  alu.instr(AB, ADD, RAMA, 0, 0, 0);  // Y = A
+  EXPECT_EQ(alu.y(), expect);
+  EXPECT_TRUE(alu.sim().errors().empty());
+}
+
+}  // namespace
+}  // namespace zeus::test

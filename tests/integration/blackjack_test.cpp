@@ -1,0 +1,133 @@
+// E2: the blackjack finite-state machine (paper §10).
+//
+// A 6-state synchronous controller: start -> read -> sum -> firstace ->
+// test -> (read | end).  Cards are 5-bit values; an ace (1) counts 11 once
+// while the total stays under 22.  The machine asserts `hit` while reading,
+// and `stand`/`broke` in the end state.
+#include <gtest/gtest.h>
+
+#include "tests/support/paper_examples.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+class BlackjackDriver {
+ public:
+  explicit BlackjackDriver(EvaluatorKind kind = EvaluatorKind::Firing)
+      : built_(buildOk(kBlackjack, "bj")),
+        graph_(buildSimGraph(*built_.design, built_.comp->diags())),
+        sim_(graph_, kind) {
+    sim_.setInput("ycard", Logic::Zero);
+    sim_.setInputUint("value", 0);
+    sim_.setRset(true);
+    sim_.step();
+    sim_.setRset(false);
+    sim_.step();  // start -> read
+    sim_.step();  // outputs of the read state become visible
+  }
+
+  /// Feeds one card: waits for hit, presents the value for one cycle.
+  void playCard(uint64_t value) {
+    // The machine is in `read` (hit asserted); present the card.
+    EXPECT_EQ(sim_.output("hit"), Logic::One);
+    sim_.setInputUint("value", value);
+    sim_.setInput("ycard", Logic::One);
+    sim_.step();  // read -> sum
+    sim_.setInput("ycard", Logic::Zero);
+    sim_.step();  // sum -> firstace
+    sim_.step();  // firstace -> test
+    // test may loop (ace demotion); advance until the state leaves test.
+    for (int i = 0; i < 8; ++i) {
+      sim_.step();
+      if (sim_.output("hit") == Logic::One ||
+          sim_.output("stand") == Logic::One ||
+          sim_.output("broke") == Logic::One) {
+        return;
+      }
+    }
+  }
+
+  Simulation& sim() { return sim_; }
+
+ private:
+  Built built_;
+  SimGraph graph_;
+  Simulation sim_;
+};
+
+TEST(Blackjack, StandsOn19) {
+  BlackjackDriver bj;
+  bj.playCard(10);
+  bj.playCard(9);
+  EXPECT_EQ(bj.sim().output("stand"), Logic::One);
+  EXPECT_EQ(bj.sim().output("broke"), Logic::Undef);  // not driven
+  EXPECT_TRUE(bj.sim().errors().empty());
+}
+
+TEST(Blackjack, BreaksOn25) {
+  BlackjackDriver bj;
+  bj.playCard(10);
+  bj.playCard(5);
+  bj.playCard(10);
+  EXPECT_EQ(bj.sim().output("broke"), Logic::One);
+  EXPECT_TRUE(bj.sim().errors().empty());
+}
+
+TEST(Blackjack, AceCountsEleven) {
+  // ace (1) + 10 = 21 with the ace promoted to 11 -> stand.
+  BlackjackDriver bj;
+  bj.playCard(1);
+  bj.playCard(10);
+  EXPECT_EQ(bj.sim().output("stand"), Logic::One);
+}
+
+TEST(Blackjack, AceDemotesWhenBusting) {
+  // ace=11, then 6 (17), then 10 would make 27: the ace demotes to 1
+  // (score 17) and the machine stands.
+  BlackjackDriver bj;
+  bj.playCard(1);   // 11
+  bj.playCard(6);   // 17 -> stand? 17 >= 17 and < 22: machine ends here.
+  EXPECT_EQ(bj.sim().output("stand"), Logic::One);
+}
+
+TEST(Blackjack, AceDemotionPath) {
+  // 5 + 6 = 11, ace makes 22 (11 + 11)... play ace last: 5,6,ace ->
+  // 5+6=11, +ace(11)=22 -> demote to 12 -> hit again, then 10 -> 22 ->
+  // no ace left -> broke.
+  BlackjackDriver bj;
+  bj.playCard(5);
+  bj.playCard(6);
+  bj.playCard(1);   // 11+11=22 -> demote -> 12 -> read
+  EXPECT_EQ(bj.sim().output("hit"), Logic::One);
+  bj.playCard(10);  // 22, no ace -> broke
+  EXPECT_EQ(bj.sim().output("broke"), Logic::One);
+  EXPECT_TRUE(bj.sim().errors().empty());
+}
+
+TEST(Blackjack, NaiveEvaluatorAgrees) {
+  BlackjackDriver a(EvaluatorKind::Firing);
+  BlackjackDriver b(EvaluatorKind::Naive);
+  for (BlackjackDriver* d : {&a, &b}) {
+    d->playCard(10);
+    d->playCard(9);
+  }
+  EXPECT_EQ(a.sim().output("stand"), b.sim().output("stand"));
+  EXPECT_EQ(a.sim().output("broke"), b.sim().output("broke"));
+}
+
+TEST(Blackjack, ResetRestarts) {
+  BlackjackDriver bj;
+  bj.playCard(10);
+  bj.playCard(9);
+  EXPECT_EQ(bj.sim().output("stand"), Logic::One);
+  bj.sim().setRset(true);
+  bj.sim().step();
+  bj.sim().setRset(false);
+  bj.sim().step();  // start -> read
+  bj.sim().step();  // read outputs visible
+  EXPECT_EQ(bj.sim().output("hit"), Logic::One);  // reading again
+}
+
+}  // namespace
+}  // namespace zeus::test

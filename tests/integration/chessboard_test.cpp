@@ -1,0 +1,84 @@
+// §6.4: the chessboard — virtual signals replaced by black/white component
+// types through the layout language's replacement statement.
+#include <gtest/gtest.h>
+
+#include "tests/support/paper_examples.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+TEST(Chessboard, ElaboratesWithReplacements) {
+  Built b = buildOk(kChessboard, "board");
+  ASSERT_NE(b.design, nullptr) << b.comp->diagnosticsText();
+  // 16 cells, each either black or white.
+  size_t black = 0, white = 0;
+  std::function<void(const InstanceData&)> walk =
+      [&](const InstanceData& inst) {
+        for (const auto& [name, m] : inst.members) {
+          std::vector<const Obj*> stack{&m.obj};
+          while (!stack.empty()) {
+            const Obj* o = stack.back();
+            stack.pop_back();
+            if (o->kind == ObjKind::Array) {
+              for (const Obj& e : o->elems) stack.push_back(&e);
+            } else if (o->kind == ObjKind::Instance && o->inst) {
+              if (o->inst->type->name == "black") ++black;
+              if (o->inst->type->name == "white") ++white;
+              walk(*o->inst);
+            }
+          }
+        }
+      };
+  walk(*b.design->top);
+  EXPECT_EQ(black, 8u);
+  EXPECT_EQ(white, 8u);
+}
+
+TEST(Chessboard, DataFlowsThroughTheGrid) {
+  Built b = buildOk(kChessboard, "board");
+  ASSERT_NE(b.design, nullptr);
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  Simulation sim(g);
+  sim.setInputUint("tin", 0b1010);
+  sim.setInputUint("lin", 0b0110);
+  sim.step();
+  // All outputs are defined: every path through black (pass-through) and
+  // white (swap) cells terminates at the boundary.
+  EXPECT_TRUE(sim.outputUint("bout").has_value());
+  EXPECT_TRUE(sim.outputUint("rout").has_value());
+  EXPECT_TRUE(sim.errors().empty());
+}
+
+TEST(Chessboard, UsingVirtualWithoutReplacementFails) {
+  const char* src = R"(
+TYPE c = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL v: virtual;
+BEGIN
+  v(a, b)
+END;
+SIGNAL t: c;
+)";
+  expectElabError(src, "t", Diag::VirtualNotReplaced);
+}
+
+TEST(Chessboard, DoubleReplacementFails) {
+  const char* src = R"(
+TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN
+  b := a
+END;
+c = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL v: virtual;
+  { v = cell; v = cell }
+BEGIN
+  v(a, b)
+END;
+SIGNAL t: c;
+)";
+  expectElabError(src, "t", Diag::VirtualReplacedTwice);
+}
+
+}  // namespace
+}  // namespace zeus::test

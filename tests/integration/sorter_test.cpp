@@ -1,0 +1,113 @@
+// Odd-even transposition sorting networks (§9 invites describing the
+// cited [Thompson 1981] sorting circuits in Zeus): combinational and
+// systolic variants over 4-bit words.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/support/paper_examples.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+std::string sorterSource(const char* type, int n) {
+  return std::string(corpus::kSorter) + "SIGNAL s: " + type + "(" +
+         std::to_string(n) + ");\n";
+}
+
+std::vector<Logic> packWords(const std::vector<uint64_t>& words) {
+  std::vector<Logic> bits;
+  for (uint64_t w : words) {
+    for (int k = 0; k < 4; ++k) bits.push_back(logicFromBool((w >> k) & 1));
+  }
+  return bits;
+}
+
+std::vector<uint64_t> unpackWords(const std::vector<Logic>& bits) {
+  std::vector<uint64_t> words(bits.size() / 4, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_TRUE(isDefined(bits[i]));
+    if (bits[i] == Logic::One) words[i / 4] |= uint64_t{1} << (i % 4);
+  }
+  return words;
+}
+
+class SorterWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(SorterWidth, CombinationalSortsEverything) {
+  const int n = GetParam();
+  Built b = buildOk(sorterSource("sorter", n), "s");
+  ASSERT_NE(b.design, nullptr) << b.comp->diagnosticsText();
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  Simulation sim(g);
+  uint64_t rng = 0xC0FFEE;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<uint64_t> words(n);
+    for (uint64_t& w : words) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      w = rng & 15;
+    }
+    sim.setInput("din", packWords(words));
+    sim.step();
+    std::vector<uint64_t> got = unpackWords(sim.outputBits("dout"));
+    std::vector<uint64_t> expect = words;
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+  EXPECT_TRUE(sim.errors().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SorterWidth, ::testing::Values(2, 4, 6, 8));
+
+TEST(Sorter, SystolicPipelineSortsWithLatencyN) {
+  const int n = 4;
+  Built b = buildOk(sorterSource("systolicsorter", n), "s");
+  ASSERT_NE(b.design, nullptr) << b.comp->diagnosticsText();
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  // Stream several vectors back to back: results appear n cycles later,
+  // one per cycle (throughput 1 vector/cycle).
+  std::vector<std::vector<uint64_t>> inputs = {
+      {7, 3, 15, 1}, {4, 4, 2, 9}, {0, 13, 6, 5}, {8, 8, 8, 8},
+      {15, 14, 2, 0},
+  };
+  std::vector<std::vector<uint64_t>> got;
+  for (size_t t = 0; t < inputs.size() + n; ++t) {
+    const std::vector<uint64_t>& in =
+        t < inputs.size() ? inputs[t] : inputs.back();
+    sim.setInput("din", packWords(in));
+    sim.step();
+    if (t >= static_cast<size_t>(n)) {
+      got.push_back(unpackWords(sim.outputBits("dout")));
+    }
+  }
+  ASSERT_EQ(got.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    std::vector<uint64_t> expect = inputs[i];
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got[i], expect) << "vector " << i;
+  }
+  EXPECT_TRUE(sim.errors().empty());
+}
+
+TEST(Sorter, StableOnEqualKeysAndExtremes) {
+  Built b = buildOk(sorterSource("sorter", 4), "s");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  for (std::vector<uint64_t> words :
+       {std::vector<uint64_t>{5, 5, 5, 5}, {0, 0, 15, 15},
+        {15, 0, 15, 0}, {0, 1, 2, 3}, {3, 2, 1, 0}}) {
+    sim.setInput("din", packWords(words));
+    sim.step();
+    std::vector<uint64_t> expect = words;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(unpackWords(sim.outputBits("dout")), expect);
+  }
+}
+
+}  // namespace
+}  // namespace zeus::test

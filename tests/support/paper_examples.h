@@ -1,0 +1,9 @@
+// Thin forwarding header: the paper programs live in the library corpus
+// (src/corpus/corpus.h) so that examples, benches and the CLI share them.
+#pragma once
+
+#include "src/corpus/corpus.h"
+
+namespace zeus::test {
+using namespace zeus::corpus;  // kAdders, kBlackjack, ...
+}  // namespace zeus::test

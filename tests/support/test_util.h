@@ -1,0 +1,47 @@
+// Shared helpers for the Zeus test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/zeus.h"
+
+namespace zeus::test {
+
+/// Compiles a source string and asserts there were no errors.
+inline std::unique_ptr<Compilation> compileOk(const std::string& src) {
+  auto comp = Compilation::fromSource("test.zeus", src);
+  EXPECT_TRUE(comp->ok()) << comp->diagnosticsText();
+  return comp;
+}
+
+/// Compiles + elaborates, asserting success.
+struct Built {
+  std::unique_ptr<Compilation> comp;
+  std::unique_ptr<Design> design;
+};
+
+inline Built buildOk(const std::string& src, const std::string& top) {
+  Built b;
+  b.comp = Compilation::fromSource("test.zeus", src);
+  EXPECT_TRUE(b.comp->ok()) << b.comp->diagnosticsText();
+  if (!b.comp->ok()) return b;
+  b.design = b.comp->elaborate(top);
+  EXPECT_NE(b.design, nullptr) << b.comp->diagnosticsText();
+  return b;
+}
+
+/// Compiles + elaborates and expects the given diagnostic code.
+inline void expectElabError(const std::string& src, const std::string& top,
+                            Diag code) {
+  auto comp = Compilation::fromSource("test.zeus", src);
+  if (comp->ok()) {
+    auto design = comp->elaborate(top);
+    EXPECT_EQ(design, nullptr) << "elaboration unexpectedly succeeded";
+  }
+  EXPECT_TRUE(comp->diags().has(code)) << comp->diagnosticsText();
+}
+
+}  // namespace zeus::test

@@ -1,0 +1,127 @@
+// Unit tests for the pre-elaboration checker and the diagnostic engine.
+#include <gtest/gtest.h>
+
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+TEST(Checker, DuplicateTopLevelNames) {
+  auto comp = Compilation::fromSource("t.zeus", R"(
+CONST a = 1;
+CONST a = 2;
+)");
+  EXPECT_TRUE(comp->diags().has(Diag::DuplicateDeclaration));
+}
+
+TEST(Checker, DuplicateTypeAndConst) {
+  auto comp = Compilation::fromSource("t.zeus", R"(
+CONST a = 1;
+TYPE a = ARRAY[1..2] OF boolean;
+)");
+  EXPECT_TRUE(comp->diags().has(Diag::DuplicateDeclaration));
+}
+
+TEST(Checker, AliasInsideNestedIfCaught) {
+  auto comp = Compilation::fromSource("t.zeus", R"(
+TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+  SIGNAL m1, m2: multiplex;
+BEGIN
+  IF a THEN
+    FOR i := 1 TO 2 DO
+      m1 == m2
+    END
+  END;
+  o := a
+END;
+SIGNAL top: t;
+)");
+  EXPECT_TRUE(comp->diags().has(Diag::AliasInsideConditional));
+}
+
+TEST(Checker, AliasInWhenIsAllowed) {
+  // WHEN is compile-time generation, not a conditional statement.
+  auto comp = Compilation::fromSource("t.zeus", R"(
+TYPE t(n) = COMPONENT (IN a: boolean; OUT o: boolean) IS
+  SIGNAL m1, m2: multiplex;
+BEGIN
+  WHEN n > 1 THEN m1 == m2 END;
+  IF a THEN m1 := a END;
+  o := m2
+END;
+SIGNAL top: t(2);
+)");
+  EXPECT_FALSE(comp->diags().has(Diag::AliasInsideConditional))
+      << comp->diagnosticsText();
+}
+
+TEST(Checker, ResultInNestedIfOfFunctionOk) {
+  auto comp = Compilation::fromSource("t.zeus", R"(
+TYPE f = COMPONENT (IN a, b: boolean) : boolean IS
+BEGIN
+  IF a THEN RESULT b END;
+  IF NOT a THEN RESULT NOT b END
+END;
+t = COMPONENT (IN a, b: boolean; OUT o: boolean) IS
+BEGIN
+  o := f(a, b)
+END;
+SIGNAL top: t;
+)");
+  EXPECT_FALSE(comp->diags().has(Diag::ResultOutsideFunction))
+      << comp->diagnosticsText();
+  auto design = comp->elaborate("top");
+  EXPECT_NE(design, nullptr) << comp->diagnosticsText();
+}
+
+TEST(Checker, NestedComponentTypesChecked) {
+  // RESULT misuse inside a nested type declaration is caught statically.
+  auto comp = Compilation::fromSource("t.zeus", R"(
+TYPE outer = COMPONENT (IN a: boolean; OUT o: boolean) IS
+  TYPE inner = COMPONENT (IN x: boolean; OUT y: boolean) IS
+  BEGIN
+    RESULT x
+  END;
+  SIGNAL g: inner;
+BEGIN
+  g.x := a;
+  o := g.y
+END;
+SIGNAL top: outer;
+)");
+  EXPECT_TRUE(comp->diags().has(Diag::ResultOutsideFunction));
+}
+
+TEST(Diagnostics, RenderingIncludesPosition) {
+  auto comp = Compilation::fromSource("file.zeus", "CONST a = ;\n");
+  std::string text = comp->diagnosticsText();
+  EXPECT_NE(text.find("file.zeus:1:"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+}
+
+TEST(Diagnostics, CountsAndClear) {
+  SourceManager sm;
+  DiagnosticEngine diags(sm);
+  EXPECT_FALSE(diags.hasErrors());
+  diags.warning(Diag::UnusedPort, {}, "w");
+  EXPECT_FALSE(diags.hasErrors());
+  diags.error(Diag::Internal, {}, "e");
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.errorCount(), 1u);
+  EXPECT_EQ(diags.all().size(), 2u);
+  diags.clear();
+  EXPECT_FALSE(diags.hasErrors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(Diagnostics, SourceManagerDescribe) {
+  SourceManager sm;
+  BufferId buf = sm.addBuffer("x.zeus", "ab\ncd\nef");
+  EXPECT_EQ(sm.describe({buf, 0}), "x.zeus:1:1");
+  EXPECT_EQ(sm.describe({buf, 3}), "x.zeus:2:1");
+  EXPECT_EQ(sm.describe({buf, 7}), "x.zeus:3:2");
+  EXPECT_EQ(sm.describe({}), "<unknown>");
+}
+
+}  // namespace
+}  // namespace zeus::test

@@ -1,0 +1,193 @@
+// Unit tests for compile-time constant evaluation (paper §3.1).
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+#include "src/sema/const_eval.h"
+
+namespace zeus {
+namespace {
+
+struct Fixture {
+  SourceManager sm;
+  std::unique_ptr<DiagnosticEngine> diags;
+  Env env;
+
+  Fixture() {
+    sm.addBuffer("dummy", "");
+    diags = std::make_unique<DiagnosticEngine>(sm);
+  }
+
+  std::optional<ConstVal> eval(const std::string& text) {
+    BufferId buf = sm.addBuffer("e", text);
+    Parser parser(buf, *diags);
+    auto e = parser.parseExpression();
+    ConstEval ce(*diags);
+    return ce.eval(*e, env);
+  }
+
+  std::optional<int64_t> num(const std::string& text) {
+    auto v = eval(text);
+    if (!v || !v->isNumber) return std::nullopt;
+    return v->num;
+  }
+};
+
+TEST(ConstEval, Arithmetic) {
+  Fixture f;
+  EXPECT_EQ(f.num("1 + 2 * 3"), 7);
+  EXPECT_EQ(f.num("10 - 4"), 6);
+  EXPECT_EQ(f.num("-5"), -5);
+  EXPECT_EQ(f.num("2 * 2 * 2 * 2"), 16);
+}
+
+TEST(ConstEval, ModulaDivMod) {
+  Fixture f;
+  // Modula-2 DIV/MOD are floor division.
+  EXPECT_EQ(f.num("7 DIV 2"), 3);
+  EXPECT_EQ(f.num("7 MOD 2"), 1);
+  EXPECT_EQ(f.num("-7 DIV 2"), -4);
+  EXPECT_EQ(f.num("-7 MOD 2"), 1);
+  EXPECT_EQ(f.num("7 DIV -2"), -4);
+}
+
+TEST(ConstEval, DivisionByZeroDiagnosed) {
+  Fixture f;
+  EXPECT_EQ(f.num("1 DIV 0"), std::nullopt);
+  EXPECT_TRUE(f.diags->has(Diag::DivisionByZero));
+}
+
+TEST(ConstEval, Relations) {
+  Fixture f;
+  EXPECT_EQ(f.num("3 < 4"), 1);
+  EXPECT_EQ(f.num("3 > 4"), 0);
+  EXPECT_EQ(f.num("3 <= 3"), 1);
+  EXPECT_EQ(f.num("3 >= 4"), 0);
+  EXPECT_EQ(f.num("3 = 3"), 1);
+  EXPECT_EQ(f.num("3 <> 3"), 0);
+}
+
+TEST(ConstEval, BooleanOperators) {
+  Fixture f;
+  EXPECT_EQ(f.num("1 AND 0"), 0);
+  EXPECT_EQ(f.num("1 OR 0"), 1);
+  EXPECT_EQ(f.num("NOT 0"), 1);
+  EXPECT_EQ(f.num("NOT 7"), 0);
+}
+
+TEST(ConstEval, PredefinedFunctions) {
+  Fixture f;
+  EXPECT_EQ(f.num("odd(3)"), 1);
+  EXPECT_EQ(f.num("odd(4)"), 0);
+  EXPECT_EQ(f.num("odd(-3)"), 1);
+  EXPECT_EQ(f.num("min(3,1,2)"), 1);
+  EXPECT_EQ(f.num("max(3,1,2)"), 3);
+}
+
+TEST(ConstEval, NamedConstantsAndLoopVars) {
+  Fixture f;
+  f.env.defineConst("n", ConstVal::ofNumber(8));
+  f.env.defineLoopVar("i", 3);
+  EXPECT_EQ(f.num("n DIV 2"), 4);
+  EXPECT_EQ(f.num("2*i - 1"), 5);
+}
+
+TEST(ConstEval, SignalConstants) {
+  Fixture f;
+  auto v = f.eval("(0,1,0)");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_FALSE(v->isNumber);
+  std::vector<Logic> bits = v->sig.flatten();
+  std::vector<Logic> expect{Logic::Zero, Logic::One, Logic::Zero};
+  EXPECT_EQ(bits, expect);
+}
+
+TEST(ConstEval, NestedSignalConstants) {
+  Fixture f;
+  auto v = f.eval("((0,1),(1,0),(0,0))");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->sig.flatten().size(), 6u);
+  EXPECT_EQ(v->sig.elems.size(), 3u);
+}
+
+TEST(ConstEval, UndefAndNoinfl) {
+  Fixture f;
+  auto v = f.eval("(UNDEF,NOINFL)");
+  ASSERT_TRUE(v.has_value());
+  std::vector<Logic> expect{Logic::Undef, Logic::NoInfl};
+  EXPECT_EQ(v->sig.flatten(), expect);
+}
+
+TEST(ConstEval, BinLsbFirst) {
+  Fixture f;
+  auto v = f.eval("BIN(10,5)");
+  ASSERT_TRUE(v.has_value());
+  // 10 = 01010b, index 1 = LSB.
+  std::vector<Logic> expect{Logic::Zero, Logic::One, Logic::Zero,
+                            Logic::One, Logic::Zero};
+  EXPECT_EQ(v->sig.flatten(), expect);
+}
+
+TEST(ConstEval, BinNegativeWidthDiagnosed) {
+  Fixture f;
+  EXPECT_FALSE(f.eval("BIN(1, -1)").has_value());
+  EXPECT_TRUE(f.diags->has(Diag::BadArrayBounds));
+}
+
+TEST(ConstEval, IndexingSignalConstants) {
+  Fixture f;
+  f.env.defineLoopVar("i", 2);
+  auto v = f.eval("((0,0),(0,1),(1,0))[i]");
+  ASSERT_TRUE(v.has_value());
+  std::vector<Logic> expect{Logic::Zero, Logic::One};
+  EXPECT_EQ(v->sig.flatten(), expect);
+}
+
+TEST(ConstEval, IndexOutOfRangeDiagnosed) {
+  Fixture f;
+  EXPECT_FALSE(f.eval("((0,0),(0,1))[3]").has_value());
+  EXPECT_TRUE(f.diags->has(Diag::IndexOutOfRange));
+}
+
+TEST(ConstEval, SliceOfSignalConstant) {
+  Fixture f;
+  auto v = f.eval("(1,0,1,0)[2..3]");
+  ASSERT_TRUE(v.has_value());
+  std::vector<Logic> expect{Logic::Zero, Logic::One};
+  EXPECT_EQ(v->sig.flatten(), expect);
+}
+
+TEST(ConstEval, UnknownNameDiagnosed) {
+  Fixture f;
+  EXPECT_FALSE(f.eval("nosuch + 1").has_value());
+  EXPECT_TRUE(f.diags->has(Diag::NotAConstant));
+}
+
+TEST(ConstEval, SignalConstantWhereNumberExpected) {
+  Fixture f;
+  ConstEval ce(*f.diags);
+  BufferId buf = f.sm.addBuffer("e", "(0,1)");
+  Parser parser(buf, *f.diags);
+  auto e = parser.parseExpression();
+  EXPECT_EQ(ce.evalNumber(*e, f.env), std::nullopt);
+  EXPECT_TRUE(f.diags->has(Diag::NotAConstant));
+}
+
+TEST(ConstEval, UsesListRestrictsLookup) {
+  Fixture f;
+  f.env.defineConst("visible", ConstVal::ofNumber(1));
+  f.env.defineConst("hidden", ConstVal::ofNumber(2));
+  Env inner(&f.env);
+  inner.restrictUses({"visible"});
+  ConstEval ce(*f.diags);
+  BufferId buf = f.sm.addBuffer("e", "visible");
+  Parser p1(buf, *f.diags);
+  auto e1 = p1.parseExpression();
+  EXPECT_TRUE(ce.eval(*e1, inner).has_value());
+  BufferId buf2 = f.sm.addBuffer("e2", "hidden");
+  Parser p2(buf2, *f.diags);
+  auto e2 = p2.parseExpression();
+  EXPECT_FALSE(ce.eval(*e2, inner).has_value());
+}
+
+}  // namespace
+}  // namespace zeus

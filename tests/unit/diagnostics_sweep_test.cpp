@@ -1,0 +1,182 @@
+// Diagnostic coverage sweep: one minimal program per diagnostic code that
+// earlier suites do not already pin down, asserted by code rather than by
+// message text.
+#include <gtest/gtest.h>
+
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+struct Case {
+  const char* label;
+  const char* source;
+  const char* top;  ///< empty: frontend-only check
+  Diag expect;
+};
+
+const Case kCases[] = {
+    {"num_address_too_wide",
+     R"(TYPE t = COMPONENT (IN sel: ARRAY[1..31] OF boolean;
+                            IN v: ARRAY[0..3] OF boolean;
+                            OUT o: boolean) IS
+BEGIN o := v[NUM(sel)] END;
+SIGNAL top: t;)",
+     "top", Diag::NumIndexNotConstantWidth},
+
+    {"function_wrong_arity",
+     R"(TYPE f = COMPONENT (IN a: boolean) : boolean IS
+BEGIN RESULT a END;
+t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN o := f(a, a) END;
+SIGNAL top: t;)",
+     "top", Diag::WrongArgumentCount},
+
+    {"equal_needs_two",
+     R"(TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN o := EQUAL(a) END;
+SIGNAL top: t;)",
+     "top", Diag::WrongArgumentCount},
+
+    {"calling_non_function",
+     R"(TYPE c = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := a END;
+t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN o := c(a) END;
+SIGNAL top: t;)",
+     "top", Diag::NotAFunctionComponent},
+
+    {"unknown_function",
+     R"(TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN o := mystery(a) END;
+SIGNAL top: t;)",
+     "top", Diag::UnknownIdentifier},
+
+    {"unknown_signal",
+     R"(TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN o := nothere END;
+SIGNAL top: t;)",
+     "top", Diag::UnknownIdentifier},
+
+    {"unknown_field",
+     R"(TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+  SIGNAL r: REG;
+BEGIN r.in := a; o := r.bogus END;
+SIGNAL top: t;)",
+     "top", Diag::UnknownIdentifier},
+
+    {"index_out_of_range",
+     R"(TYPE t = COMPONENT (IN v: ARRAY[1..4] OF boolean; OUT o: boolean) IS
+BEGIN o := v[9] END;
+SIGNAL top: t;)",
+     "top", Diag::IndexOutOfRange},
+
+    {"record_with_result_type",
+     R"(TYPE r = COMPONENT (a: multiplex) : boolean;
+t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+  SIGNAL x: r;
+BEGIN o := a END;
+SIGNAL top: t;)",
+     "top", Diag::RecordTypeHasBody},
+
+    {"unknown_top",
+     R"(TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN o := a END;
+SIGNAL top: t;)",
+     "nosuch", Diag::UnknownIdentifier},
+
+    {"top_is_wire",
+     R"(SIGNAL top: boolean;)", "top", Diag::NotAComponentType},
+
+    {"top_is_record",
+     R"(TYPE r = COMPONENT (a: multiplex);
+SIGNAL top: r;)",
+     "top", Diag::NotAComponentType},
+
+    {"division_by_zero_in_type",
+     R"(TYPE t(n) = COMPONENT (IN a: ARRAY[1..8 DIV n] OF boolean;
+                              OUT o: boolean) IS
+BEGIN o := a[1] END;
+SIGNAL top: t(0);)",
+     "top", Diag::DivisionByZero},
+
+    {"number_as_wide_signal",
+     R"(TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN o := 5 END;
+SIGNAL top: t;)",
+     "top", Diag::WidthMismatch},
+
+    {"star_in_gate",
+     R"(TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN o := AND(a, *) END;
+SIGNAL top: t;)",
+     "top", Diag::ExpectedExpression},
+
+    {"two_flexible_stars",
+     R"(TYPE t = COMPONENT (IN a: boolean; OUT o: ARRAY[1..4] OF boolean) IS
+BEGIN o := (*, a, *) END;
+SIGNAL top: t;)",
+     "top", Diag::WidthMismatch},
+
+    {"with_on_num",
+     R"(TYPE inner = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := a END;
+t = COMPONENT (IN sel: ARRAY[1..2] OF boolean; IN a: boolean;
+               OUT o: boolean) IS
+  SIGNAL x: ARRAY[0..3] OF inner;
+BEGIN
+  FOR i := 0 TO 3 DO x[i](a, *) END;
+  WITH x[NUM(sel)] DO o := b END
+END;
+SIGNAL top: t;)",
+     "top", Diag::UnexpectedToken},
+
+    {"connection_via_num",
+     R"(TYPE inner = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := a END;
+t = COMPONENT (IN sel: ARRAY[1..2] OF boolean; IN a: boolean;
+               OUT o: boolean) IS
+  SIGNAL x: ARRAY[0..3] OF inner;
+BEGIN
+  x[NUM(sel)](a, o)
+END;
+SIGNAL top: t;)",
+     "top", Diag::ConnectionOnNonComponent},
+
+    {"in_and_out_substructure",
+     R"(TYPE inner = COMPONENT (OUT x: boolean);
+t = COMPONENT (IN p: inner; OUT o: boolean) IS
+BEGIN o := p.x END;
+SIGNAL top: t;)",
+     "top", Diag::SubstructureInAndOut},
+
+    {"operators_on_signals",
+     R"(TYPE t = COMPONENT (IN a, b: boolean; OUT o: boolean) IS
+BEGIN o := a + b END;
+SIGNAL top: t;)",
+     "top", Diag::NotAConstant},
+};
+
+class DiagSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DiagSweep, ProducesExpectedCode) {
+  const Case& c = GetParam();
+  auto comp = Compilation::fromSource(std::string(c.label) + ".zeus",
+                                      c.source);
+  if (comp->ok() && c.top[0] != '\0') {
+    auto design = comp->elaborate(c.top);
+    EXPECT_EQ(design, nullptr) << c.label << " unexpectedly elaborated";
+  }
+  EXPECT_TRUE(comp->diags().has(c.expect))
+      << c.label << "\n" << comp->diagnosticsText();
+}
+
+std::string nameOf(const ::testing::TestParamInfo<Case>& i) {
+  return i.param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, DiagSweep, ::testing::ValuesIn(kCases),
+                         nameOf);
+
+}  // namespace
+}  // namespace zeus::test

@@ -1,0 +1,395 @@
+// Feature edge cases: the language corners that the big examples do not
+// exercise directly — star widths, octal literals, WITH scoping, nested
+// function components, OUT parameters in calls, signal slices, n-ary
+// gates, records as parameters, PARALLEL, and NUM corner cases.
+#include <gtest/gtest.h>
+
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+Simulation makeSim(Built& b) {
+  static std::vector<std::unique_ptr<SimGraph>> keepAlive;
+  keepAlive.push_back(
+      std::make_unique<SimGraph>(buildSimGraph(*b.design, b.comp->diags())));
+  return Simulation(*keepAlive.back());
+}
+
+TEST(Features, OctalLiteralsInPrograms) {
+  const char* src = R"(
+CONST width = 10B;  <* octal 10 = 8 *>
+TYPE t = COMPONENT (IN a: ARRAY[1..width] OF boolean;
+                    OUT o: boolean) IS
+BEGIN
+  o := a[7B]  <* octal 7 *>
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  ASSERT_NE(b.design, nullptr);
+  ASSERT_EQ(b.design->findPort("a")->nets.size(), 8u);
+  auto sim = makeSim(b);
+  sim.setInputUint("a", 1u << 6);  // bit index 7 (1-based LSB-first)
+  sim.step();
+  EXPECT_EQ(sim.output("o"), Logic::One);
+}
+
+TEST(Features, StarWithExplicitWidth) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT o: ARRAY[1..4] OF boolean) IS
+BEGIN
+  o := (a, *:2, a)   <* middle two bits left unassigned *>
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInput("a", Logic::One);
+  sim.step();
+  std::vector<Logic> o = sim.outputBits("o");
+  EXPECT_EQ(o[0], Logic::One);
+  EXPECT_EQ(o[1], Logic::Undef);
+  EXPECT_EQ(o[2], Logic::Undef);
+  EXPECT_EQ(o[3], Logic::One);
+}
+
+TEST(Features, SignalSlices) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: ARRAY[1..8] OF boolean;
+                    OUT lo, hi: ARRAY[1..4] OF boolean) IS
+BEGIN
+  lo := a[1..4];
+  hi := a[5..8]
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("a", 0xA5);  // 1010 0101
+  sim.step();
+  EXPECT_EQ(sim.outputUint("lo"), 0x5u);
+  EXPECT_EQ(sim.outputUint("hi"), 0xAu);
+}
+
+TEST(Features, SliceAssignmentTarget) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: ARRAY[1..2] OF boolean;
+                    OUT o: ARRAY[1..4] OF boolean) IS
+BEGIN
+  o[1..2] := a;
+  o[3..4] := (1, 0)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("a", 0b10);
+  sim.step();
+  EXPECT_EQ(sim.outputUint("o"), 0b0110u);
+}
+
+TEST(Features, NaryGates) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a, b, c, d: boolean; OUT o1, o2: boolean) IS
+BEGIN
+  o1 := AND(a, b, c, d);
+  o2 := NOR(a, b, c, d)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  for (int v = 0; v < 16; ++v) {
+    sim.setInput("a", logicFromBool(v & 1));
+    sim.setInput("b", logicFromBool(v & 2));
+    sim.setInput("c", logicFromBool(v & 4));
+    sim.setInput("d", logicFromBool(v & 8));
+    sim.step();
+    EXPECT_EQ(sim.output("o1"), logicFromBool(v == 15));
+    EXPECT_EQ(sim.output("o2"), logicFromBool(v == 0));
+  }
+}
+
+TEST(Features, BitwiseGatesOverArrays) {
+  // "The operations are performed bit-wise" (§4.1).
+  const char* src = R"(
+TYPE nib = ARRAY[1..4] OF boolean;
+t = COMPONENT (IN a, b: nib; OUT o: nib) IS
+BEGIN
+  o := AND(a, NOT b)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("a", 0b1101);
+  sim.setInputUint("b", 0b1010);
+  sim.step();
+  EXPECT_EQ(sim.outputUint("o"), 0b0101u);
+}
+
+TEST(Features, NestedWithStatements) {
+  const char* src = R"(
+TYPE inner = COMPONENT (IN x: boolean; OUT y: boolean) IS
+BEGIN y := x END;
+pair = COMPONENT (p, q: inner) IS
+BEGIN
+END;
+t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+  SIGNAL g: pair;
+BEGIN
+  WITH g DO
+    WITH p DO x := a END;
+    WITH q DO x := p.y; o := y END;
+  END
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInput("a", Logic::One);
+  sim.step();
+  EXPECT_EQ(sim.output("o"), Logic::One);
+}
+
+TEST(Features, FunctionComponentWithOutParameter) {
+  // Table (3) covers OUT parameters in calls: the actual receives the
+  // formal's value as a side channel next to the RESULT.
+  const char* src = R"(
+TYPE addc = COMPONENT (IN a, b: boolean; OUT carry: boolean) : boolean IS
+BEGIN
+  carry := AND(a, b);
+  RESULT XOR(a, b)
+END;
+t = COMPONENT (IN a, b: boolean; OUT s, c: boolean) IS
+BEGIN
+  s := addc(a, b, c)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInput("a", Logic::One);
+  sim.setInput("b", Logic::One);
+  sim.step();
+  EXPECT_EQ(sim.output("s"), Logic::Zero);
+  EXPECT_EQ(sim.output("c"), Logic::One);
+}
+
+TEST(Features, FunctionCallInsideIfIsUnconditionalHardware) {
+  // §3.2: only the use of the result is guarded; the call hardware exists
+  // unconditionally.  The RESULT of f is unconditional, so h must be
+  // multiplex-assigned only under the IF.
+  const char* src = R"(
+TYPE f = COMPONENT (IN a: boolean) : boolean IS
+BEGIN
+  RESULT NOT a
+END;
+t = COMPONENT (IN a, sel: boolean; OUT o: boolean) IS
+  SIGNAL h: multiplex;
+BEGIN
+  IF sel THEN h := f(a) END;
+  IF NOT sel THEN h := a END;
+  o := h
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInput("a", Logic::One);
+  sim.setInput("sel", Logic::One);
+  sim.step();
+  EXPECT_EQ(sim.output("o"), Logic::Zero);
+  sim.setInput("sel", Logic::Zero);
+  sim.step();
+  EXPECT_EQ(sim.output("o"), Logic::One);
+  EXPECT_TRUE(sim.errors().empty());
+}
+
+TEST(Features, ParameterizedFunctionComponent) {
+  const char* src = R"(
+TYPE firstof(n) = COMPONENT (IN v: ARRAY[1..n] OF boolean) : boolean IS
+BEGIN
+  RESULT v[1]
+END;
+t = COMPONENT (IN a: ARRAY[1..3] OF boolean; OUT o: boolean) IS
+BEGIN
+  o := firstof[3](a)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("a", 0b001);
+  sim.step();
+  EXPECT_EQ(sim.output("o"), Logic::One);
+}
+
+TEST(Features, ParallelStatementIsTransparent) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a, b: boolean; OUT o1, o2: boolean) IS
+BEGIN
+  SEQUENTIAL
+    PARALLEL o1 := AND(a, b); o2 := OR(a, b) END;
+  END
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInput("a", Logic::One);
+  sim.setInput("b", Logic::Zero);
+  sim.step();
+  EXPECT_EQ(sim.output("o1"), Logic::Zero);
+  EXPECT_EQ(sim.output("o2"), Logic::One);
+}
+
+TEST(Features, ForDownto) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: ARRAY[1..4] OF boolean;
+                    OUT o: ARRAY[1..4] OF boolean) IS
+BEGIN
+  FOR i := 4 DOWNTO 1 DO
+    o[i] := a[5-i]
+  END
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("a", 0b0001);
+  sim.step();
+  EXPECT_EQ(sim.outputUint("o"), 0b1000u);  // reversed
+}
+
+TEST(Features, NumIndexOnNarrowAddress) {
+  // A 2-bit address over an 8-element array: only elements 0..3 are
+  // reachable; the rest must still elaborate without error.
+  const char* src = R"(
+TYPE t = COMPONENT (IN sel: ARRAY[1..2] OF boolean;
+                    IN v: ARRAY[0..7] OF boolean; OUT o: boolean) IS
+BEGIN
+  o := v[NUM(sel)]
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("v", 0b00001000);  // element 3 set
+  sim.setInputUint("sel", 3);
+  sim.step();
+  EXPECT_EQ(sim.output("o"), Logic::One);
+  sim.setInputUint("sel", 2);
+  sim.step();
+  EXPECT_EQ(sim.output("o"), Logic::Zero);
+}
+
+TEST(Features, NumIndexUndefinedAddressYieldsUndef) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN sel: ARRAY[1..2] OF boolean;
+                    IN v: ARRAY[0..3] OF boolean; OUT o: boolean) IS
+BEGIN
+  o := v[NUM(sel)]
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("v", 0b1111);
+  sim.clearInput("sel");
+  sim.step();
+  EXPECT_EQ(sim.output("o"), Logic::Undef);
+}
+
+TEST(Features, RecordParameterPassing) {
+  const char* src = R"(
+TYPE pair = COMPONENT (x: multiplex; y: multiplex);
+swap = COMPONENT (a: pair; b: pair) IS
+BEGIN
+  b.x == a.y;
+  b.y == a.x
+END;
+t = COMPONENT (IN i1, i2: boolean; OUT o1, o2: boolean) IS
+  SIGNAL s: swap;
+BEGIN
+  IF i1 THEN s.a.x := i2 END;
+  IF NOT i1 THEN s.a.y := i2 END;
+  o1 := s.b.x;
+  o2 := s.b.y
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInput("i1", Logic::One);
+  sim.setInput("i2", Logic::One);
+  sim.step();
+  EXPECT_EQ(sim.output("o2"), Logic::One);  // b.y == a.x
+  EXPECT_EQ(sim.output("o1"), Logic::Undef);  // a.y undriven (NOINFL->UNDEF)
+}
+
+TEST(Features, WholeArrayConnectionDistributes) {
+  // §4.3: x(s,t) over an array of components distributes bit groups.
+  const char* src = R"(
+TYPE inv = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := NOT a END;
+t = COMPONENT (IN s: ARRAY[1..6] OF boolean;
+               OUT r: ARRAY[1..6] OF boolean) IS
+  SIGNAL x: ARRAY[1..6] OF inv;
+BEGIN
+  x(s, r)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("s", 0b101010);
+  sim.step();
+  EXPECT_EQ(sim.outputUint("r"), 0b010101u);
+}
+
+TEST(Features, RangeConnectionTarget) {
+  const char* src = R"(
+TYPE inv = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := NOT a END;
+t = COMPONENT (IN s: ARRAY[1..4] OF boolean;
+               OUT r: ARRAY[1..4] OF boolean) IS
+  SIGNAL x: ARRAY[1..8] OF inv;
+BEGIN
+  x[1..4](s, r);
+  FOR i := 5 TO 8 DO
+    x[i](0, *)
+  END
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("s", 0b0011);
+  sim.step();
+  EXPECT_EQ(sim.outputUint("r"), 0b1100u);
+}
+
+TEST(Features, MixedStructureAssignmentByWidth) {
+  // §4.1: only the number of basic substructures must agree.
+  const char* src = R"(
+TYPE rec = COMPONENT (p: ARRAY[1..2] OF multiplex; q: multiplex);
+t = COMPONENT (IN a: ARRAY[1..3] OF boolean;
+               OUT o: ARRAY[1..3] OF boolean) IS
+  SIGNAL r: rec;
+BEGIN
+  r := a;
+  o := r
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  auto sim = makeSim(b);
+  sim.setInputUint("a", 0b110);
+  sim.step();
+  EXPECT_EQ(sim.outputUint("o"), 0b110u);
+}
+
+}  // namespace
+}  // namespace zeus::test

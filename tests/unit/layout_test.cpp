@@ -1,0 +1,207 @@
+// Unit tests for the layout language (§6): geometry transforms, directions
+// of separation, orientation changes, boundary pins and the solver.
+#include <gtest/gtest.h>
+
+#include "src/layout/geometry.h"
+#include "src/layout/render.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+TEST(Geometry, DirectionNames) {
+  EXPECT_EQ(directionFromName("lefttoright"), Direction::LeftToRight);
+  EXPECT_EQ(directionFromName("toptobottom"), Direction::TopToBottom);
+  EXPECT_EQ(directionFromName("bottomlefttotopright"),
+            Direction::BottomLeftToTopRight);
+  EXPECT_EQ(directionFromName("nope"), std::nullopt);
+  for (Direction d :
+       {Direction::TopToBottom, Direction::BottomToTop,
+        Direction::LeftToRight, Direction::RightToLeft,
+        Direction::TopLeftToBottomRight, Direction::BottomRightToTopLeft,
+        Direction::TopRightToBottomLeft, Direction::BottomLeftToTopRight}) {
+    EXPECT_EQ(directionFromName(directionName(d)), d);
+  }
+}
+
+TEST(Geometry, OrientationNames) {
+  EXPECT_EQ(orientationFromName(""), Orientation::Identity);
+  EXPECT_EQ(orientationFromName("rotate90"), Orientation::Rotate90);
+  EXPECT_EQ(orientationFromName("flip135"), Orientation::Flip135);
+  EXPECT_EQ(orientationFromName("spin"), std::nullopt);
+}
+
+TEST(Geometry, OrientedSize) {
+  int64_t w, h;
+  orientedSize(Orientation::Rotate90, 3, 5, w, h);
+  EXPECT_EQ(w, 5);
+  EXPECT_EQ(h, 3);
+  orientedSize(Orientation::Rotate180, 3, 5, w, h);
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 5);
+  orientedSize(Orientation::Flip45, 3, 5, w, h);
+  EXPECT_EQ(w, 5);
+  EXPECT_EQ(h, 3);
+}
+
+TEST(Geometry, OrientRectRoundTripRotate) {
+  // rotate90 four times is the identity.
+  Rect r{1, 0, 2, 1};
+  int64_t w = 4, h = 3;
+  Rect cur = r;
+  int64_t cw = w, ch = h;
+  for (int i = 0; i < 4; ++i) {
+    cur = orientRect(Orientation::Rotate90, cur, cw, ch);
+    std::swap(cw, ch);
+  }
+  EXPECT_EQ(cur, r);
+}
+
+TEST(Geometry, FlipsAreInvolutions) {
+  Rect r{1, 2, 2, 1};
+  for (Orientation o : {Orientation::Flip0, Orientation::Flip90,
+                        Orientation::Flip45, Orientation::Flip135,
+                        Orientation::Rotate180}) {
+    int64_t w = 5, h = 4;
+    int64_t ow, oh;
+    orientedSize(o, w, h, ow, oh);
+    Rect once = orientRect(o, r, w, h);
+    Rect twice = orientRect(o, once, ow, oh);
+    EXPECT_EQ(twice, r) << orientationName(o);
+  }
+}
+
+TEST(Geometry, RectOverlap) {
+  Rect a{0, 0, 2, 2};
+  Rect b{1, 1, 2, 2};
+  Rect c{2, 0, 1, 1};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));  // touching edges do not overlap
+}
+
+// ---- solver ----
+
+const char* kCellPair = R"(
+TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := a END;
+t = COMPONENT (IN a: boolean; OUT b: boolean)
+  { BOTTOM a; b } IS
+  SIGNAL x, y: cell;
+  { ORDER %DIR% x; y END }
+BEGIN
+  x(a, y.a);
+  y.b == *;
+  b := x.b
+END;
+SIGNAL top: t;
+)";
+
+std::string withDir(const std::string& dir) {
+  std::string s = kCellPair;
+  s.replace(s.find("%DIR%"), 5, dir);
+  return s;
+}
+
+TEST(LayoutSolver, LeftToRight) {
+  Built b = buildOk(withDir("lefttoright"), "top");
+  LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+  const PlacedInstance* x = lr.find("top.x");
+  const PlacedInstance* y = lr.find("top.y");
+  ASSERT_NE(x, nullptr);
+  ASSERT_NE(y, nullptr);
+  // "x1 is left of x2": the right edge of x is not right of y's left edge.
+  EXPECT_LE(x->rect.right(), y->rect.x);
+  EXPECT_EQ(lr.bounds.w, 2);
+  EXPECT_EQ(lr.bounds.h, 1);
+}
+
+TEST(LayoutSolver, RightToLeft) {
+  Built b = buildOk(withDir("righttoleft"), "top");
+  LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+  EXPECT_LE(lr.find("top.y")->rect.right(), lr.find("top.x")->rect.x);
+}
+
+TEST(LayoutSolver, TopToBottom) {
+  Built b = buildOk(withDir("toptobottom"), "top");
+  LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+  EXPECT_LE(lr.find("top.x")->rect.bottom(), lr.find("top.y")->rect.y);
+  EXPECT_EQ(lr.bounds.w, 1);
+  EXPECT_EQ(lr.bounds.h, 2);
+}
+
+TEST(LayoutSolver, Diagonal) {
+  Built b = buildOk(withDir("toplefttobottomright"), "top");
+  LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+  const Rect& x = lr.find("top.x")->rect;
+  const Rect& y = lr.find("top.y")->rect;
+  EXPECT_LE(x.right(), y.x);
+  EXPECT_LE(x.bottom(), y.y);
+  EXPECT_EQ(lr.bounds.w, 2);
+  EXPECT_EQ(lr.bounds.h, 2);
+}
+
+TEST(LayoutSolver, BoundaryPinsRecorded) {
+  Built b = buildOk(withDir("lefttoright"), "top");
+  LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+  auto it = lr.pinsByInstance.find("top");
+  ASSERT_NE(it, lr.pinsByInstance.end());
+  ASSERT_EQ(it->second.size(), 2u);
+  EXPECT_EQ(it->second[0].name, "a");
+  EXPECT_EQ(it->second[0].side, ast::BoundarySide::Bottom);
+  EXPECT_EQ(it->second[1].name, "b");
+}
+
+TEST(LayoutSolver, UnknownDirectionDiagnosed) {
+  Built b = buildOk(withDir("sideways"), "top");
+  (void)solveLayout(*b.design, b.comp->diags());
+  EXPECT_TRUE(b.comp->diags().has(Diag::LayoutUnknownDirection));
+}
+
+TEST(LayoutSolver, AsciiRendererDrawsCells) {
+  Built b = buildOk(withDir("lefttoright"), "top");
+  LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+  std::string art = renderAscii(lr);
+  EXPECT_NE(art.find("ll"), std::string::npos);  // two 'cell' cells
+}
+
+TEST(LayoutSolver, SvgRendererEmitsRects) {
+  Built b = buildOk(withDir("lefttoright"), "top");
+  LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+  std::string svg = renderSvg(lr);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("top.x"), std::string::npos);
+  EXPECT_NE(svg.find("top.y"), std::string::npos);
+}
+
+TEST(LayoutSolver, OrientationSwapsChildDims) {
+  const char* src = R"(
+TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := a END;
+wide = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL p, q: cell;
+  { ORDER lefttoright p; q END }
+BEGIN
+  p(a, q.a); b := q.b
+END;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL w: wide;
+  { ORDER lefttoright rotate90 w END }
+BEGIN
+  w(a, b)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+  // `wide` is 2x1; rotated it becomes 1x2.
+  EXPECT_EQ(lr.bounds.w, 1);
+  EXPECT_EQ(lr.bounds.h, 2);
+  // Its two cells must sit at distinct vertical positions.
+  const Rect& p = lr.find("top.w.p")->rect;
+  const Rect& q = lr.find("top.w.q")->rect;
+  EXPECT_NE(p.y, q.y);
+  EXPECT_EQ(p.x, q.x);
+}
+
+}  // namespace
+}  // namespace zeus::test

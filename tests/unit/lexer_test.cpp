@@ -1,0 +1,160 @@
+// Unit tests for the scanner (paper §2).
+#include <gtest/gtest.h>
+
+#include "src/lexer/lexer.h"
+
+namespace zeus {
+namespace {
+
+struct LexResult {
+  SourceManager sm;
+  std::unique_ptr<DiagnosticEngine> diags;
+  std::vector<Token> tokens;
+};
+
+LexResult lex(const std::string& text) {
+  LexResult r;
+  BufferId buf = r.sm.addBuffer("t", text);
+  r.diags = std::make_unique<DiagnosticEngine>(r.sm);
+  Lexer lexer(buf, *r.diags);
+  r.tokens = lexer.tokenize();
+  return r;
+}
+
+std::vector<Tok> kinds(const LexResult& r) {
+  std::vector<Tok> out;
+  for (const Token& t : r.tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  LexResult r = lex("");
+  EXPECT_EQ(kinds(r), std::vector<Tok>{Tok::Eof});
+}
+
+TEST(Lexer, Identifiers) {
+  LexResult r = lex("abc a1b2 Zeus");
+  ASSERT_EQ(r.tokens.size(), 4u);
+  EXPECT_EQ(r.tokens[0].kind, Tok::Ident);
+  EXPECT_EQ(r.tokens[0].text, "abc");
+  EXPECT_EQ(r.tokens[1].text, "a1b2");
+  EXPECT_EQ(r.tokens[2].text, "Zeus");
+}
+
+TEST(Lexer, KeywordsAreExactUppercase) {
+  LexResult r = lex("BEGIN begin Begin END");
+  EXPECT_EQ(r.tokens[0].kind, Tok::KwBEGIN);
+  EXPECT_EQ(r.tokens[1].kind, Tok::Ident);
+  EXPECT_EQ(r.tokens[2].kind, Tok::Ident);
+  EXPECT_EQ(r.tokens[3].kind, Tok::KwEND);
+}
+
+TEST(Lexer, AllKeywordsRecognised) {
+  const char* kws =
+      "AND ARRAY BEGIN BIN BOTTOM CLK COMPONENT CONST DIV DO DOWNTO ELSE "
+      "ELSIF END FOR IF IN IS LEFT MOD NOT NUM OF OR ORDER OTHERWISE "
+      "OTHERWISEWHEN OUT PARALLEL RSET RESULT RIGHT SEQUENTIAL SEQUENTIALLY "
+      "SIGNAL THEN TO TOP TYPE USES WHEN WITH";
+  LexResult r = lex(kws);
+  for (size_t i = 0; i + 1 < r.tokens.size(); ++i) {
+    EXPECT_NE(r.tokens[i].kind, Tok::Ident)
+        << "not a keyword: " << r.tokens[i].text;
+  }
+}
+
+TEST(Lexer, DecimalNumbers) {
+  LexResult r = lex("0 7 1023 9007");
+  EXPECT_EQ(r.tokens[0].number, 0);
+  EXPECT_EQ(r.tokens[1].number, 7);
+  EXPECT_EQ(r.tokens[2].number, 1023);
+  EXPECT_EQ(r.tokens[3].number, 9007);
+}
+
+TEST(Lexer, OctalNumbers) {
+  LexResult r = lex("7B 10b 777B");
+  EXPECT_EQ(r.tokens[0].number, 7);
+  EXPECT_EQ(r.tokens[1].number, 8);
+  EXPECT_EQ(r.tokens[2].number, 511);
+}
+
+TEST(Lexer, InvalidOctalDigitDiagnosed) {
+  LexResult r = lex("9B");
+  EXPECT_TRUE(r.diags->has(Diag::InvalidOctalDigit));
+}
+
+TEST(Lexer, HugeNumberDiagnosed) {
+  LexResult r = lex("99999999999999999999999999");
+  EXPECT_TRUE(r.diags->has(Diag::NumberTooLarge));
+}
+
+TEST(Lexer, TwoCharSymbols) {
+  LexResult r = lex(":= == <= >= <> ..");
+  std::vector<Tok> expect{Tok::Assign, Tok::Alias,   Tok::LessEq,
+                          Tok::GreaterEq, Tok::NotEqual, Tok::Range,
+                          Tok::Eof};
+  EXPECT_EQ(kinds(r), expect);
+}
+
+TEST(Lexer, SingleCharSymbols) {
+  LexResult r = lex("+ - ( ) [ ] { } . , ; : < > = *");
+  std::vector<Tok> expect{
+      Tok::Plus,  Tok::Minus,    Tok::LParen, Tok::RParen, Tok::LBracket,
+      Tok::RBracket, Tok::LBrace, Tok::RBrace, Tok::Dot,    Tok::Comma,
+      Tok::Semicolon, Tok::Colon, Tok::Less,   Tok::Greater, Tok::Equal,
+      Tok::Star,  Tok::Eof};
+  EXPECT_EQ(kinds(r), expect);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  LexResult r = lex("a <* comment *> b");
+  ASSERT_EQ(r.tokens.size(), 3u);
+  EXPECT_EQ(r.tokens[0].text, "a");
+  EXPECT_EQ(r.tokens[1].text, "b");
+}
+
+TEST(Lexer, NestedComments) {
+  LexResult r = lex("a <* outer <* inner *> still out *> b");
+  ASSERT_EQ(r.tokens.size(), 3u);
+  EXPECT_EQ(r.tokens[1].text, "b");
+  EXPECT_FALSE(r.diags->hasErrors());
+}
+
+TEST(Lexer, UnterminatedCommentDiagnosed) {
+  LexResult r = lex("a <* never closed");
+  EXPECT_TRUE(r.diags->has(Diag::UnterminatedComment));
+}
+
+TEST(Lexer, CommentDelimsVersusComparison) {
+  // "a < b" must not start a comment.
+  LexResult r = lex("a < b");
+  ASSERT_EQ(r.tokens.size(), 4u);
+  EXPECT_EQ(r.tokens[1].kind, Tok::Less);
+}
+
+TEST(Lexer, StarVsCommentClose) {
+  LexResult r = lex("a * b");
+  EXPECT_EQ(r.tokens[1].kind, Tok::Star);
+}
+
+TEST(Lexer, InvalidCharacterDiagnosed) {
+  LexResult r = lex("a @ b");
+  EXPECT_TRUE(r.diags->has(Diag::InvalidCharacter));
+}
+
+TEST(Lexer, LocationsAreAccurate) {
+  LexResult r = lex("a\n  bc");
+  LineCol lc = r.sm.expand(r.tokens[1].loc);
+  EXPECT_EQ(lc.line, 2u);
+  EXPECT_EQ(lc.col, 3u);
+}
+
+TEST(Lexer, DotDotVersusDotIdent) {
+  LexResult r = lex("x[1..4] y.f");
+  std::vector<Tok> expect{Tok::Ident, Tok::LBracket, Tok::Number, Tok::Range,
+                          Tok::Number, Tok::RBracket, Tok::Ident, Tok::Dot,
+                          Tok::Ident, Tok::Eof};
+  EXPECT_EQ(kinds(r), expect);
+}
+
+}  // namespace
+}  // namespace zeus

@@ -1,0 +1,100 @@
+// Unit tests for the netlist: alias union-find, driver accounting across
+// class merges, and canonicalisation.
+#include <gtest/gtest.h>
+
+#include "src/elab/netlist.h"
+
+namespace zeus {
+namespace {
+
+TEST(Netlist, AddAndLookup) {
+  Netlist nl;
+  NetId a = nl.addNet("a", BasicKind::Boolean, {});
+  NetId b = nl.addNet("b", BasicKind::Multiplex, {});
+  EXPECT_EQ(nl.netCount(), 2u);
+  EXPECT_EQ(nl.net(a).name, "a");
+  EXPECT_EQ(nl.net(b).kind, BasicKind::Multiplex);
+  EXPECT_EQ(nl.find(a), a);
+}
+
+TEST(Netlist, UniteMergesDriverCounts) {
+  Netlist nl;
+  NetId a = nl.addNet("a", BasicKind::Multiplex, {});
+  NetId b = nl.addNet("b", BasicKind::Multiplex, {});
+  nl.net(a).condDrivers = 2;
+  nl.net(b).condDrivers = 1;
+  nl.net(b).uncondDrivers = 1;
+  NetId root = nl.unite(a, b);
+  EXPECT_EQ(nl.find(a), nl.find(b));
+  EXPECT_EQ(nl.net(root).condDrivers, 3u);
+  EXPECT_EQ(nl.net(root).uncondDrivers, 1u);
+  EXPECT_TRUE(nl.net(root).aliasTarget);
+}
+
+TEST(Netlist, UniteIsIdempotent) {
+  Netlist nl;
+  NetId a = nl.addNet("a", BasicKind::Multiplex, {});
+  NetId b = nl.addNet("b", BasicKind::Multiplex, {});
+  nl.net(a).condDrivers = 1;
+  nl.unite(a, b);
+  NetId root = nl.unite(b, a);
+  EXPECT_EQ(nl.net(root).condDrivers, 1u);  // not double counted
+}
+
+TEST(Netlist, TransitiveClasses) {
+  Netlist nl;
+  std::vector<NetId> nets;
+  for (int i = 0; i < 5; ++i) {
+    nets.push_back(nl.addNet("n" + std::to_string(i), BasicKind::Multiplex,
+                             {}));
+  }
+  nl.unite(nets[0], nets[1]);
+  nl.unite(nets[2], nets[3]);
+  nl.unite(nets[1], nets[3]);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(nl.find(nets[i]), nl.find(nets[0]));
+  }
+  EXPECT_NE(nl.find(nets[4]), nl.find(nets[0]));
+}
+
+TEST(Netlist, DriversRegisterUnderRoot) {
+  Netlist nl;
+  NetId a = nl.addNet("a", BasicKind::Multiplex, {});
+  NetId b = nl.addNet("b", BasicKind::Multiplex, {});
+  NetId src = nl.addNet("s", BasicKind::Boolean, {});
+  Node n;
+  n.op = NodeOp::Switch;
+  n.inputs = {src, src};
+  n.output = a;
+  nl.addNode(n);
+  nl.unite(a, b);
+  Node m;
+  m.op = NodeOp::Switch;
+  m.inputs = {src, src};
+  m.output = b;
+  nl.addNode(m);
+  nl.canonicalise();
+  NetId root = nl.find(a);
+  EXPECT_EQ(nl.driversOf(root).size(), 2u);
+  // Node outputs are remapped to roots.
+  EXPECT_EQ(nl.node(0).output, root);
+  EXPECT_EQ(nl.node(1).output, root);
+}
+
+TEST(Netlist, CanonicaliseRemapsInputs) {
+  Netlist nl;
+  NetId a = nl.addNet("a", BasicKind::Multiplex, {});
+  NetId b = nl.addNet("b", BasicKind::Multiplex, {});
+  NetId out = nl.addNet("o", BasicKind::Boolean, {});
+  Node n;
+  n.op = NodeOp::Buf;
+  n.inputs = {b};
+  n.output = out;
+  nl.addNode(n);
+  nl.unite(a, b);
+  nl.canonicalise();
+  EXPECT_EQ(nl.node(0).inputs[0], nl.find(a));
+}
+
+}  // namespace
+}  // namespace zeus

@@ -1,0 +1,77 @@
+// Every orientation change of §6.3, applied through the solver to an
+// asymmetric sub-layout, with child positions verified geometrically.
+#include <gtest/gtest.h>
+
+#include "src/layout/geometry.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+// `wide` is a 3x1 row of three distinguishable cells p,q,r (p leftmost).
+// The test places `wide` under each orientation and checks where p lands.
+std::string sourceWith(const std::string& orientation) {
+  return R"(
+TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := a END;
+wide = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL p, q, r: cell;
+  { ORDER lefttoright p; q; r END }
+BEGIN
+  p(a, q.a); q(p.b, r.a); r(q.b, b)
+END;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL w: wide;
+  { )" + orientation +
+         R"( w }
+BEGIN
+  w(a, b)
+END;
+SIGNAL top: t;
+)";
+}
+
+struct OrientCase {
+  const char* name;
+  int64_t w, h;       // expected bounds
+  Rect p;             // expected rect of the first cell
+};
+
+class OrientationPlacement : public ::testing::TestWithParam<OrientCase> {};
+
+TEST_P(OrientationPlacement, PlacesChildrenCorrectly) {
+  const OrientCase& c = GetParam();
+  Built b = buildOk(sourceWith(c.name[0] ? c.name : ""), "top");
+  ASSERT_NE(b.design, nullptr);
+  LayoutResult lr = solveLayout(*b.design, b.comp->diags());
+  EXPECT_FALSE(b.comp->diags().has(Diag::LayoutUnknownOrientation));
+  EXPECT_EQ(lr.bounds.w, c.w) << c.name;
+  EXPECT_EQ(lr.bounds.h, c.h) << c.name;
+  const PlacedInstance* p = lr.find("top.w.p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->rect, c.p) << c.name;
+  std::string overlap;
+  EXPECT_FALSE(lr.hasOverlaps(&overlap)) << c.name << ": " << overlap;
+}
+
+// Original row: p at (0,0), q at (1,0), r at (2,0) in a 3x1 box.
+const OrientCase kCases[] = {
+    {"", 3, 1, {0, 0, 1, 1}},
+    {"rotate90", 1, 3, {0, 2, 1, 1}},   // ccw: left end moves to bottom
+    {"rotate180", 3, 1, {2, 0, 1, 1}},
+    {"rotate270", 1, 3, {0, 0, 1, 1}},  // left end at top
+    {"flip0", 3, 1, {0, 0, 1, 1}},      // horizontal-axis mirror: no-op in 1 row
+    {"flip90", 3, 1, {2, 0, 1, 1}},     // vertical-axis mirror
+    {"flip45", 1, 3, {0, 0, 1, 1}},     // transpose
+    {"flip135", 1, 3, {0, 2, 1, 1}},    // anti-transpose
+};
+
+std::string nameOf(const ::testing::TestParamInfo<OrientCase>& i) {
+  return i.param.name[0] ? i.param.name : "identity";
+}
+
+INSTANTIATE_TEST_SUITE_P(All, OrientationPlacement,
+                         ::testing::ValuesIn(kCases), nameOf);
+
+}  // namespace
+}  // namespace zeus::test

@@ -1,0 +1,238 @@
+// Unit tests for the parser (paper §7): tree shapes are asserted through
+// the s-expression dumper.
+#include <gtest/gtest.h>
+
+#include "src/ast/printer.h"
+#include "src/parser/parser.h"
+
+namespace zeus {
+namespace {
+
+struct P {
+  SourceManager sm;
+  std::unique_ptr<DiagnosticEngine> diags;
+  std::unique_ptr<Parser> parser;
+
+  explicit P(const std::string& text) {
+    BufferId buf = sm.addBuffer("t", text);
+    diags = std::make_unique<DiagnosticEngine>(sm);
+    parser = std::make_unique<Parser>(buf, *diags);
+  }
+};
+
+std::string expr(const std::string& text) {
+  P p(text);
+  auto e = p.parser->parseExpression();
+  EXPECT_FALSE(p.diags->hasErrors()) << p.diags->renderAll();
+  return ast::dump(*e);
+}
+
+std::string stmt(const std::string& text) {
+  P p(text);
+  auto s = p.parser->parseStatement();
+  EXPECT_FALSE(p.diags->hasErrors()) << p.diags->renderAll();
+  return ast::dump(*s);
+}
+
+std::string type(const std::string& text) {
+  P p(text);
+  auto t = p.parser->parseType();
+  EXPECT_FALSE(p.diags->hasErrors()) << p.diags->renderAll();
+  return ast::dump(*t);
+}
+
+// ---- expressions ----
+
+TEST(Parser, ConstPrecedence) {
+  EXPECT_EQ(expr("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(expr("2 * n - 1"), "((2 * n) - 1)");
+  EXPECT_EQ(expr("i MOD 2 <> 0"), "((i MOD 2) <> 0)");
+  EXPECT_EQ(expr("a OR b AND c"), "(a OR (b AND c))");
+  EXPECT_EQ(expr("i DIV 2"), "(i DIV 2)");
+}
+
+TEST(Parser, UnaryBindsFactor) {
+  EXPECT_EQ(expr("-1 + 2"), "((- 1) + 2)");
+  EXPECT_EQ(expr("NOT a"), "(NOT a)");
+}
+
+TEST(Parser, ParenthesesGroup) {
+  EXPECT_EQ(expr("(1 + 2) * 3"), "((1 + 2) * 3)");
+}
+
+TEST(Parser, SignalPaths) {
+  EXPECT_EQ(expr("h1.cout"), "h1.cout");
+  EXPECT_EQ(expr("se[i DIV 2].in.contents[1]"),
+            "se[(i DIV 2)].in.contents[1]");
+  EXPECT_EQ(expr("x[2..7]"), "x[2..7]");
+  EXPECT_EQ(expr("m[i,j]"), "m[i][j]");
+  EXPECT_EQ(expr("ram[NUM(a)].out"), "ram[NUM(a)].out");
+}
+
+TEST(Parser, Tuples) {
+  EXPECT_EQ(expr("(0,1,0)"), "(0,1,0)");
+  EXPECT_EQ(expr("((0,0),(0,1))"), "((0,0),(0,1))");
+  // One-element parentheses are grouping, not tuples.
+  EXPECT_EQ(expr("(a)"), "a");
+}
+
+TEST(Parser, Calls) {
+  EXPECT_EQ(expr("XOR(a,b)"), "XOR(a,b)");
+  EXPECT_EQ(expr("AND(NOT g,h)"), "AND((NOT g),h)");
+  EXPECT_EQ(expr("plus[n](a,b)"), "plus[n](a,b)");
+  EXPECT_EQ(expr("BIN(10,5)"), "BIN(10,5)");
+  EXPECT_EQ(expr("EQUAL(a,bit2[i])"), "EQUAL(a,bit2[i])");
+}
+
+TEST(Parser, StarForms) {
+  EXPECT_EQ(expr("*"), "*");
+  EXPECT_EQ(expr("( *, a)"), "(*,a)");
+}
+
+TEST(Parser, PredefinedSignals) {
+  EXPECT_EQ(expr("CLK"), "CLK");
+  EXPECT_EQ(expr("RSET"), "RSET");
+}
+
+// ---- statements ----
+
+TEST(Parser, Assignment) {
+  EXPECT_EQ(stmt("s := XOR(a,b)"), "s := XOR(a,b)");
+  EXPECT_EQ(stmt("out == leaf.out"), "out == leaf.out");
+  EXPECT_EQ(stmt("x.b := *"), "x.b := *");
+}
+
+TEST(Parser, Connection) {
+  EXPECT_EQ(stmt("h1(a,b,*,h2.a)"), "h1(a,b,*,h2.a)");
+  EXPECT_EQ(stmt("x[1..10](s,t)"), "x[1..10](s,t)");
+}
+
+TEST(Parser, IfElsifElse) {
+  EXPECT_EQ(stmt("IF a THEN x := b ELSIF c THEN x := d ELSE x := e END"),
+            "IF a THEN x := b ELSIF c THEN x := d ELSE x := e END");
+}
+
+TEST(Parser, Replication) {
+  EXPECT_EQ(stmt("FOR i := 1 TO 4 DO a.in[i] := b[i] END"),
+            "FOR i := 1 TO 4 DO a.in[i] := b[i] END");
+  EXPECT_EQ(stmt("FOR i := 4 DOWNTO 1 DO x[i] := y END"),
+            "FOR i := 4 DOWNTO 1 DO x[i] := y END");
+}
+
+TEST(Parser, CondGeneration) {
+  EXPECT_EQ(stmt("WHEN n = 2 THEN a := b OTHERWISE c := d END"),
+            "WHEN (n = 2) THEN a := b OTHERWISE c := d END");
+  EXPECT_EQ(
+      stmt("WHEN n = 1 THEN a := b OTHERWISEWHEN n = 2 THEN c := d END"),
+      "WHEN (n = 1) THEN a := b OTHERWISEWHEN (n = 2) THEN c := d END");
+}
+
+TEST(Parser, SequentialParallelWith) {
+  EXPECT_EQ(stmt("SEQUENTIAL a := b; c := d END"),
+            "SEQUENTIAL a := b; c := d END");
+  EXPECT_EQ(stmt("PARALLEL a := b END"), "PARALLEL a := b END");
+  EXPECT_EQ(stmt("WITH g[1] DO x := x1 END"), "WITH g[1] DO x := x1 END");
+}
+
+TEST(Parser, Result) {
+  EXPECT_EQ(stmt("RESULT AND(NOT g,h)"), "RESULT AND((NOT g),h)");
+}
+
+// ---- types ----
+
+TEST(Parser, ArrayTypes) {
+  EXPECT_EQ(type("ARRAY[1..4] OF boolean"), "ARRAY[1..4] OF boolean");
+  EXPECT_EQ(type("ARRAY[1..n,1..n] OF virtual"),
+            "ARRAY[1..n] OF ARRAY[1..n] OF virtual");
+}
+
+TEST(Parser, NamedTypesWithArgs) {
+  EXPECT_EQ(type("bo(4)"), "bo(4)");
+  EXPECT_EQ(type("tree(n DIV 2)"), "tree((n DIV 2))");
+}
+
+TEST(Parser, RecordComponentType) {
+  EXPECT_EQ(type("COMPONENT (r,s,t:bo(3); u:boolean)"),
+            "COMPONENT(r,s,t:bo(3); u:boolean)");
+}
+
+TEST(Parser, ComponentWithBody) {
+  std::string out = type(
+      "COMPONENT (IN a,b: boolean; OUT s: boolean) IS BEGIN s := "
+      "XOR(a,b) END");
+  EXPECT_EQ(out,
+            "COMPONENT(IN a,b:boolean; OUT s:boolean) IS BEGIN s := "
+            "XOR(a,b) END");
+}
+
+TEST(Parser, FunctionComponent) {
+  std::string out =
+      type("COMPONENT (IN a: boolean) : boolean IS BEGIN RESULT a END");
+  EXPECT_EQ(out, "COMPONENT(IN a:boolean):boolean IS BEGIN RESULT a END");
+}
+
+TEST(Parser, UsesList) {
+  std::string out =
+      type("COMPONENT () IS USES k, bo; BEGIN END");
+  EXPECT_EQ(out, "COMPONENT() IS USES k,bo; BEGIN  END");
+}
+
+TEST(Parser, LayoutBlocks) {
+  std::string out = type(
+      "COMPONENT (IN a: boolean) { BOTTOM a } IS "
+      "{ ORDER lefttoright x; flip90 y END } BEGIN END");
+  EXPECT_NE(out.find("{BOTTOM a}"), std::string::npos);
+  EXPECT_NE(out.find("ORDER lefttoright x; flip90 y END"),
+            std::string::npos);
+}
+
+// ---- whole programs and errors ----
+
+TEST(Parser, ProgramDeclarations) {
+  P p("CONST n = 4; TYPE bo = ARRAY[1..n] OF boolean; SIGNAL x: bo;");
+  ast::Program prog = p.parser->parseProgram();
+  EXPECT_FALSE(p.diags->hasErrors());
+  ASSERT_EQ(prog.decls.size(), 3u);
+  EXPECT_EQ(prog.decls[0]->kind, ast::DeclKind::Const);
+  EXPECT_EQ(prog.decls[1]->kind, ast::DeclKind::Type);
+  EXPECT_EQ(prog.decls[2]->kind, ast::DeclKind::Signal);
+}
+
+TEST(Parser, MultipleDeclsPerKeyword) {
+  P p("CONST a = 1; b = 2; c = a + b;");
+  ast::Program prog = p.parser->parseProgram();
+  EXPECT_EQ(prog.decls.size(), 3u);
+}
+
+TEST(Parser, ErrorRecovery) {
+  P p("CONST a = ; TYPE t = boolean; SIGNAL s: t;");
+  ast::Program prog = p.parser->parseProgram();
+  EXPECT_TRUE(p.diags->hasErrors());
+  // The parser must still deliver the later declarations.
+  EXPECT_GE(prog.decls.size(), 2u);
+}
+
+TEST(Parser, MissingEndDiagnosed) {
+  P p("TYPE t = COMPONENT (IN a: boolean) IS BEGIN a := b ;");
+  (void)p.parser->parseProgram();
+  EXPECT_TRUE(p.diags->has(Diag::ExpectedToken));
+}
+
+TEST(Parser, ReplacementInLayout) {
+  std::string out = type(
+      "COMPONENT () IS SIGNAL v: virtual; { v = black } BEGIN END");
+  EXPECT_NE(out.find("v = black"), std::string::npos);
+}
+
+TEST(Parser, LayoutWhenAndFor) {
+  std::string out = type(
+      "COMPONENT () IS SIGNAL m: ARRAY[1..2] OF virtual; "
+      "{ FOR i := 1 TO 2 DO WHEN odd(i) THEN m[i] = black "
+      "OTHERWISE m[i] = white END; END } BEGIN END");
+  EXPECT_NE(out.find("FOR i := 1 TO 2 DO"), std::string::npos);
+  EXPECT_NE(out.find("WHEN odd(i) THEN m[i] = black OTHERWISE m[i] = white"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace zeus

@@ -1,0 +1,79 @@
+// Unit tests for the design-report utilities.
+#include <gtest/gtest.h>
+
+#include "src/core/report.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+const char* kCounter = R"(
+TYPE counter = COMPONENT (IN en: boolean; OUT q: ARRAY[1..2] OF boolean) IS
+  SIGNAL r: ARRAY[1..2] OF REG;
+BEGIN
+  IF en THEN
+    r[1].in := NOT r[1].out;
+    r[2].in := XOR(r[2].out, r[1].out)
+  END;
+  q[1] := r[1].out;
+  q[2] := r[2].out
+END;
+SIGNAL top: counter;
+)";
+
+TEST(Report, StatsCountNodeKinds) {
+  Built b = buildOk(kCounter, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  DesignStats s = computeStats(*b.design, g);
+  EXPECT_EQ(s.registers, 2u);
+  EXPECT_EQ(s.switches, 2u);  // two guarded assignments
+  EXPECT_GE(s.gates, 2u);     // NOT + XOR
+  EXPECT_GE(s.buffers, 2u);   // q wiring
+  EXPECT_EQ(s.instances, 3u);  // top + two REGs
+  EXPECT_GT(s.depth, 0u);
+  std::string text = renderStats(s);
+  EXPECT_NE(text.find("registers: 2"), std::string::npos);
+  EXPECT_NE(text.find("REG: 2"), std::string::npos);
+}
+
+TEST(Report, DotExportShape) {
+  Built b = buildOk(kCounter, "top");
+  std::string dot = exportDot(*b.design);
+  EXPECT_NE(dot.find("digraph zeus"), std::string::npos);
+  EXPECT_NE(dot.find("REG"), std::string::npos);
+  EXPECT_NE(dot.find("SWITCH"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.find("trunc"), std::string::npos);
+}
+
+TEST(Report, DotExportTruncates) {
+  Built b = buildOk(kCounter, "top");
+  std::string dot = exportDot(*b.design, /*maxNodes=*/2);
+  EXPECT_NE(dot.find("more nodes"), std::string::npos);
+}
+
+TEST(Report, InstanceTree) {
+  Built b = buildOk(kCounter, "top");
+  std::string tree = renderInstanceTree(*b.design);
+  EXPECT_NE(tree.find("top: counter"), std::string::npos);
+  EXPECT_NE(tree.find("  top.r[1]: REG"), std::string::npos);
+  EXPECT_NE(tree.find("  top.r[2]: REG"), std::string::npos);
+}
+
+TEST(Report, InstanceTreeMarksFunctionCalls) {
+  const char* src = R"(
+TYPE f = COMPONENT (IN a: boolean) : boolean IS
+BEGIN RESULT NOT a END;
+t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN
+  o := f(a)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  std::string tree = renderInstanceTree(*b.design);
+  EXPECT_NE(tree.find("(function call)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zeus::test

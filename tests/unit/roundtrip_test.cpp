@@ -1,0 +1,49 @@
+// Round-trip property: the AST dumper emits valid Zeus source — parsing
+// its output yields an identical tree (dump∘parse is idempotent) for
+// every program in the corpus.  This pins down both the printer and the
+// parser against each other.
+#include <gtest/gtest.h>
+
+#include "src/ast/printer.h"
+#include "src/corpus/corpus.h"
+#include "src/parser/parser.h"
+
+namespace zeus {
+namespace {
+
+class Roundtrip : public ::testing::TestWithParam<corpus::CorpusEntry> {};
+
+TEST_P(Roundtrip, DumpParseDump) {
+  const corpus::CorpusEntry& entry = GetParam();
+
+  SourceManager sm;
+  BufferId buf1 = sm.addBuffer("orig", entry.source);
+  DiagnosticEngine diags(sm);
+  Parser p1(buf1, diags);
+  ast::Program prog1 = p1.parseProgram();
+  ASSERT_FALSE(diags.hasErrors()) << entry.name << "\n" << diags.renderAll();
+
+  std::string printed = ast::dump(prog1);
+  BufferId buf2 = sm.addBuffer("printed", printed);
+  Parser p2(buf2, diags);
+  ast::Program prog2 = p2.parseProgram();
+  ASSERT_FALSE(diags.hasErrors())
+      << entry.name << ": printed form failed to parse\n"
+      << diags.renderAll() << "\n--- printed ---\n" << printed;
+
+  EXPECT_EQ(printed, ast::dump(prog2)) << entry.name;
+}
+
+std::string nameOf(const ::testing::TestParamInfo<corpus::CorpusEntry>& i) {
+  std::string n = i.param.name;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, Roundtrip,
+                         ::testing::ValuesIn(corpus::all()), nameOf);
+
+}  // namespace
+}  // namespace zeus

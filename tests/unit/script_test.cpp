@@ -1,0 +1,119 @@
+// Unit tests for the testbench script runner (zeusc --script).
+#include <gtest/gtest.h>
+
+#include "src/core/script.h"
+#include "tests/support/paper_examples.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+struct Rig {
+  Built built;
+  SimGraph graph;
+  Simulation sim;
+
+  explicit Rig(const std::string& src, const std::string& top)
+      : built(buildOk(src, top)),
+        graph(buildSimGraph(*built.design, built.comp->diags())),
+        sim(graph) {}
+};
+
+std::string adder4() {
+  return std::string(corpus::kAdders) + "SIGNAL adder: rippleCarry(4);\n";
+}
+
+TEST(Script, DrivesAndChecksAnAdder) {
+  Rig rig(adder4(), "adder");
+  ScriptResult r = runScript(rig.sim, R"(
+# add two numbers
+set a 9
+set b 5
+set cin 0
+step
+expect s 14
+expect cout 0
+set cin 1
+step
+expect s 15
+set a 15
+set b 1
+set cin 0
+step
+expect s 0
+expect cout 1
+)");
+  EXPECT_TRUE(r.ok) << r.log;
+  EXPECT_EQ(r.expectationsChecked, 5);
+}
+
+TEST(Script, FailedExpectationStops) {
+  Rig rig(adder4(), "adder");
+  ScriptResult r = runScript(rig.sim, R"(
+set a 1
+set b 1
+set cin 0
+step
+expect s 3
+expect cout 1
+)");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failedLine, 6);
+  EXPECT_EQ(r.expectationsChecked, 1);  // stopped at the first failure
+  EXPECT_NE(r.log.find("expected s = 3, got 2"), std::string::npos);
+}
+
+TEST(Script, UndefinedHandling) {
+  Rig rig(adder4(), "adder");
+  ScriptResult r = runScript(rig.sim, R"(
+setx a
+set b 0b0000
+set cin 0
+step
+expectx s
+clear b
+step
+expectx s
+)");
+  EXPECT_TRUE(r.ok) << r.log;
+}
+
+TEST(Script, ResetAndPrint) {
+  Rig rig(std::string(corpus::kBlackjack), "bj");
+  ScriptResult r = runScript(rig.sim, R"(
+set ycard 0
+set value 0
+reset 1
+step 2
+expect hit 1
+print hit
+)");
+  EXPECT_TRUE(r.ok) << r.log;
+  EXPECT_NE(r.log.find("hit = 1"), std::string::npos);
+}
+
+TEST(Script, ErrorsAreDiagnosed) {
+  Rig rig(adder4(), "adder");
+  EXPECT_FALSE(runScript(rig.sim, "set a\n").ok);
+  EXPECT_FALSE(runScript(rig.sim, "set a notanumber\n").ok);
+  EXPECT_FALSE(runScript(rig.sim, "set nosuch 1\n").ok);
+  EXPECT_FALSE(runScript(rig.sim, "frobnicate\n").ok);
+  ScriptResult r = runScript(rig.sim, "expect nosuch 0\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failedLine, 1);
+}
+
+TEST(Script, BinaryLiteralsAndComments) {
+  Rig rig(adder4(), "adder");
+  ScriptResult r = runScript(rig.sim, R"(
+set a 0b1010   # ten
+set b 0b0101   # five
+set cin 0
+step
+expect s 0b1111
+)");
+  EXPECT_TRUE(r.ok) << r.log;
+}
+
+}  // namespace
+}  // namespace zeus::test

@@ -1,0 +1,131 @@
+// The literal examples of §4.7: "Assume we have a component with n formal
+// parameters.  Then in a connection statement or function call we need n
+// signal expressions ... However the parenthesis structure within the n
+// signal expressions is unimportant."
+#include <gtest/gtest.h>
+
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+// The paper's h: IN a of 5 booleans, OUT b a record of 5 booleans.
+const char* kSection47 = R"(
+TYPE h = COMPONENT (IN a: ARRAY[1..5] OF boolean;
+                    OUT b: COMPONENT (bl,cl,dl,el,fl: boolean)) IS
+BEGIN
+  b.bl := a[1]; b.cl := a[2]; b.dl := a[3]; b.el := a[4]; b.fl := a[5]
+END;
+
+t = COMPONENT (IN p: ARRAY[1..2] OF boolean;
+               IN q: ARRAY[1..3] OF boolean;
+               OUT r: ARRAY[1..5] OF boolean) IS
+  SIGNAL s: h;
+BEGIN
+  <* first actual (p,q) flattens to 5 bits; second regroups r's bits *>
+  s((p,q), (r[1], r[2], r[3], r[4], r[5]))
+END;
+SIGNAL top: t;
+)";
+
+TEST(Section47Examples, ParenthesisStructureIsUnimportant) {
+  Built b = buildOk(kSection47, "top");
+  ASSERT_NE(b.design, nullptr) << b.comp->diagnosticsText();
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInputUint("p", 0b01);
+  sim.setInputUint("q", 0b110);
+  sim.step();
+  // r = p ++ q = 1,0 ++ 0,1,1
+  EXPECT_EQ(sim.outputUint("r"), 0b11001u);
+  EXPECT_TRUE(sim.errors().empty());
+}
+
+TEST(Section47Examples, SecondConnectionFormWithConstants) {
+  // The paper's second correct statement: s((p,(1,1,1)),(...)) — a
+  // constant tuple completes the IN actual.
+  const char* src = R"(
+TYPE h = COMPONENT (IN a: ARRAY[1..5] OF boolean;
+                    OUT b: ARRAY[1..5] OF boolean) IS
+BEGIN
+  b := a
+END;
+t = COMPONENT (IN p: ARRAY[1..2] OF boolean;
+               OUT r: ARRAY[1..5] OF boolean) IS
+  SIGNAL s: h;
+BEGIN
+  s((p, (1,1,1)), r)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  ASSERT_NE(b.design, nullptr) << b.comp->diagnosticsText();
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInputUint("p", 0b10);
+  sim.step();
+  EXPECT_EQ(sim.outputUint("r"), 0b11110u);
+}
+
+TEST(Section47Examples, WrongTotalWidthRejected) {
+  const char* src = R"(
+TYPE h = COMPONENT (IN a: ARRAY[1..5] OF boolean;
+                    OUT b: ARRAY[1..5] OF boolean) IS
+BEGIN
+  b := a
+END;
+t = COMPONENT (IN p: ARRAY[1..2] OF boolean;
+               OUT r: ARRAY[1..5] OF boolean) IS
+  SIGNAL s: h;
+BEGIN
+  s((p, (1,1)), r)
+END;
+SIGNAL top: t;
+)";
+  expectElabError(src, "top", Diag::WidthMismatch);
+}
+
+TEST(Section47Examples, ScoreDenotesAllSubsignals) {
+  // §4.1: "In the statement part score denotes the five signals
+  // score[1] ... score[5]."
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: ARRAY[1..5] OF boolean;
+                    OUT o: ARRAY[1..5] OF boolean) IS
+  SIGNAL score: ARRAY[1..5] OF boolean;
+BEGIN
+  score := a;
+  o := NOT score
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInputUint("a", 0b10110);
+  sim.step();
+  EXPECT_EQ(sim.outputUint("o"), 0b01001u);
+}
+
+TEST(Section47Examples, MatrixDefaultSelectors) {
+  // §4.1: matrix[2] is equivalent to matrix[2][1..n].
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: ARRAY[1..3] OF boolean;
+                    OUT o: ARRAY[1..3] OF boolean) IS
+  SIGNAL matrix: ARRAY[1..2, 1..3] OF boolean;
+BEGIN
+  matrix[1] := a;
+  matrix[2] := NOT matrix[1];
+  o := matrix[2]
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInputUint("a", 0b101);
+  sim.step();
+  EXPECT_EQ(sim.outputUint("o"), 0b010u);
+}
+
+}  // namespace
+}  // namespace zeus::test

@@ -1,0 +1,242 @@
+// Unit tests for the simulation layer: register semantics (§5), runtime
+// checks, RANDOM, the wave recorder, and evaluator statistics.
+#include <gtest/gtest.h>
+
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+const char* kRegPipe = R"(
+TYPE t = COMPONENT (IN a: boolean; IN load: boolean; OUT b: boolean) IS
+  SIGNAL r: REG;
+BEGIN
+  IF load THEN r.in := a END;
+  b := r.out
+END;
+SIGNAL top: t;
+)";
+
+TEST(Registers, InitiallyUndef) {
+  Built b = buildOk(kRegPipe, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInput("a", Logic::One);
+  sim.setInput("load", Logic::Zero);
+  sim.step();
+  EXPECT_EQ(sim.output("b"), Logic::Undef);
+}
+
+TEST(Registers, LoadAndHold) {
+  Built b = buildOk(kRegPipe, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInput("a", Logic::One);
+  sim.setInput("load", Logic::One);
+  sim.step();
+  sim.setInput("load", Logic::Zero);
+  sim.setInput("a", Logic::Zero);
+  sim.step();
+  EXPECT_EQ(sim.output("b"), Logic::One);  // value loaded last cycle
+  sim.step(5);
+  EXPECT_EQ(sim.output("b"), Logic::One);  // held while load = 0 (§5.1)
+  sim.setInput("load", Logic::One);
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.output("b"), Logic::Zero);
+}
+
+TEST(Registers, OutReflectsPreviousCycleDuringWrite) {
+  Built b = buildOk(kRegPipe, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInput("a", Logic::One);
+  sim.setInput("load", Logic::One);
+  sim.step();
+  sim.setInput("a", Logic::Zero);
+  sim.evaluateOnly();  // same cycle: write 0, read old 1
+  EXPECT_EQ(sim.output("b"), Logic::One);
+}
+
+TEST(Registers, ShiftChainDelaysByOneCyclePerStage) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL r: ARRAY[1..3] OF REG;
+BEGIN
+  r[1].in := a;
+  r[2].in := r[1].out;
+  r[3].in := r[2].out;
+  b := r[3].out
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  std::vector<Logic> seen;
+  for (int i = 0; i < 8; ++i) {
+    sim.setInput("a", logicFromBool(i == 0));  // single pulse
+    sim.step();
+    seen.push_back(sim.output("b"));
+  }
+  // The pulse injected in cycle 0 appears at b during cycle 3.
+  EXPECT_EQ(seen[2], Logic::Undef);
+  EXPECT_EQ(seen[3], Logic::One);
+  EXPECT_EQ(seen[4], Logic::Zero);
+}
+
+TEST(RuntimeChecks, DoubleDriveReported) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a, b: boolean; OUT o: boolean) IS
+  SIGNAL m: multiplex;
+BEGIN
+  IF a THEN m := 1 END;
+  IF b THEN m := 0 END;
+  o := m
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInput("a", Logic::One);
+  sim.setInput("b", Logic::Zero);
+  sim.step();
+  EXPECT_TRUE(sim.errors().empty());
+  EXPECT_EQ(sim.output("o"), Logic::One);
+  // Both switches active: the paper's "burning transistors" guard fires.
+  sim.setInput("b", Logic::One);
+  sim.step();
+  ASSERT_FALSE(sim.errors().empty());
+  EXPECT_EQ(sim.errors()[0].cycle, 1u);
+  EXPECT_EQ(sim.output("o"), Logic::Undef);
+}
+
+TEST(RuntimeChecks, NoDriveReadsNoInfluenceConvertedAtBooleanPort) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+  SIGNAL m: multiplex;
+BEGIN
+  IF a THEN m := 1 END;
+  o := m
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInput("a", Logic::Zero);
+  sim.step();
+  // m itself resolves to NOINFL; the boolean port observes UNDEF.
+  EXPECT_EQ(sim.output("o"), Logic::Undef);
+  EXPECT_TRUE(sim.errors().empty());
+}
+
+TEST(Random, DeterministicUnderSeed) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+BEGIN
+  o := AND(a, RANDOM())
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  auto run = [&](uint64_t seed) {
+    Simulation sim(g);
+    sim.setRandomSeed(seed);
+    sim.setInput("a", Logic::One);
+    std::vector<Logic> out;
+    for (int i = 0; i < 16; ++i) {
+      sim.step();
+      out.push_back(sim.output("o"));
+    }
+    return out;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // astronomically unlikely to collide
+}
+
+TEST(Wave, RecordsAndRenders) {
+  Built b = buildOk(kRegPipe, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  WaveRecorder wave(sim);
+  wave.watchPort("a");
+  wave.watchPort("b");
+  sim.setInput("load", Logic::One);
+  for (int i = 0; i < 4; ++i) {
+    sim.setInput("a", logicFromBool(i % 2));
+    sim.step();
+    wave.sample();
+  }
+  EXPECT_EQ(wave.sampleCount(), 4u);
+  std::string table = wave.renderTable();
+  EXPECT_NE(table.find("a"), std::string::npos);
+  EXPECT_NE(table.find("0 1 0 1"), std::string::npos);
+  std::string vcd = wave.renderVcd();
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(vcd.find("#3"), std::string::npos);
+}
+
+TEST(Stats, FiringCountsWork) {
+  Built b = buildOk(kRegPipe, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInput("a", Logic::One);
+  sim.setInput("load", Logic::One);
+  sim.resetStats();
+  sim.step(10);
+  EXPECT_GT(sim.stats().nodeFirings, 0u);
+  sim.resetStats();
+  EXPECT_EQ(sim.stats().nodeFirings, 0u);
+}
+
+TEST(Simulation, PortErrors) {
+  Built b = buildOk(kRegPipe, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  EXPECT_THROW(sim.setInput("nosuch", Logic::One), std::invalid_argument);
+  EXPECT_THROW((void)sim.output("nosuch"), std::invalid_argument);
+  EXPECT_THROW(sim.setInput("a", {Logic::One, Logic::Zero}),
+               std::invalid_argument);
+}
+
+TEST(Simulation, ResetClearsState) {
+  Built b = buildOk(kRegPipe, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInput("a", Logic::One);
+  sim.setInput("load", Logic::One);
+  sim.step(3);
+  EXPECT_EQ(sim.cycle(), 3u);
+  sim.reset();
+  EXPECT_EQ(sim.cycle(), 0u);
+  sim.setInput("a", Logic::Zero);
+  sim.setInput("load", Logic::Zero);
+  sim.step();
+  EXPECT_EQ(sim.output("b"), Logic::Undef);  // register back to UNDEF
+}
+
+TEST(Simulation, RegisterSnapshotRoundTrip) {
+  Built b = buildOk(kRegPipe, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  Simulation sim(g);
+  sim.setInput("a", Logic::One);
+  sim.setInput("load", Logic::One);
+  sim.step();
+  std::vector<Logic> snapshot = sim.saveRegisters();
+  // Clobber the register, then restore.
+  sim.setInput("a", Logic::Zero);
+  sim.step(3);
+  sim.step();
+  EXPECT_EQ(sim.output("b"), Logic::Zero);
+  sim.restoreRegisters(snapshot);
+  sim.setInput("load", Logic::Zero);
+  sim.step();
+  EXPECT_EQ(sim.output("b"), Logic::One);
+  EXPECT_THROW(sim.restoreRegisters({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zeus::test

@@ -1,0 +1,169 @@
+// Unit tests for canonical types (§3.2): parameterized instantiation,
+// memoisation, flattening with IN/OUT inheritance, and recursion guards.
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+#include "src/sema/checker.h"
+#include "src/sema/type_table.h"
+
+namespace zeus {
+namespace {
+
+struct Fixture {
+  SourceManager sm;
+  std::unique_ptr<DiagnosticEngine> diags;
+  std::unique_ptr<TypeTable> types;
+  ast::Program program;
+  CheckedProgram checked;
+
+  explicit Fixture(const std::string& text) {
+    BufferId buf = sm.addBuffer("t", text);
+    diags = std::make_unique<DiagnosticEngine>(sm);
+    types = std::make_unique<TypeTable>(*diags);
+    Parser parser(buf, *diags);
+    program = parser.parseProgram();
+    Checker checker(*diags, *types);
+    checked = checker.check(program);
+  }
+
+  const Type* named(const std::string& name, std::vector<int64_t> args) {
+    return types->instantiateNamed(name, args, *checked.rootEnv, {});
+  }
+};
+
+TEST(TypeTable, Builtins) {
+  Fixture f("CONST x = 1;");
+  EXPECT_EQ(f.types->boolean()->basic, BasicKind::Boolean);
+  EXPECT_EQ(f.types->boolean()->numBasic, 1u);
+  EXPECT_EQ(f.types->multiplex()->basic, BasicKind::Multiplex);
+  EXPECT_EQ(f.types->virtualType()->numBasic, 0u);
+  const Type* reg = f.types->reg();
+  ASSERT_EQ(reg->fields.size(), 2u);
+  EXPECT_EQ(reg->fields[0].name, "in");
+  EXPECT_EQ(reg->fields[0].mode, ast::ParamMode::In);
+  EXPECT_EQ(reg->builtin, BuiltinComponent::Reg);
+}
+
+TEST(TypeTable, ArrayBoundsAndWidth) {
+  Fixture f("TYPE bo(n) = ARRAY[1..n] OF boolean;");
+  const Type* t = f.named("bo", {5});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->kind, Type::Kind::Array);
+  EXPECT_EQ(t->lo, 1);
+  EXPECT_EQ(t->hi, 5);
+  EXPECT_EQ(t->numBasic, 5u);
+  EXPECT_EQ(t->name, "ARRAY[1..5] OF boolean");
+}
+
+TEST(TypeTable, EmptyArrayAllowed) {
+  // ARRAY[0..-1] has zero elements (routing network base case).
+  Fixture f("TYPE bo(n) = ARRAY[0..n-1] OF boolean;");
+  const Type* t = f.named("bo", {0});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->arrayLen(), 0);
+  EXPECT_EQ(t->numBasic, 0u);
+}
+
+TEST(TypeTable, MemoisationSharesInstantiations) {
+  Fixture f("TYPE bo(n) = ARRAY[1..n] OF boolean;");
+  EXPECT_EQ(f.named("bo", {4}), f.named("bo", {4}));
+  EXPECT_NE(f.named("bo", {4}), f.named("bo", {5}));
+}
+
+TEST(TypeTable, WrongArity) {
+  Fixture f("TYPE bo(n) = ARRAY[1..n] OF boolean;");
+  EXPECT_EQ(f.named("bo", {}), nullptr);
+  EXPECT_TRUE(f.diags->has(Diag::WrongArgumentCount));
+}
+
+TEST(TypeTable, UnknownTypeDiagnosed) {
+  Fixture f("CONST x = 1;");
+  EXPECT_EQ(f.named("nosuch", {}), nullptr);
+  EXPECT_TRUE(f.diags->has(Diag::NotAType));
+}
+
+TEST(TypeTable, ComponentFieldsAndWidth) {
+  Fixture f(R"(
+TYPE bus = COMPONENT (r,s: ARRAY[1..3] OF multiplex; u: multiplex);
+)");
+  const Type* t = f.named("bus", {});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->kind, Type::Kind::Component);
+  EXPECT_FALSE(t->hasBody);
+  ASSERT_EQ(t->fields.size(), 3u);
+  EXPECT_EQ(t->numBasic, 7u);
+  EXPECT_NE(t->findField("u"), nullptr);
+  EXPECT_EQ(t->findField("nope"), nullptr);
+}
+
+TEST(TypeTable, FlattenInheritsModes) {
+  Fixture f(R"(
+TYPE inner = COMPONENT (IN a: boolean; OUT b: boolean; c: multiplex);
+outer = COMPONENT (IN p: inner; q: inner);
+)");
+  const Type* t = f.named("outer", {});
+  ASSERT_NE(t, nullptr);
+  std::vector<FlatBit> bits;
+  f.types->flatten(*t, ast::ParamMode::InOut, "", bits);
+  ASSERT_EQ(bits.size(), 6u);
+  // p is IN: explicit a stays In, explicit b stays Out, c inherits In.
+  EXPECT_EQ(bits[0].path, ".p.a");
+  EXPECT_EQ(bits[0].mode, ast::ParamMode::In);
+  EXPECT_EQ(bits[1].mode, ast::ParamMode::Out);
+  EXPECT_EQ(bits[2].path, ".p.c");
+  EXPECT_EQ(bits[2].mode, ast::ParamMode::In);
+  // q is INOUT: a/b keep their own modes, c stays InOut.
+  EXPECT_EQ(bits[3].mode, ast::ParamMode::In);
+  EXPECT_EQ(bits[5].mode, ast::ParamMode::InOut);
+}
+
+TEST(TypeTable, RecursiveInterfaceResolves) {
+  // Resolving the interface of a recursive type must terminate: the body
+  // is lazy.
+  Fixture f(R"(
+TYPE tree(n) = COMPONENT (IN in: boolean;
+                          OUT leaf: ARRAY[1..n] OF boolean) IS
+  SIGNAL left, right: tree(n DIV 2);
+BEGIN
+  WHEN n > 2 THEN left.in := in OTHERWISE leaf[1] := in END
+END;
+)");
+  const Type* t = f.named("tree", {8});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->numBasic, 9u);
+  EXPECT_FALSE(f.diags->hasErrors());
+}
+
+TEST(TypeTable, FunctionComponentHasResultType) {
+  Fixture f(R"(
+TYPE f = COMPONENT (IN a: boolean) : ARRAY[1..2] OF boolean IS
+BEGIN RESULT (a, a) END;
+)");
+  const Type* t = f.named("f", {});
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->isFunction());
+  EXPECT_EQ(t->resultType->numBasic, 2u);
+}
+
+TEST(TypeTable, MultiParameterTypes) {
+  Fixture f("TYPE mat(r, c) = ARRAY[1..r] OF ARRAY[1..c] OF boolean;");
+  const Type* t = f.named("mat", {3, 4});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->numBasic, 12u);
+  EXPECT_EQ(t->numBasic, 12u);
+}
+
+TEST(TypeTable, NestedTypeAliases) {
+  Fixture f(R"(
+CONST k = 2;
+TYPE word = ARRAY[1..4] OF boolean;
+pairofwords = ARRAY[1..k] OF word;
+)");
+  const Type* t = f.named("pairofwords", {});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->numBasic, 8u);
+  EXPECT_EQ(t->elem->numBasic, 4u);
+}
+
+}  // namespace
+}  // namespace zeus

@@ -1,0 +1,458 @@
+// E9: the static type rules of §4.7, cell by cell.
+//
+// Tables (1) and (2) of the paper and the assignment-counting rules are
+// exercised with minimal programs; each illegal cell must produce its
+// dedicated diagnostic, each legal cell must elaborate cleanly.
+#include <gtest/gtest.h>
+
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+std::string wrap(const std::string& body, const std::string& decls = "") {
+  return "TYPE t = COMPONENT (IN i1, i2: boolean; OUT o1, o2: boolean) IS\n" +
+         decls + "BEGIN\n" + body + "\nEND;\nSIGNAL top: t;\n";
+}
+
+// ---------------------------------------------------------------------
+// Unconditional assignment: all four boolean/multiplex combinations are
+// legal, but no second assignment may follow.
+// ---------------------------------------------------------------------
+
+TEST(TypeRules, UncondBooleanFromBoolean) {
+  buildOk(wrap("o1 := i1; o2 := i2"), "top");
+}
+
+TEST(TypeRules, UncondBooleanFromMultiplex) {
+  buildOk(wrap("o1 := m; o2 := 0; IF i1 THEN m := i2 END",
+               "SIGNAL m: multiplex;\n"),
+          "top");
+}
+
+TEST(TypeRules, UncondMultiplexFromBoolean) {
+  buildOk(wrap("m := i1; o1 := m; o2 := 0", "SIGNAL m: multiplex;\n"),
+          "top");
+}
+
+TEST(TypeRules, UncondMultiplexFromMultiplexIllegal) {
+  // "If both x and y are signals of type multiplex then the assignment
+  // x := y is illegal.  x == y has to be used instead."
+  expectElabError(wrap("IF i1 THEN m1 := i2 END; m2 := m1; o1 := m2; o2 := 0",
+                       "SIGNAL m1, m2: multiplex;\n"),
+                  "top", Diag::MultiplexToMultiplexAssign);
+}
+
+TEST(TypeRules, DoubleUnconditionalAssignmentIllegal) {
+  // Prevents direct power-ground connections: x := 1; x := 0.
+  expectElabError(wrap("o1 := 1; o1 := 0; o2 := 0"), "top",
+                  Diag::MultipleUnconditionalAssignment);
+}
+
+TEST(TypeRules, ConditionalPlusUnconditionalIllegal) {
+  expectElabError(
+      wrap("o1 := 1; IF i1 THEN o1 := 0 END; o2 := 0"), "top",
+      Diag::ConditionalAndUnconditionalAssignment);
+}
+
+TEST(TypeRules, UnconditionalPlusConditionalIllegal) {
+  expectElabError(
+      wrap("IF i1 THEN o1 := 0 END; o1 := 1; o2 := 0"), "top",
+      Diag::ConditionalAndUnconditionalAssignment);
+}
+
+// ---------------------------------------------------------------------
+// Conditional assignment, table (1): illegal into plain boolean, legal
+// into multiplex; exception 1 for child IN and formal OUT parameters.
+// ---------------------------------------------------------------------
+
+TEST(TypeRules, CondToLocalBooleanIllegal) {
+  expectElabError(
+      wrap("IF i1 THEN b := i2 END; o1 := b; o2 := 0",
+           "SIGNAL b: boolean;\n"),
+      "top", Diag::ConditionalAssignToBoolean);
+}
+
+TEST(TypeRules, CondToMultiplexLegal) {
+  buildOk(wrap("IF i1 THEN m := i2 END; IF NOT i1 THEN m := 0 END;"
+               "o1 := m; o2 := 0",
+               "SIGNAL m: multiplex;\n"),
+          "top");
+}
+
+TEST(TypeRules, CondToFormalOutLegal) {
+  // Exception 1: o1 is a formal OUT parameter.
+  buildOk(wrap("IF i1 THEN o1 := i2 END; o2 := 0"), "top");
+}
+
+TEST(TypeRules, CondToChildInLegal) {
+  // Exception 1: r.in is an IN parameter of an instantiated component.
+  buildOk(wrap("IF i1 THEN r.in := i2 END; o1 := r.out; o2 := 0",
+               "SIGNAL r: REG;\n"),
+          "top");
+}
+
+// ---------------------------------------------------------------------
+// Aliasing, table (2).
+// ---------------------------------------------------------------------
+
+TEST(TypeRules, AliasMultiplexMultiplexLegal) {
+  buildOk(wrap("m1 == m2; IF i1 THEN m1 := i2 END; o1 := m2; o2 := 0",
+               "SIGNAL m1, m2: multiplex;\n"),
+          "top");
+}
+
+TEST(TypeRules, AliasBooleanBooleanIllegal) {
+  expectElabError(wrap("o1 == o2"), "top", Diag::AliasOfBooleans);
+}
+
+TEST(TypeRules, AliasMultiplexWithChildInLegal) {
+  // Exception 1: REG.in is boolean but an IN parameter of an instance.
+  buildOk(wrap("IF i1 THEN m := i2 END; r.in == m; o1 := r.out; o2 := 0",
+               "SIGNAL m: multiplex; r: REG;\n"),
+          "top");
+}
+
+TEST(TypeRules, AliasMultiplexWithPlainBooleanIllegal) {
+  expectElabError(wrap("b == m; o1 := b; o2 := 0",
+                       "SIGNAL b: boolean; m: multiplex;\n"),
+                  "top", Diag::AliasBooleanNotException);
+}
+
+TEST(TypeRules, AliasInsideIfIllegal) {
+  expectElabError(wrap("IF i1 THEN m1 == m2 END; o1 := 0; o2 := 0",
+                       "SIGNAL m1, m2: multiplex;\n"),
+                  "top", Diag::AliasInsideConditional);
+}
+
+TEST(TypeRules, AliasedBooleanThenUnconditionalAssignIllegal) {
+  // "If a signal of type boolean is assigned with == then it may not
+  // unconditionally be assigned with :=".
+  expectElabError(
+      wrap("r.in == m; r.in := i1; o1 := r.out; o2 := 0",
+           "SIGNAL m: multiplex; r: REG;\n"),
+      "top", Diag::AliasBooleanNotException);
+}
+
+// ---------------------------------------------------------------------
+// Parameter direction rules.
+// ---------------------------------------------------------------------
+
+TEST(TypeRules, AssignToFormalInIllegal) {
+  expectElabError(wrap("i1 := i2; o1 := 0; o2 := 0"), "top",
+                  Diag::AssignToInParameter);
+}
+
+TEST(TypeRules, AssignToChildOutIllegal) {
+  expectElabError(wrap("r.out := i1; r.in := i2; o1 := 0; o2 := 0",
+                       "SIGNAL r: REG;\n"),
+                  "top", Diag::AssignToOutOfInstance);
+}
+
+TEST(TypeRules, AssignToClkIllegal) {
+  expectElabError(wrap("CLK := i1; o1 := 0; o2 := 0"), "top",
+                  Diag::AssignToInParameter);
+}
+
+TEST(TypeRules, UnstructuredInMustBeBoolean) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: multiplex; OUT b: boolean) IS
+BEGIN
+  b := a
+END;
+SIGNAL top: t;
+)";
+  expectElabError(src, "top", Diag::UnstructuredInOutMustBeBoolean);
+}
+
+TEST(TypeRules, BasicInOutMustBeMultiplex) {
+  const char* src = R"(
+TYPE t = COMPONENT (a: boolean; OUT b: boolean) IS
+BEGIN
+  b := 0
+END;
+SIGNAL top: t;
+)";
+  expectElabError(src, "top", Diag::InOutBasicMustBeMultiplex);
+}
+
+// ---------------------------------------------------------------------
+// Width discipline.
+// ---------------------------------------------------------------------
+
+TEST(TypeRules, WidthMismatchDiagnosed) {
+  expectElabError(
+      wrap("v := (i1, i2); o1 := 0; o2 := 0",
+           "SIGNAL v: ARRAY[1..3] OF boolean;\n"),
+      "top", Diag::WidthMismatch);
+}
+
+TEST(TypeRules, StructuredAssignSameWidthDifferentShape) {
+  // Same number of basic substructures is sufficient (§4.1).
+  buildOk(wrap("v := (i1, i2, i1, i2); o1 := v[1].x; o2 := v[2].y",
+               "TYPE pair = COMPONENT (x, y: multiplex);\n"
+               "SIGNAL v: ARRAY[1..2] OF pair;\n"),
+          "top");
+}
+
+TEST(TypeRules, GateArityMismatch) {
+  expectElabError(wrap("o1 := XOR(i1, v); o2 := 0",
+                       "SIGNAL v: ARRAY[1..2] OF boolean;\n"),
+                  "top", Diag::WidthMismatch);
+}
+
+// ---------------------------------------------------------------------
+// Conditions and loops.
+// ---------------------------------------------------------------------
+
+TEST(TypeRules, ConditionMustBeSingleBit) {
+  expectElabError(wrap("IF v THEN o1 := 1 END; o2 := 0; v := (i1,i2)",
+                       "SIGNAL v: ARRAY[1..2] OF boolean;\n"),
+                  "top", Diag::ConditionNotSingleBit);
+}
+
+TEST(TypeRules, CombinationalLoopDetected) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL x, y: boolean;
+BEGIN
+  x := AND(a, y);
+  y := OR(a, x);
+  b := y
+END;
+SIGNAL top: t;
+)";
+  auto comp = Compilation::fromSource("test.zeus", src);
+  ASSERT_TRUE(comp->ok()) << comp->diagnosticsText();
+  auto design = comp->elaborate("top");
+  ASSERT_NE(design, nullptr);
+  SimGraph g = buildSimGraph(*design, comp->diags());
+  EXPECT_TRUE(g.hasCycle);
+  EXPECT_TRUE(comp->diags().has(Diag::CombinationalLoop));
+}
+
+TEST(TypeRules, LoopThroughRegisterAllowed) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL r: REG;
+BEGIN
+  r.in := XOR(a, r.out);
+  b := r.out
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  ASSERT_NE(b.design, nullptr);
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  EXPECT_FALSE(g.hasCycle) << b.comp->diagnosticsText();
+}
+
+// ---------------------------------------------------------------------
+// Scoping and declarations.
+// ---------------------------------------------------------------------
+
+TEST(TypeRules, DuplicateSignalDiagnosed) {
+  expectElabError(wrap("o1 := 0; o2 := 0",
+                       "SIGNAL x: boolean; x: multiplex;\n"),
+                  "top", Diag::DuplicateDeclaration);
+}
+
+TEST(TypeRules, FunctionTypeAsSignalIllegal) {
+  const char* src = R"(
+TYPE f = COMPONENT (IN a: boolean) : boolean IS BEGIN RESULT a END;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL g: f;
+BEGIN
+  b := a; g.a := a
+END;
+SIGNAL top: t;
+)";
+  expectElabError(src, "top", Diag::FunctionUsedAsSignal);
+}
+
+TEST(TypeRules, ResultOutsideFunctionIllegal) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN
+  b := a;
+  RESULT a
+END;
+SIGNAL top: t;
+)";
+  auto comp = Compilation::fromSource("test.zeus", src);
+  EXPECT_TRUE(comp->diags().has(Diag::ResultOutsideFunction));
+}
+
+TEST(TypeRules, ConnectionRepeatedIllegal) {
+  const char* src = R"(
+TYPE inner = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := a END;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL x: inner;
+BEGIN
+  x(a, b);
+  x(a, b)
+END;
+SIGNAL top: t;
+)";
+  expectElabError(src, "top", Diag::ConnectionRepeated);
+}
+
+TEST(TypeRules, ConnectionArityIllegal) {
+  const char* src = R"(
+TYPE inner = COMPONENT (IN a: boolean; OUT b: boolean) IS
+BEGIN b := a END;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL x: inner;
+BEGIN
+  x(a)
+END;
+SIGNAL top: t;
+)";
+  expectElabError(src, "top", Diag::BadConnectionShape);
+}
+
+TEST(TypeRules, ConnectionOnRecordIllegal) {
+  const char* src = R"(
+TYPE rec = COMPONENT (a: multiplex; b: multiplex);
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL x: rec;
+BEGIN
+  b := a;
+  x(a, b)
+END;
+SIGNAL top: t;
+)";
+  expectElabError(src, "top", Diag::ConnectionOnNonComponent);
+}
+
+TEST(TypeRules, UnusedPortWarned) {
+  const char* src = R"(
+TYPE inner = COMPONENT (IN a: boolean; OUT b, c: boolean) IS
+BEGIN b := a; c := a END;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL x: inner;
+BEGIN
+  x.a := a;
+  b := x.b
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  ASSERT_NE(b.design, nullptr);
+  EXPECT_TRUE(b.comp->diags().has(Diag::UnusedPort));
+}
+
+TEST(TypeRules, StrictUnusedPortsIsAnError) {
+  const char* src = R"(
+TYPE inner = COMPONENT (IN a: boolean; OUT b, c: boolean) IS
+BEGIN b := a; c := a END;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL x: inner;
+BEGIN
+  x.a := a;
+  b := x.b
+END;
+SIGNAL top: t;
+)";
+  auto comp = Compilation::fromSource("test.zeus", src);
+  ASSERT_TRUE(comp->ok());
+  Elaborator::Options opts;
+  opts.strictUnusedPorts = true;
+  auto design = comp->elaborate("top", opts);
+  EXPECT_EQ(design, nullptr);
+  EXPECT_TRUE(comp->diags().has(Diag::UnusedPort));
+}
+
+TEST(TypeRules, ClosedPortNotWarned) {
+  const char* src = R"(
+TYPE inner = COMPONENT (IN a: boolean; OUT b, c: boolean) IS
+BEGIN b := a; c := a END;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS
+  SIGNAL x: inner;
+BEGIN
+  x(a, b, *);
+  b == *
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  ASSERT_NE(b.design, nullptr);
+  EXPECT_FALSE(b.comp->diags().has(Diag::UnusedPort))
+      << b.comp->diagnosticsText();
+}
+
+TEST(TypeRules, SignalBeforeTypeDiagnosed) {
+  const char* src = R"(
+SIGNAL x: boolean;
+TYPE t = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := a END;
+SIGNAL top: t;
+)";
+  auto comp = Compilation::fromSource("test.zeus", src);
+  EXPECT_TRUE(comp->diags().has(Diag::SignalAfterOtherDecls));
+}
+
+TEST(TypeRules, UsesListBlocksOuterTypes) {
+  const char* src = R"(
+CONST k = 4;
+TYPE bo = ARRAY[1..k] OF boolean;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS USES k;
+  SIGNAL v: bo;
+BEGIN
+  b := a
+END;
+SIGNAL top: t;
+)";
+  auto comp = Compilation::fromSource("test.zeus", src);
+  auto design = comp->ok() ? comp->elaborate("top") : nullptr;
+  EXPECT_EQ(design, nullptr);
+  EXPECT_TRUE(comp->diags().has(Diag::NotAType))
+      << comp->diagnosticsText();
+}
+
+TEST(TypeRules, UsesListAdmitsListedNames) {
+  const char* src = R"(
+CONST k = 4;
+TYPE bo = ARRAY[1..k] OF boolean;
+t = COMPONENT (IN a: boolean; OUT b: boolean) IS USES k, bo;
+  SIGNAL v: bo;
+BEGIN
+  v := (a, a, a, a);
+  b := v[2]
+END;
+SIGNAL top: t;
+)";
+  buildOk(src, "top");
+}
+
+TEST(TypeRules, EmptyUsesListBlocksEverything) {
+  const char* src = R"(
+CONST k = 4;
+TYPE t = COMPONENT (IN a: boolean; OUT b: boolean) IS USES ;
+  SIGNAL v: ARRAY[1..k] OF boolean;
+BEGIN
+  b := a
+END;
+SIGNAL top: t;
+)";
+  auto comp = Compilation::fromSource("test.zeus", src);
+  auto design = comp->ok() ? comp->elaborate("top") : nullptr;
+  EXPECT_EQ(design, nullptr);
+}
+
+TEST(TypeRules, PredefinedTypesPervasiveDespiteUses) {
+  // REG and boolean are pervasive and need no uses entry.
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT b: boolean) IS USES ;
+  SIGNAL r: REG;
+BEGIN
+  r.in := a;
+  b := r.out
+END;
+SIGNAL top: t;
+)";
+  buildOk(src, "top");
+}
+
+}  // namespace
+}  // namespace zeus::test

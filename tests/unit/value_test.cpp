@@ -1,0 +1,129 @@
+// Unit tests for the four-valued gate semantics (§8) — the single source
+// of truth shared by both evaluators and the constant folder.
+#include <gtest/gtest.h>
+
+#include "src/sim/value.h"
+
+namespace zeus {
+namespace {
+
+constexpr Logic O = Logic::Zero;
+constexpr Logic I = Logic::One;
+constexpr Logic X = Logic::Undef;
+constexpr Logic Z = Logic::NoInfl;
+
+Logic gate(NodeOp op, std::initializer_list<Logic> in) {
+  std::vector<Logic> v(in);
+  return evalGate(op, v);
+}
+
+TEST(GateSemantics, And) {
+  EXPECT_EQ(gate(NodeOp::And, {I, I}), I);
+  EXPECT_EQ(gate(NodeOp::And, {I, O}), O);
+  EXPECT_EQ(gate(NodeOp::And, {X, O}), O);  // 0 dominates
+  EXPECT_EQ(gate(NodeOp::And, {X, I}), X);
+  EXPECT_EQ(gate(NodeOp::And, {Z, O}), O);  // NOINFL behaves as UNDEF
+  EXPECT_EQ(gate(NodeOp::And, {Z, I}), X);
+  EXPECT_EQ(gate(NodeOp::And, {I, I, I, I}), I);
+  EXPECT_EQ(gate(NodeOp::And, {I, I, O, I}), O);
+}
+
+TEST(GateSemantics, Or) {
+  EXPECT_EQ(gate(NodeOp::Or, {O, O}), O);
+  EXPECT_EQ(gate(NodeOp::Or, {O, I}), I);
+  EXPECT_EQ(gate(NodeOp::Or, {X, I}), I);  // 1 dominates
+  EXPECT_EQ(gate(NodeOp::Or, {X, O}), X);
+  EXPECT_EQ(gate(NodeOp::Or, {Z, Z}), X);
+}
+
+TEST(GateSemantics, NandNor) {
+  EXPECT_EQ(gate(NodeOp::Nand, {I, I}), O);
+  EXPECT_EQ(gate(NodeOp::Nand, {O, X}), I);
+  EXPECT_EQ(gate(NodeOp::Nand, {X, I}), X);
+  EXPECT_EQ(gate(NodeOp::Nor, {O, O}), I);
+  EXPECT_EQ(gate(NodeOp::Nor, {I, X}), O);
+  EXPECT_EQ(gate(NodeOp::Nor, {X, O}), X);
+}
+
+TEST(GateSemantics, XorNeedsAllDefined) {
+  EXPECT_EQ(gate(NodeOp::Xor, {I, O}), I);
+  EXPECT_EQ(gate(NodeOp::Xor, {I, I}), O);
+  EXPECT_EQ(gate(NodeOp::Xor, {X, O}), X);
+  EXPECT_EQ(gate(NodeOp::Xor, {X, I}), X);  // no short circuit for XOR
+  EXPECT_EQ(gate(NodeOp::Xor, {I, I, I}), I);  // parity
+}
+
+TEST(GateSemantics, Not) {
+  EXPECT_EQ(gate(NodeOp::Not, {O}), I);
+  EXPECT_EQ(gate(NodeOp::Not, {I}), O);
+  EXPECT_EQ(gate(NodeOp::Not, {X}), X);
+  EXPECT_EQ(gate(NodeOp::Not, {Z}), X);
+}
+
+TEST(GateSemantics, Equal) {
+  std::vector<Logic> a{I, O, I};
+  std::vector<Logic> b{I, O, I};
+  EXPECT_EQ(evalEqual(a, b), I);
+  b[1] = I;
+  EXPECT_EQ(evalEqual(a, b), O);
+  b[1] = X;
+  EXPECT_EQ(evalEqual(a, b), X);  // undecided pair, rest equal
+  a[0] = O;  // defined mismatch elsewhere decides 0 despite the UNDEF
+  EXPECT_EQ(evalEqual(a, b), O);
+}
+
+TEST(GateSemantics, Switch) {
+  EXPECT_EQ(evalSwitch(O, I), Z);  // cond 0 -> no influence
+  EXPECT_EQ(evalSwitch(I, I), I);
+  EXPECT_EQ(evalSwitch(I, Z), Z);  // data passes through raw
+  EXPECT_EQ(evalSwitch(X, I), X);  // undefined condition
+  EXPECT_EQ(evalSwitch(Z, O), X);  // disconnected condition (§8)
+}
+
+TEST(GateSemantics, Resolution) {
+  Resolution r;
+  EXPECT_EQ(r.value, Z);
+  r.add(Z);
+  EXPECT_EQ(r.value, Z);
+  EXPECT_EQ(r.activeCount, 0);
+  r.add(I);
+  EXPECT_EQ(r.value, I);
+  EXPECT_FALSE(r.collision());
+  r.add(Z);  // NOINFL overruled
+  EXPECT_EQ(r.value, I);
+  r.add(I);  // second active assignment — collision, even if equal
+  EXPECT_EQ(r.value, X);
+  EXPECT_TRUE(r.collision());
+}
+
+TEST(GateSemantics, ResolutionUndefDominates) {
+  Resolution r;
+  r.add(X);
+  EXPECT_EQ(r.value, X);
+  EXPECT_EQ(r.activeCount, 1);
+}
+
+TEST(GateSemantics, ShortCircuitFiring) {
+  GateCounters c;
+  Logic out = X;
+  c.add(O);
+  EXPECT_TRUE(gateCanFire(NodeOp::And, c, 4, out));
+  EXPECT_EQ(out, O);
+  EXPECT_TRUE(gateCanFire(NodeOp::Nand, c, 4, out));
+  EXPECT_EQ(out, I);
+  GateCounters c2;
+  c2.add(I);
+  EXPECT_FALSE(gateCanFire(NodeOp::And, c2, 2, out));
+  c2.add(I);
+  EXPECT_TRUE(gateCanFire(NodeOp::And, c2, 2, out));
+  EXPECT_EQ(out, I);
+  GateCounters c3;
+  c3.add(X);
+  EXPECT_FALSE(gateCanFire(NodeOp::Or, c3, 2, out));
+  c3.add(O);
+  EXPECT_TRUE(gateCanFire(NodeOp::Or, c3, 2, out));
+  EXPECT_EQ(out, X);
+}
+
+}  // namespace
+}  // namespace zeus
