@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abstract.dir/bench_abstract.cpp.o"
+  "CMakeFiles/bench_abstract.dir/bench_abstract.cpp.o.d"
+  "bench_abstract"
+  "bench_abstract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abstract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

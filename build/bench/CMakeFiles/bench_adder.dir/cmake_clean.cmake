@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adder.dir/bench_adder.cpp.o"
+  "CMakeFiles/bench_adder.dir/bench_adder.cpp.o.d"
+  "bench_adder"
+  "bench_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blackjack.dir/bench_blackjack.cpp.o"
+  "CMakeFiles/bench_blackjack.dir/bench_blackjack.cpp.o.d"
+  "bench_blackjack"
+  "bench_blackjack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blackjack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evaluator_ablation.dir/bench_evaluator_ablation.cpp.o"
+  "CMakeFiles/bench_evaluator_ablation.dir/bench_evaluator_ablation.cpp.o.d"
+  "bench_evaluator_ablation"
+  "bench_evaluator_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evaluator_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

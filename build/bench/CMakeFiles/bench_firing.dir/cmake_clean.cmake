@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_firing.dir/bench_firing.cpp.o"
+  "CMakeFiles/bench_firing.dir/bench_firing.cpp.o.d"
+  "bench_firing"
+  "bench_firing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_firing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

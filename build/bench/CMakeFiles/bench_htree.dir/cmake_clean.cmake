@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_htree.dir/bench_htree.cpp.o"
+  "CMakeFiles/bench_htree.dir/bench_htree.cpp.o.d"
+  "bench_htree"
+  "bench_htree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_htree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

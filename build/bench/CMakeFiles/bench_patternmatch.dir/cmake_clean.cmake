@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_patternmatch.dir/bench_patternmatch.cpp.o"
+  "CMakeFiles/bench_patternmatch.dir/bench_patternmatch.cpp.o.d"
+  "bench_patternmatch"
+  "bench_patternmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_patternmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_patternmatch.
+# This may be replaced when dependencies are built.

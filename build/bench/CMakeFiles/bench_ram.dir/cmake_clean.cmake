@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ram.dir/bench_ram.cpp.o"
+  "CMakeFiles/bench_ram.dir/bench_ram.cpp.o.d"
+  "bench_ram"
+  "bench_ram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

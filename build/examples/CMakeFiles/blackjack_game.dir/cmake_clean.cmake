@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackjack_game.dir/blackjack_game.cpp.o"
+  "CMakeFiles/blackjack_game.dir/blackjack_game.cpp.o.d"
+  "blackjack_game"
+  "blackjack_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackjack_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_system.dir/memory_system.cpp.o"
+  "CMakeFiles/memory_system.dir/memory_system.cpp.o.d"
+  "memory_system"
+  "memory_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

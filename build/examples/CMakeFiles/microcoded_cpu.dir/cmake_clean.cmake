@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcoded_cpu.dir/microcoded_cpu.cpp.o"
+  "CMakeFiles/microcoded_cpu.dir/microcoded_cpu.cpp.o.d"
+  "microcoded_cpu"
+  "microcoded_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcoded_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_patterns.dir/systolic_patterns.cpp.o"
+  "CMakeFiles/systolic_patterns.dir/systolic_patterns.cpp.o.d"
+  "systolic_patterns"
+  "systolic_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeusc.dir/zeusc.cpp.o"
+  "CMakeFiles/zeusc.dir/zeusc.cpp.o.d"
+  "zeusc"
+  "zeusc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeusc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

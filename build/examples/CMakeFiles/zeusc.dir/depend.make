@@ -1,0 +1,2 @@
+# Empty dependencies file for zeusc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cpp" "src/CMakeFiles/zeus.dir/ast/ast.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/ast/ast.cpp.o.d"
+  "/root/repo/src/ast/printer.cpp" "src/CMakeFiles/zeus.dir/ast/printer.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/ast/printer.cpp.o.d"
+  "/root/repo/src/core/compiler.cpp" "src/CMakeFiles/zeus.dir/core/compiler.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/core/compiler.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/zeus.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/script.cpp" "src/CMakeFiles/zeus.dir/core/script.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/core/script.cpp.o.d"
+  "/root/repo/src/corpus/corpus.cpp" "src/CMakeFiles/zeus.dir/corpus/corpus.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/corpus/corpus.cpp.o.d"
+  "/root/repo/src/elab/elaborator.cpp" "src/CMakeFiles/zeus.dir/elab/elaborator.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/elab/elaborator.cpp.o.d"
+  "/root/repo/src/elab/netlist.cpp" "src/CMakeFiles/zeus.dir/elab/netlist.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/elab/netlist.cpp.o.d"
+  "/root/repo/src/layout/geometry.cpp" "src/CMakeFiles/zeus.dir/layout/geometry.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/layout/geometry.cpp.o.d"
+  "/root/repo/src/layout/render.cpp" "src/CMakeFiles/zeus.dir/layout/render.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/layout/render.cpp.o.d"
+  "/root/repo/src/layout/solver.cpp" "src/CMakeFiles/zeus.dir/layout/solver.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/layout/solver.cpp.o.d"
+  "/root/repo/src/lexer/lexer.cpp" "src/CMakeFiles/zeus.dir/lexer/lexer.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/lexer/lexer.cpp.o.d"
+  "/root/repo/src/lexer/token.cpp" "src/CMakeFiles/zeus.dir/lexer/token.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/lexer/token.cpp.o.d"
+  "/root/repo/src/parser/parser.cpp" "src/CMakeFiles/zeus.dir/parser/parser.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/parser/parser.cpp.o.d"
+  "/root/repo/src/sema/checker.cpp" "src/CMakeFiles/zeus.dir/sema/checker.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sema/checker.cpp.o.d"
+  "/root/repo/src/sema/const_eval.cpp" "src/CMakeFiles/zeus.dir/sema/const_eval.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sema/const_eval.cpp.o.d"
+  "/root/repo/src/sema/env.cpp" "src/CMakeFiles/zeus.dir/sema/env.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sema/env.cpp.o.d"
+  "/root/repo/src/sema/type_table.cpp" "src/CMakeFiles/zeus.dir/sema/type_table.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sema/type_table.cpp.o.d"
+  "/root/repo/src/sim/firing_evaluator.cpp" "src/CMakeFiles/zeus.dir/sim/firing_evaluator.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sim/firing_evaluator.cpp.o.d"
+  "/root/repo/src/sim/graph.cpp" "src/CMakeFiles/zeus.dir/sim/graph.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sim/graph.cpp.o.d"
+  "/root/repo/src/sim/naive_evaluator.cpp" "src/CMakeFiles/zeus.dir/sim/naive_evaluator.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sim/naive_evaluator.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/zeus.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/value.cpp" "src/CMakeFiles/zeus.dir/sim/value.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sim/value.cpp.o.d"
+  "/root/repo/src/sim/wave.cpp" "src/CMakeFiles/zeus.dir/sim/wave.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/sim/wave.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/zeus.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/source.cpp" "src/CMakeFiles/zeus.dir/support/source.cpp.o" "gcc" "src/CMakeFiles/zeus.dir/support/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

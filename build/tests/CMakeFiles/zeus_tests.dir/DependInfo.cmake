@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/adder_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/adder_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/adder_test.cpp.o.d"
+  "/root/repo/tests/integration/am2901_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/am2901_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/am2901_test.cpp.o.d"
+  "/root/repo/tests/integration/blackjack_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/blackjack_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/blackjack_test.cpp.o.d"
+  "/root/repo/tests/integration/chessboard_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/chessboard_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/chessboard_test.cpp.o.d"
+  "/root/repo/tests/integration/corpus_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/corpus_test.cpp.o.d"
+  "/root/repo/tests/integration/matvec_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/matvec_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/matvec_test.cpp.o.d"
+  "/root/repo/tests/integration/mux_ram_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/mux_ram_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/mux_ram_test.cpp.o.d"
+  "/root/repo/tests/integration/patternmatch_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/patternmatch_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/patternmatch_test.cpp.o.d"
+  "/root/repo/tests/integration/routing_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/routing_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/routing_test.cpp.o.d"
+  "/root/repo/tests/integration/smoke_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/smoke_test.cpp.o.d"
+  "/root/repo/tests/integration/snake_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/snake_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/snake_test.cpp.o.d"
+  "/root/repo/tests/integration/sorter_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/sorter_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/sorter_test.cpp.o.d"
+  "/root/repo/tests/integration/stack_dict_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/stack_dict_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/stack_dict_test.cpp.o.d"
+  "/root/repo/tests/integration/tree_test.cpp" "tests/CMakeFiles/zeus_tests.dir/integration/tree_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/integration/tree_test.cpp.o.d"
+  "/root/repo/tests/unit/alias_semantics_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/alias_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/alias_semantics_test.cpp.o.d"
+  "/root/repo/tests/unit/checker_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/checker_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/checker_test.cpp.o.d"
+  "/root/repo/tests/unit/const_eval_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/const_eval_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/const_eval_test.cpp.o.d"
+  "/root/repo/tests/unit/diagnostics_sweep_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/diagnostics_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/diagnostics_sweep_test.cpp.o.d"
+  "/root/repo/tests/unit/evaluator_property_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/evaluator_property_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/evaluator_property_test.cpp.o.d"
+  "/root/repo/tests/unit/feature_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/feature_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/feature_test.cpp.o.d"
+  "/root/repo/tests/unit/graph_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/graph_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/graph_test.cpp.o.d"
+  "/root/repo/tests/unit/layout_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/layout_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/layout_test.cpp.o.d"
+  "/root/repo/tests/unit/lexer_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/lexer_test.cpp.o.d"
+  "/root/repo/tests/unit/netlist_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/netlist_test.cpp.o.d"
+  "/root/repo/tests/unit/orientation_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/orientation_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/orientation_test.cpp.o.d"
+  "/root/repo/tests/unit/parser_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/parser_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/parser_test.cpp.o.d"
+  "/root/repo/tests/unit/report_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/report_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/report_test.cpp.o.d"
+  "/root/repo/tests/unit/robustness_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/robustness_test.cpp.o.d"
+  "/root/repo/tests/unit/roundtrip_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/roundtrip_test.cpp.o.d"
+  "/root/repo/tests/unit/script_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/script_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/script_test.cpp.o.d"
+  "/root/repo/tests/unit/section47_examples_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/section47_examples_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/section47_examples_test.cpp.o.d"
+  "/root/repo/tests/unit/sim_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/sim_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/sim_test.cpp.o.d"
+  "/root/repo/tests/unit/structural_property_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/structural_property_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/structural_property_test.cpp.o.d"
+  "/root/repo/tests/unit/type_table_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/type_table_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/type_table_test.cpp.o.d"
+  "/root/repo/tests/unit/typerules_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/typerules_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/typerules_test.cpp.o.d"
+  "/root/repo/tests/unit/value_test.cpp" "tests/CMakeFiles/zeus_tests.dir/unit/value_test.cpp.o" "gcc" "tests/CMakeFiles/zeus_tests.dir/unit/value_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/zeus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
