@@ -1,18 +1,22 @@
 #include "src/core/compiler.h"
 
 #include "src/parser/parser.h"
+#include "src/sim/simulation.h"
 
 namespace zeus {
 
 std::unique_ptr<Compilation> Compilation::fromSource(std::string name,
-                                                     std::string text) {
+                                                     std::string text,
+                                                     Limits limits) {
   auto comp = std::unique_ptr<Compilation>(new Compilation());
+  comp->limits_ = limits;
   comp->sources_ = std::make_unique<SourceManager>();
   BufferId buf = comp->sources_->addBuffer(std::move(name), std::move(text));
   comp->diags_ = std::make_unique<DiagnosticEngine>(*comp->sources_);
-  comp->types_ = std::make_unique<TypeTable>(*comp->diags_);
+  comp->types_ =
+      std::make_unique<TypeTable>(*comp->diags_, limits, &comp->usage_);
 
-  Parser parser(buf, *comp->diags_);
+  Parser parser(buf, *comp->diags_, limits, &comp->usage_);
   comp->program_ = parser.parseProgram();
 
   Checker checker(*comp->diags_, *comp->types_);
@@ -27,8 +31,20 @@ std::unique_ptr<Design> Compilation::elaborate(const std::string& topName) {
 std::unique_ptr<Design> Compilation::elaborate(const std::string& topName,
                                                Elaborator::Options options) {
   if (!ok()) return nullptr;
+  if (!options.usage) {
+    // Default the elaborator onto this compilation's budgets/accounting
+    // unless the caller supplied their own.
+    options.limits = limits_;
+    options.usage = &usage_;
+  }
   Elaborator elab(*diags_, *types_, options);
   return elab.elaborate(program_, *checked_.rootEnv, topName);
+}
+
+void Compilation::recordSimulation(const Simulation& sim) {
+  usage_.simCycles = sim.cycle();
+  usage_.simEvents = sim.stats().inputEvents;
+  usage_.simFaults = sim.errors().size();
 }
 
 }  // namespace zeus

@@ -15,15 +15,20 @@
 #include "src/sema/checker.h"
 #include "src/sema/type_table.h"
 #include "src/support/diagnostics.h"
+#include "src/support/limits.h"
 #include "src/support/source.h"
 
 namespace zeus {
 
+class Simulation;
+
 class Compilation {
  public:
-  /// Lexes, parses and checks one source buffer.
+  /// Lexes, parses and checks one source buffer.  Every stage runs under
+  /// the given resource limits; breaches surface as ordinary diagnostics.
   static std::unique_ptr<Compilation> fromSource(std::string name,
-                                                 std::string text);
+                                                 std::string text,
+                                                 Limits limits = {});
 
   /// True when no errors were reported so far.
   [[nodiscard]] bool ok() const { return !diags_->hasErrors(); }
@@ -44,6 +49,18 @@ class Compilation {
   std::unique_ptr<Design> elaborate(const std::string& topName,
                                     Elaborator::Options options);
 
+  /// The limits this compilation runs under.
+  [[nodiscard]] const Limits& limits() const { return limits_; }
+  /// Snapshot of resource consumption so far, next to its budgets.
+  [[nodiscard]] ResourceReport resourceReport() const {
+    return {limits_, usage_};
+  }
+  /// Folds a simulation's cycle/event/fault counters into the report.
+  void recordSimulation(const Simulation& sim);
+  /// Usage sink to hand to stages (e.g. Simulation::Options::usage) that
+  /// should account against this compilation's report.
+  ResourceUsage* usage() { return &usage_; }
+
  private:
   Compilation() = default;
 
@@ -52,6 +69,8 @@ class Compilation {
   std::unique_ptr<TypeTable> types_;
   ast::Program program_;
   CheckedProgram checked_;
+  Limits limits_;
+  ResourceUsage usage_;
 };
 
 }  // namespace zeus

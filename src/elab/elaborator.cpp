@@ -165,10 +165,24 @@ class Impl {
   DiagnosticEngine scratchDiags_;
   ConstEval silentEval_;
 
+  // ---- resource budgets ----
+  /// False once any budget is breached; elaboration then unwinds without
+  /// generating further hardware (the breach itself was diagnosed).
+  bool budgetOk() const { return !budgetBreached_; }
+  /// Checks the net budget before `extra` more nets appear; reports once.
+  bool reserveNets(size_t extra, SourceLoc loc);
+  /// Accounts one unit of elaboration work (statement / array element);
+  /// false once Limits.maxElabSteps is spent.
+  bool takeStep(SourceLoc loc);
+  void noteUsage();
+
   std::unique_ptr<Design> d_;
   Obj clkObj_;
   Obj rsetObj_;
   int depth_ = 0;
+  size_t instances_ = 0;
+  uint64_t steps_ = 0;
+  bool budgetBreached_ = false;
   uint64_t callCounter_ = 0;
   NetId constNets_[4] = {kNoNet, kNoNet, kNoNet, kNoNet};
   std::vector<NetId>* assignLog_ = nullptr;
@@ -178,10 +192,50 @@ class Impl {
 // Object construction
 // ===========================================================================
 
+bool Impl::reserveNets(size_t extra, SourceLoc loc) {
+  if (budgetBreached_) return false;
+  size_t have = d_->netlist.netCount();
+  size_t budget = opts_.limits.maxNets;
+  if (extra > budget || have > budget - extra) {
+    budgetBreached_ = true;
+    error(Diag::NetBudgetExceeded, loc,
+          "design needs more than " + std::to_string(budget) +
+              " nets; raise Limits.maxNets or shrink the design");
+  }
+  return !budgetBreached_;
+}
+
+bool Impl::takeStep(SourceLoc loc) {
+  if (budgetBreached_) return false;
+  if (++steps_ > opts_.limits.maxElabSteps) {
+    budgetBreached_ = true;
+    error(Diag::ElabBudgetExceeded, loc,
+          "elaboration exceeded " +
+              std::to_string(opts_.limits.maxElabSteps) +
+              " steps; is a FOR replication unbounded?");
+  }
+  return !budgetBreached_;
+}
+
+void Impl::noteUsage() {
+  if (!opts_.usage) return;
+  opts_.usage->instances = instances_;
+  opts_.usage->nets = d_->netlist.netCount();
+  opts_.usage->nodes = d_->netlist.nodeCount();
+  opts_.usage->notePeak(opts_.usage->instanceDepthPeak, depth_);
+}
+
 Obj Impl::makeObj(const Type* t, const std::string& path, bool isFormalNet,
                   SourceLoc loc) {
   Obj o;
   o.type = t;
+  if (!reserveNets(t->numBasic, loc)) {
+    // Degrade to an inert record — the same shape as the virtual-signal
+    // error path — so elaboration unwinds with diagnostics, not hardware.
+    o.kind = ObjKind::Record;
+    o.instPath = path;
+    return o;
+  }
   switch (t->kind) {
     case Type::Kind::Basic:
       if (t->basic == BasicKind::Virtual) {
@@ -197,10 +251,15 @@ Obj Impl::makeObj(const Type* t, const std::string& path, bool isFormalNet,
       return o;
     case Type::Kind::Array:
       o.kind = ObjKind::Array;
-      for (int64_t i = t->lo; i <= t->hi; ++i) {
+      for (int64_t i = t->lo; i <= t->hi;) {
+        // Step accounting bounds huge arrays whose elements carry no nets
+        // (e.g. ARRAY[1..10^9] OF virtual) that the net budget cannot see.
+        if (!takeStep(loc)) break;
         o.elems.push_back(makeObj(t->elem, path + "[" + std::to_string(i) +
                                                "]",
                                   isFormalNet, loc));
+        if (i == t->hi) break;  // avoids ++i overflow at INT64_MAX
+        ++i;
       }
       return o;
     case Type::Kind::Component:
@@ -302,12 +361,24 @@ void Impl::materialise(Obj& obj, SourceLoc loc) {
     obj.kind = ObjKind::Instance;
   }
   if (obj.kind != ObjKind::Instance || obj.inst) return;
+  if (budgetBreached_) return;
 
-  if (++depth_ > opts_.maxDepth) {
+  if (++depth_ > opts_.limits.maxInstanceDepth) {
     --depth_;
     error(Diag::RecursionTooDeep, loc,
           "component instantiation too deep at '" + obj.instPath +
               "' (recursive type without terminating WHEN guard?)");
+    return;
+  }
+  if (opts_.usage)
+    opts_.usage->notePeak(opts_.usage->instanceDepthPeak, depth_);
+  if (++instances_ > opts_.limits.maxInstances) {
+    --depth_;
+    budgetBreached_ = true;
+    error(Diag::InstanceBudgetExceeded, loc,
+          "more than " + std::to_string(opts_.limits.maxInstances) +
+              " component instances at '" + obj.instPath +
+              "'; raise Limits.maxInstances or shrink the design");
     return;
   }
 
@@ -351,6 +422,9 @@ void Impl::materialise(Obj& obj, SourceLoc loc) {
   }
 
   for (const Field& f : T->fields) {
+    // Budget check BEFORE checkFormalWireModes: flattening a giant formal
+    // would allocate its FlatBit list before makeObj ever saw the breach.
+    if (!reserveNets(f.type->numBasic, f.loc)) break;
     checkFormalWireModes(f, inst.path);
     Member m;
     m.isFormal = true;
@@ -361,7 +435,7 @@ void Impl::materialise(Obj& obj, SourceLoc loc) {
     inst.memberOrder.push_back(f.name);
   }
 
-  if (T->isFunction()) {
+  if (T->isFunction() && reserveNets(T->resultType->numBasic, loc)) {
     std::vector<FlatBit> bits;
     tt_.flatten(*T->resultType, ParamMode::Out, "", bits);
     for (const FlatBit& b : bits) {
@@ -523,7 +597,10 @@ void Impl::execLayoutReplacements(Ctx& ctx,
 // ===========================================================================
 
 void Impl::execStmtList(Ctx& ctx, const std::vector<ast::StmtPtr>& stmts) {
-  for (const ast::StmtPtr& s : stmts) execStmt(ctx, *s);
+  for (const ast::StmtPtr& s : stmts) {
+    if (!takeStep(s->loc)) return;
+    execStmt(ctx, *s);
+  }
 }
 
 void Impl::execStmt(Ctx& ctx, const Stmt& s) {
@@ -638,15 +715,25 @@ void Impl::execFor(Ctx& ctx, const Stmt& s) {
   if (!from || !to) return;
   Env* saved = ctx.env;
   auto iterate = [&](int64_t i) {
+    // Each iteration costs a step even when the body is empty, so an
+    // unbounded replication cannot spin the elaborator forever.
+    if (!takeStep(s.loc)) return false;
     Env* loopEnv = tt_.makeEnv(saved);
     loopEnv->defineLoopVar(s.loopVar, i);
     ctx.env = loopEnv;
     execStmtList(ctx, s.body);
+    return true;
   };
+  // Closed-interval loops written to avoid ++/-- overflow at the int64
+  // extremes (FOR i := 1 TO 9223372036854775807 must diagnose, not UB).
   if (s.downto) {
-    for (int64_t i = *from; i >= *to; --i) iterate(i);
+    for (int64_t i = *from; i >= *to; --i) {
+      if (!iterate(i) || i == *to) break;
+    }
   } else {
-    for (int64_t i = *from; i <= *to; ++i) iterate(i);
+    for (int64_t i = *from; i <= *to; ++i) {
+      if (!iterate(i) || i == *to) break;
+    }
   }
   ctx.env = saved;
 }
@@ -1915,13 +2002,16 @@ void Impl::assignBit(const LBit& l, const RBit& r, NetId stmtGuard,
               "conditionally)");
     return;
   }
+  // constNet may add a net and reallocate the nets vector, invalidating
+  // rn — resolve it before touching the reference again.
+  NetId value = r.isConst ? constNet(r.cval) : r.net;
   Node n;
   n.loc = loc;
   n.op = NodeOp::Switch;
-  n.inputs = {guard, r.isConst ? constNet(r.cval) : r.net};
+  n.inputs = {guard, value};
   n.output = l.net;
   d_->netlist.addNode(std::move(n));
-  rn.condDrivers++;
+  d_->netlist.net(root).condDrivers++;
   logAssign(root);
 }
 
@@ -2149,7 +2239,10 @@ std::unique_ptr<Design> Impl::run(const ast::Program& program, Env& rootEnv,
 
   d_->topObj = makeObj(topType, topName, false, topDecl->loc);
   materialise(d_->topObj, topDecl->loc);
-  if (!d_->topObj.inst) return nullptr;
+  if (!d_->topObj.inst) {
+    noteUsage();  // report what a failed elaboration consumed
+    return nullptr;
+  }
   d_->top = d_->topObj.inst.get();
 
   // Primary ports.
@@ -2179,6 +2272,7 @@ std::unique_ptr<Design> Impl::run(const ast::Program& program, Env& rootEnv,
 
   checkUnusedPorts(*d_->top);
   d_->netlist.canonicalise();
+  noteUsage();
 
   if (diags_.errorCount() > errorsBefore) return nullptr;
   return std::move(d_);

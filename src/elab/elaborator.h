@@ -14,6 +14,7 @@
 #include "src/elab/design.h"
 #include "src/sema/type_table.h"
 #include "src/support/diagnostics.h"
+#include "src/support/limits.h"
 
 namespace zeus {
 
@@ -22,8 +23,12 @@ class Elaborator {
   struct Options {
     /// Treat the unused-port rule (§4.1) as an error instead of a warning.
     bool strictUnusedPorts = false;
-    /// Maximum component instantiation depth (recursion guard).
-    int maxDepth = 512;
+    /// Resource budgets: maxInstanceDepth (recursion guard), maxInstances
+    /// and maxNets bound what one elaboration may generate; each breach is
+    /// a recoverable diagnostic.
+    Limits limits;
+    /// Optional consumption record (see Compilation::resourceReport()).
+    ResourceUsage* usage = nullptr;
   };
 
   Elaborator(DiagnosticEngine& diags, TypeTable& types)

@@ -5,9 +5,19 @@
 
 namespace zeus {
 
-Lexer::Lexer(BufferId buffer, DiagnosticEngine& diags)
-    : buffer_(buffer), diags_(diags),
-      text_(diags.sourceManager().text(buffer)) {}
+Lexer::Lexer(BufferId buffer, DiagnosticEngine& diags, Limits limits,
+             ResourceUsage* usage)
+    : buffer_(buffer), diags_(diags), limits_(limits), usage_(usage),
+      text_(diags.sourceManager().text(buffer)) {
+  if (usage_) usage_->sourceBytes = text_.size();
+  if (text_.size() > limits_.maxSourceBytes) {
+    diags_.error(Diag::SourceTooLarge, locAt(0),
+                 "source buffer of " + std::to_string(text_.size()) +
+                     " bytes exceeds the limit of " +
+                     std::to_string(limits_.maxSourceBytes) + " bytes");
+    pos_ = text_.size();  // scan nothing; next() returns Eof
+  }
+}
 
 char Lexer::peek(size_t ahead) const {
   return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
@@ -148,9 +158,17 @@ std::vector<Token> Lexer::tokenize() {
   std::vector<Token> out;
   for (;;) {
     Token t = next();
+    if (t.kind != Tok::Eof && out.size() >= limits_.maxTokens) {
+      diags_.error(Diag::TooManyTokens, t.loc,
+                   "token stream exceeds the limit of " +
+                       std::to_string(limits_.maxTokens) + " tokens");
+      out.push_back(make(Tok::Eof, pos_, 0));
+      break;
+    }
     out.push_back(t);
     if (t.kind == Tok::Eof) break;
   }
+  if (usage_) usage_->tokens = out.size();
   return out;
 }
 

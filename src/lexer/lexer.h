@@ -1,24 +1,31 @@
 // The Zeus scanner (paper §2).
 //
 // Converts one source buffer into a token stream.  Comments `<* ... *>`
-// nest and are skipped; a trailing B/b on a number marks octal.
+// nest and are skipped; a trailing B/b on a number marks octal.  The
+// scanner is guarded by zeus::Limits: an oversized buffer or a runaway
+// token stream ends the scan with a diagnostic instead of an unbounded
+// allocation.
 #pragma once
 
 #include <vector>
 
 #include "src/lexer/token.h"
 #include "src/support/diagnostics.h"
+#include "src/support/limits.h"
 
 namespace zeus {
 
 class Lexer {
  public:
-  Lexer(BufferId buffer, DiagnosticEngine& diags);
+  Lexer(BufferId buffer, DiagnosticEngine& diags, Limits limits = {},
+        ResourceUsage* usage = nullptr);
 
   /// Scans the next token.  After end of input, keeps returning Eof.
   Token next();
 
   /// Scans the whole buffer (convenience for the parser and tests).
+  /// Stops with Diag::TooManyTokens once the token budget is exhausted;
+  /// the returned stream always ends in Eof.
   std::vector<Token> tokenize();
 
  private:
@@ -34,6 +41,8 @@ class Lexer {
 
   BufferId buffer_;
   DiagnosticEngine& diags_;
+  Limits limits_;
+  ResourceUsage* usage_;
   std::string_view text_;
   size_t pos_ = 0;
 };

@@ -86,9 +86,45 @@ bool endsStatementSequence(Tok t) {
 
 }  // namespace
 
-Parser::Parser(BufferId buffer, DiagnosticEngine& diags) : diags_(diags) {
-  Lexer lex(buffer, diags);
+Parser::Parser(BufferId buffer, DiagnosticEngine& diags, Limits limits,
+               ResourceUsage* usage)
+    : diags_(diags), limits_(limits), usage_(usage) {
+  Lexer lex(buffer, diags, limits, usage);
   tokens_ = lex.tokenize();
+  errorsAtStart_ = diags_.errorCount();
+}
+
+void Parser::error(Diag code, SourceLoc loc, std::string msg) {
+  if (tooManyErrors_) return;
+  if (limits_.maxParseErrors > 0 &&
+      diags_.errorCount() >= errorsAtStart_ + limits_.maxParseErrors) {
+    tooManyErrors_ = true;
+    diags_.error(Diag::TooManyErrors, loc,
+                 "more than " + std::to_string(limits_.maxParseErrors) +
+                     " syntax errors; giving up on this buffer");
+    pos_ = tokens_.empty() ? 0 : tokens_.size() - 1;  // jump to Eof
+    return;
+  }
+  diags_.error(code, loc, std::move(msg));
+  if (usage_) ++usage_->parseErrors;
+}
+
+bool Parser::enterDepth(SourceLoc loc) {
+  ++depth_;
+  if (usage_) usage_->notePeak(usage_->parseDepthPeak, depth_);
+  if (depth_ <= limits_.maxParseDepth) return true;
+  if (!depthBreached_) {
+    depthBreached_ = true;
+    error(Diag::NestingTooDeep, loc,
+          "nesting deeper than " + std::to_string(limits_.maxParseDepth) +
+              " levels; is the input adversarial?");
+  }
+  return false;
+}
+
+void Parser::syncDecl() {
+  skipTo({Tok::Semicolon, Tok::KwCONST, Tok::KwTYPE, Tok::KwSIGNAL});
+  accept(Tok::Semicolon);
 }
 
 Token Parser::advance() {
@@ -107,7 +143,7 @@ bool Parser::accept(Tok k) {
 
 bool Parser::expect(Tok k, const char* context) {
   if (accept(k)) return true;
-  diags_.error(Diag::ExpectedToken, cur().loc,
+  error(Diag::ExpectedToken, cur().loc,
                std::string("expected '") + std::string(tokName(k)) + "' " +
                    context + ", found '" + std::string(tokName(cur().kind)) +
                    "'");
@@ -132,7 +168,7 @@ ast::Program Parser::parseProgram() {
     size_t before = pos_;
     parseDeclarationBlock(p.decls);
     if (pos_ == before) {
-      diags_.error(Diag::ExpectedDeclaration, cur().loc,
+      error(Diag::ExpectedDeclaration, cur().loc,
                    "expected CONST, TYPE or SIGNAL declaration");
       skipTo({Tok::KwCONST, Tok::KwTYPE, Tok::KwSIGNAL});
       if (pos_ == before) break;
@@ -162,7 +198,7 @@ void Parser::parseConstBlock(std::vector<DeclPtr>& out) {
     d->name = std::string(advance().text);
     expect(Tok::Equal, "in constant declaration");
     d->constValue = parseExpr();
-    expect(Tok::Semicolon, "after constant declaration");
+    if (!expect(Tok::Semicolon, "after constant declaration")) syncDecl();
     out.push_back(std::move(d));
   }
 }
@@ -178,7 +214,7 @@ void Parser::parseTypeBlock(std::vector<DeclPtr>& out) {
     }
     expect(Tok::Equal, "in type declaration");
     d->type = parseTypeExpr();
-    expect(Tok::Semicolon, "after type declaration");
+    if (!expect(Tok::Semicolon, "after type declaration")) syncDecl();
     out.push_back(std::move(d));
   }
 }
@@ -190,7 +226,7 @@ void Parser::parseSignalBlock(std::vector<DeclPtr>& out) {
     d->names = parseIdList();
     expect(Tok::Colon, "in signal declaration");
     d->type = parseTypeExpr();
-    expect(Tok::Semicolon, "after signal declaration");
+    if (!expect(Tok::Semicolon, "after signal declaration")) syncDecl();
     out.push_back(std::move(d));
   }
 }
@@ -199,7 +235,7 @@ std::vector<std::string> Parser::parseIdList() {
   std::vector<std::string> names;
   do {
     if (!check(Tok::Ident)) {
-      diags_.error(Diag::ExpectedToken, cur().loc, "expected identifier");
+      error(Diag::ExpectedToken, cur().loc, "expected identifier");
       break;
     }
     names.emplace_back(advance().text);
@@ -214,6 +250,19 @@ std::vector<std::string> Parser::parseIdList() {
 ast::TypeExprPtr Parser::parseType() { return parseTypeExpr(); }
 
 ast::TypeExprPtr Parser::parseTypeExpr() {
+  SourceLoc loc = cur().loc;
+  if (!enterDepth(loc)) {
+    advance();  // guarantee progress while unwinding
+    auto t = std::make_unique<TypeExpr>(TypeExprKind::Named, loc);
+    t->name = "<error>";
+    return t;
+  }
+  TypeExprPtr t = parseTypeExprInner();
+  leaveDepth();
+  return t;
+}
+
+ast::TypeExprPtr Parser::parseTypeExprInner() {
   SourceLoc loc = cur().loc;
   if (check(Tok::KwCOMPONENT)) return parseComponentType();
   if (accept(Tok::KwARRAY)) {
@@ -255,7 +304,7 @@ ast::TypeExprPtr Parser::parseTypeExpr() {
     }
     return t;
   }
-  diags_.error(Diag::ExpectedType, loc, "expected a type");
+  error(Diag::ExpectedType, loc, "expected a type");
   // Return a placeholder so callers can continue.
   auto t = std::make_unique<TypeExpr>(TypeExprKind::Named, loc);
   t->name = "<error>";
@@ -322,7 +371,7 @@ std::vector<ast::StmtPtr> Parser::parseStatementSequence() {
     }
     if (endsStatementSequence(cur().kind)) break;
     if (!startsStatement(cur().kind)) {
-      diags_.error(Diag::ExpectedStatement, cur().loc,
+      error(Diag::ExpectedStatement, cur().loc,
                    "expected a statement, found '" +
                        std::string(tokName(cur().kind)) + "'");
       skipTo({Tok::Semicolon, Tok::KwEND, Tok::KwELSE, Tok::KwELSIF,
@@ -337,6 +386,17 @@ std::vector<ast::StmtPtr> Parser::parseStatementSequence() {
 }
 
 ast::StmtPtr Parser::parseOneStatement() {
+  SourceLoc loc = cur().loc;
+  if (!enterDepth(loc)) {
+    advance();
+    return std::make_unique<Stmt>(StmtKind::Empty, loc);
+  }
+  StmtPtr s = parseOneStatementInner();
+  leaveDepth();
+  return s;
+}
+
+ast::StmtPtr Parser::parseOneStatementInner() {
   SourceLoc loc = cur().loc;
   switch (cur().kind) {
     case Tok::KwIF: return parseIf();
@@ -376,7 +436,7 @@ ast::StmtPtr Parser::parseOneStatement() {
     s->actuals = parseExpr();  // the parenthesised actual list
     return s;
   }
-  diags_.error(Diag::UnexpectedToken, cur().loc,
+  error(Diag::UnexpectedToken, cur().loc,
                "expected ':=', '==' or a connection after signal");
   auto s = std::make_unique<Stmt>(StmtKind::Empty, loc);
   return s;
@@ -405,7 +465,7 @@ ast::StmtPtr Parser::parseReplication() {
   expect(Tok::KwFOR, "");
   auto s = std::make_unique<Stmt>(StmtKind::Replication, loc);
   if (check(Tok::Ident)) s->loopVar = std::string(advance().text);
-  else diags_.error(Diag::ExpectedToken, cur().loc, "expected loop variable");
+  else error(Diag::ExpectedToken, cur().loc, "expected loop variable");
   expect(Tok::Assign, "after FOR variable");
   s->from = parseExpr();
   if (accept(Tok::KwDOWNTO)) {
@@ -483,6 +543,17 @@ ast::ExprPtr Parser::parseExpr(int minPrec) {
 }
 
 ast::ExprPtr Parser::parsePrimary() {
+  SourceLoc loc = cur().loc;
+  if (!enterDepth(loc)) {
+    advance();
+    return makeNumber(0, loc);
+  }
+  ExprPtr e = parsePrimaryInner();
+  leaveDepth();
+  return e;
+}
+
+ast::ExprPtr Parser::parsePrimaryInner() {
   SourceLoc loc = cur().loc;
   switch (cur().kind) {
     case Tok::Number: {
@@ -616,7 +687,7 @@ ast::ExprPtr Parser::parsePrimary() {
       return parsePostfix(makeNameRef(std::move(name), loc));
     }
     default:
-      diags_.error(Diag::ExpectedExpression, loc,
+      error(Diag::ExpectedExpression, loc,
                    "expected an expression, found '" +
                        std::string(tokName(cur().kind)) + "'");
       advance();
@@ -656,7 +727,7 @@ ast::ExprPtr Parser::parsePostfix(ast::ExprPtr base) {
         // keywords exact upper-case, so this handles IN/OUT used as fields.
         sel->name = std::string(advance().text);
       } else {
-        diags_.error(Diag::ExpectedToken, cur().loc,
+        error(Diag::ExpectedToken, cur().loc,
                      "expected field name after '.'");
       }
       base = std::move(sel);
@@ -679,7 +750,7 @@ ast::ExprPtr Parser::parseSignalPath() {
     return makeNameRef("RSET", loc);
   }
   if (!check(Tok::Ident)) {
-    diags_.error(Diag::ExpectedToken, cur().loc, "expected a signal");
+    error(Diag::ExpectedToken, cur().loc, "expected a signal");
     return makeNameRef("<error>", loc);
   }
   ExprPtr base = makeNameRef(std::string(advance().text), loc);
@@ -719,12 +790,23 @@ std::vector<ast::LayoutStmtPtr> Parser::parseLayoutList(
 
 ast::LayoutStmtPtr Parser::parseLayoutStatement() {
   SourceLoc loc = cur().loc;
+  if (!enterDepth(loc)) {
+    advance();
+    return nullptr;
+  }
+  LayoutStmtPtr s = parseLayoutStatementInner();
+  leaveDepth();
+  return s;
+}
+
+ast::LayoutStmtPtr Parser::parseLayoutStatementInner() {
+  SourceLoc loc = cur().loc;
   switch (cur().kind) {
     case Tok::KwORDER: {
       advance();
       auto s = std::make_unique<LayoutStmt>(LayoutStmtKind::Order, loc);
       if (check(Tok::Ident)) s->direction = std::string(advance().text);
-      else diags_.error(Diag::ExpectedToken, cur().loc,
+      else error(Diag::ExpectedToken, cur().loc,
                         "expected direction of separation after ORDER");
       s->body = parseLayoutList({Tok::KwEND});
       expect(Tok::KwEND, "to close ORDER statement");
@@ -751,7 +833,7 @@ ast::LayoutStmtPtr Parser::parseLayoutStatement() {
       advance();
       auto s = std::make_unique<LayoutStmt>(LayoutStmtKind::For, loc);
       if (check(Tok::Ident)) s->loopVar = std::string(advance().text);
-      else diags_.error(Diag::ExpectedToken, cur().loc,
+      else error(Diag::ExpectedToken, cur().loc,
                         "expected loop variable");
       // The paper writes both "FOR i := 1 TO n" and "FOR i = 1 TO n" in
       // layout blocks; accept either.
@@ -813,7 +895,7 @@ ast::LayoutStmtPtr Parser::parseLayoutStatement() {
       return s;
     }
     default:
-      diags_.error(Diag::UnexpectedToken, loc,
+      error(Diag::UnexpectedToken, loc,
                    "expected a layout statement, found '" +
                        std::string(tokName(cur().kind)) + "'");
       advance();

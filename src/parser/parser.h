@@ -5,6 +5,13 @@
 // `*` in operand position is the empty signal, `*` in operator position is
 // multiplication.  Which expressions must be constant, signal or
 // signal-constant expressions is decided later by sema, as in the report.
+//
+// The parser is hardened against adversarial input (see
+// docs/error-model.md): recursion depth is bounded by Limits.maxParseDepth,
+// error recovery synchronises at declaration keywords so one bad
+// declaration does not poison the rest of the buffer, and after
+// Limits.maxParseErrors syntax errors the parser gives up on the buffer
+// with Diag::TooManyErrors instead of drowning the user in cascades.
 #pragma once
 
 #include <memory>
@@ -13,12 +20,14 @@
 #include "src/ast/ast.h"
 #include "src/lexer/lexer.h"
 #include "src/support/diagnostics.h"
+#include "src/support/limits.h"
 
 namespace zeus {
 
 class Parser {
  public:
-  Parser(BufferId buffer, DiagnosticEngine& diags);
+  Parser(BufferId buffer, DiagnosticEngine& diags, Limits limits = {},
+         ResourceUsage* usage = nullptr);
 
   /// Parses a whole compilation unit.  Diagnostics collect in the engine;
   /// a partial tree is still returned on error for tooling.
@@ -42,6 +51,15 @@ class Parser {
   bool expect(Tok k, const char* context);
   void skipTo(std::initializer_list<Tok> sync);
 
+  // guarded error reporting (enforces Limits.maxParseErrors)
+  void error(Diag code, SourceLoc loc, std::string msg);
+  // nesting guard (enforces Limits.maxParseDepth); false = breached
+  bool enterDepth(SourceLoc loc);
+  void leaveDepth() { --depth_; }
+  // after a malformed declaration: skip to the next declaration keyword
+  // or past the next semicolon
+  void syncDecl();
+
   // declarations
   void parseDeclarationBlock(std::vector<ast::DeclPtr>& out);
   void parseConstBlock(std::vector<ast::DeclPtr>& out);
@@ -51,12 +69,14 @@ class Parser {
 
   // types
   ast::TypeExprPtr parseTypeExpr();
+  ast::TypeExprPtr parseTypeExprInner();
   ast::TypeExprPtr parseComponentType();
   void parseFParams(std::vector<ast::FParam>& out);
 
   // statements
   std::vector<ast::StmtPtr> parseStatementSequence();
   ast::StmtPtr parseOneStatement();
+  ast::StmtPtr parseOneStatementInner();
   ast::StmtPtr parseIf();
   ast::StmtPtr parseReplication();
   ast::StmtPtr parseCondGeneration();
@@ -66,6 +86,7 @@ class Parser {
   // expressions (Pratt over the constant-expression precedence of §3.1)
   ast::ExprPtr parseExpr(int minPrec = 0);
   ast::ExprPtr parsePrimary();
+  ast::ExprPtr parsePrimaryInner();
   ast::ExprPtr parsePostfix(ast::ExprPtr base);
   ast::ExprPtr parseSignalPath();
 
@@ -74,10 +95,17 @@ class Parser {
   std::vector<ast::LayoutStmtPtr> parseLayoutList(
       std::initializer_list<Tok> terminators);
   ast::LayoutStmtPtr parseLayoutStatement();
+  ast::LayoutStmtPtr parseLayoutStatementInner();
 
   DiagnosticEngine& diags_;
+  Limits limits_;
+  ResourceUsage* usage_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
+  bool depthBreached_ = false;
+  bool tooManyErrors_ = false;
+  size_t errorsAtStart_ = 0;
 };
 
 }  // namespace zeus

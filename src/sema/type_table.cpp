@@ -1,15 +1,13 @@
 #include "src/sema/type_table.h"
 
 #include <cassert>
+#include <cstdint>
 
 namespace zeus {
 
-namespace {
-constexpr int kMaxTypeDepth = 200;
-}
-
-TypeTable::TypeTable(DiagnosticEngine& diags)
-    : diags_(diags), constEval_(diags) {
+TypeTable::TypeTable(DiagnosticEngine& diags, Limits limits,
+                     ResourceUsage* usage)
+    : diags_(diags), limits_(limits), usage_(usage), constEval_(diags) {
   Type* b = newType();
   b->kind = Type::Kind::Basic;
   b->basic = BasicKind::Boolean;
@@ -45,6 +43,7 @@ TypeTable::TypeTable(DiagnosticEngine& diags)
 
 Type* TypeTable::newType() {
   types_.push_back(std::make_unique<Type>());
+  if (usage_) usage_->typesInstantiated = types_.size();
   return types_.back().get();
 }
 
@@ -61,8 +60,20 @@ const Type* TypeTable::makeArray(int64_t lo, int64_t hi, const Type* elem) {
   t->elem = elem;
   t->name = "ARRAY[" + std::to_string(lo) + ".." + std::to_string(hi) +
             "] OF " + (elem ? elem->name : "<error>");
-  t->numBasic =
-      hi < lo ? 0 : static_cast<size_t>(hi - lo + 1) * (elem ? elem->numBasic : 0);
+  // Saturate instead of wrapping: nested giant bounds overflow size_t, and
+  // a wrapped numBasic would defeat the elaborator's net budget check.
+  if (hi < lo) {
+    t->numBasic = 0;
+  } else {
+    size_t len = static_cast<size_t>(static_cast<uint64_t>(hi) -
+                                     static_cast<uint64_t>(lo) + 1);
+    size_t per = elem ? elem->numBasic : 0;
+    if (per != 0 && len > SIZE_MAX / per) {
+      t->numBasic = SIZE_MAX;
+    } else {
+      t->numBasic = len * per;
+    }
+  }
   return t;
 }
 
@@ -82,12 +93,20 @@ const Type* TypeTable::instantiateNamed(const std::string& name,
     if (auto it = namedCache_.find(key); it != namedCache_.end())
       return it->second;
 
-    if (++depth_ > kMaxTypeDepth) {
+    if (types_.size() > limits_.maxTypes) {
+      diags_.error(Diag::TypeBudgetExceeded, loc,
+                   "more than " + std::to_string(limits_.maxTypes) +
+                       " instantiated types; is '" + name +
+                       "' expanding without bound?");
+      return nullptr;
+    }
+    if (++depth_ > limits_.maxTypeDepth) {
       --depth_;
       diags_.error(Diag::RecursionTooDeep, loc,
                    "type instantiation recursion too deep at '" + name + "'");
       return nullptr;
     }
+    if (usage_) usage_->notePeak(usage_->typeDepthPeak, depth_);
     Env* bindEnv = makeEnv(tb->declEnv);
     for (size_t i = 0; i < args.size(); ++i)
       bindEnv->defineLoopVar(decl->typeFormals[i], args[i]);
@@ -219,9 +238,13 @@ void TypeTable::flatten(const Type& t, ast::ParamMode inherited,
       out.push_back({prefix, t.basic, inherited});
       return;
     case Type::Kind::Array:
-      for (int64_t i = t.lo; i <= t.hi; ++i) {
+      // Nothing to emit for elements without basic substructure; skipping
+      // also keeps ARRAY[1..huge] OF virtual from spinning this loop.
+      if (t.hi < t.lo || !t.elem || t.elem->numBasic == 0) return;
+      for (int64_t i = t.lo;; ++i) {
         flatten(*t.elem, inherited,
                 prefix + "[" + std::to_string(i) + "]", out);
+        if (i >= t.hi) break;  // avoids ++i overflow at INT64_MAX
       }
       return;
     case Type::Kind::Component:

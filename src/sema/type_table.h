@@ -23,6 +23,7 @@
 #include "src/sema/const_eval.h"
 #include "src/sema/env.h"
 #include "src/support/diagnostics.h"
+#include "src/support/limits.h"
 
 namespace zeus {
 
@@ -88,7 +89,8 @@ struct FlatBit {
 
 class TypeTable {
  public:
-  explicit TypeTable(DiagnosticEngine& diags);
+  explicit TypeTable(DiagnosticEngine& diags, Limits limits = {},
+                     ResourceUsage* usage = nullptr);
 
   const Type* boolean() const { return boolean_; }
   const Type* multiplex() const { return multiplex_; }
@@ -121,6 +123,8 @@ class TypeTable {
   const Type* resolveComponent(const ast::TypeExpr& te, const Env& env);
 
   DiagnosticEngine& diags_;
+  Limits limits_;
+  ResourceUsage* usage_;
   ConstEval constEval_;
   std::deque<std::unique_ptr<Type>> types_;
   std::deque<std::unique_ptr<Env>> envs_;

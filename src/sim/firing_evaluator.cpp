@@ -72,7 +72,16 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
     pending_[i] = g_.nets[i].nonRegDrivers;
   }
   out.collisions.clear();
+  out.watchdogTripped = false;
   collisions_ = &out.collisions;
+  // Watchdog: every consumer edge delivers at most one arrival event per
+  // cycle, so anything past a small multiple of the edge count means the
+  // evaluator is wedged — abort the cycle instead of hanging.
+  uint64_t eventBudget = seeds.eventBudget
+                             ? seeds.eventBudget
+                             : 4 * static_cast<uint64_t>(inputStart_.back()) +
+                                   g_.denseCount + 64;
+  uint64_t events = 0;
 
   // Seed register outputs (REG drivers contribute their stored value and
   // are not counted in pending_).
@@ -114,11 +123,15 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
 
   // Propagate.
   size_t cursor = 0;
-  while (cursor < worklist_.size()) {
+  while (cursor < worklist_.size() && !out.watchdogTripped) {
     uint32_t net = worklist_[cursor++];
     Logic v = value_[net];
     for (uint32_t e = g_.consumerStart[net]; e < g_.consumerStart[net + 1];
          ++e) {
+      if (++events > eventBudget) {
+        out.watchdogTripped = true;
+        break;
+      }
       NodeId ni = g_.consumers[e];
       uint32_t idx = g_.consumerInputIdx[e];
       const Node& node = nl.node(ni);

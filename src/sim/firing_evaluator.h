@@ -31,6 +31,11 @@ struct CycleSeeds {
   /// Per REG node (indexed as in graph.regNodes): stored value.
   const std::vector<Logic>* regValues = nullptr;
   uint64_t rngState = 0;  ///< for RANDOM nodes
+  /// Firing watchdog: abort the cycle after this many input-arrival
+  /// events.  0 = automatic (a generous multiple of the edge count; on a
+  /// consistent DAG every node fires exactly once, so tripping it means
+  /// the evaluator — not the design — is wedged).
+  uint64_t eventBudget = 0;
 };
 
 /// Results of one cycle.
@@ -39,6 +44,7 @@ struct CycleResult {
   std::vector<uint32_t> activeCounts;  ///< active (0/1/UNDEF) contributions
   std::vector<uint32_t> collisions;    ///< dense nets with >1 active driver
   uint64_t rngState = 0;
+  bool watchdogTripped = false;  ///< cycle aborted by the firing watchdog
 };
 
 class FiringEvaluator {

@@ -61,8 +61,15 @@ void NaiveEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
     return r.value;
   };
 
+  out.watchdogTripped = false;
   std::vector<Logic> scratch;
-  const size_t maxSweeps = nl.nodeCount() + 2;
+  size_t maxSweeps = nl.nodeCount() + 2;
+  if (seeds.eventBudget) {
+    // Honour the caller's watchdog: one sweep visits every node once.
+    uint64_t perSweep = nl.nodeCount() ? nl.nodeCount() : 1;
+    uint64_t cap = seeds.eventBudget / perSweep + 1;
+    if (cap < maxSweeps) maxSweeps = static_cast<size_t>(cap);
+  }
   size_t sweep = 0;
   bool changed = true;
   while (changed && sweep < maxSweeps) {
@@ -121,7 +128,9 @@ void NaiveEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
       }
     }
   }
-  assert(sweep < maxSweeps && "naive evaluator failed to converge");
+  // Non-convergence within the sweep bound is a watchdog fault, reported
+  // as a structured SimError by the Simulation — never a silent assert.
+  if (changed && sweep >= maxSweeps) out.watchdogTripped = true;
 
   // Final resolution + collision check.
   out.collisions.clear();

@@ -1,11 +1,15 @@
 #include "src/sim/simulation.h"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace zeus {
 
 Simulation::Simulation(const SimGraph& graph, EvaluatorKind kind)
-    : g_(graph), kind_(kind) {
+    : Simulation(graph, Options{.evaluator = kind}) {}
+
+Simulation::Simulation(const SimGraph& graph, const Options& opts)
+    : g_(graph), opts_(opts), kind_(opts.evaluator) {
   if (g_.hasCycle) {
     throw std::runtime_error("cannot simulate a cyclic design: " +
                              g_.cycleDescription);
@@ -110,6 +114,7 @@ void Simulation::runCycle(bool latch) {
   seeds.inputSet = &inputSet_;
   seeds.regValues = &regValues_;
   seeds.rngState = rngState_;
+  seeds.eventBudget = opts_.maxEventsPerCycle;
   if (firing_) firing_->evaluate(seeds, result_);
   else naive_->evaluate(seeds, result_);
   rngState_ = result_.rngState;
@@ -117,8 +122,19 @@ void Simulation::runCycle(bool latch) {
 
   for (uint32_t dn : result_.collisions) {
     errors_.push_back(
-        {cycle_, g_.design->netlist.net(g_.rootOf[dn]).name,
+        {cycle_, Diag::SimContention,
+         g_.design->netlist.net(g_.rootOf[dn]).name,
          "more than one (0,1,UNDEF)-assignment active in one cycle"});
+  }
+  if (result_.watchdogTripped) {
+    errors_.push_back(
+        {cycle_, Diag::SimWatchdog, "",
+         "cycle evaluation aborted by the firing watchdog (event budget "
+         "exhausted); net values for this cycle are unreliable"});
+  }
+  if (opts_.usage) {
+    opts_.usage->simEvents = stats().inputEvents;
+    opts_.usage->simFaults = errors_.size();
   }
 
   if (!latch) return;
@@ -135,10 +151,33 @@ void Simulation::runCycle(bool latch) {
     }
   }
   ++cycle_;
+  if (opts_.usage) opts_.usage->simCycles = cycle_;
 }
 
 void Simulation::step(uint64_t n) {
-  for (uint64_t i = 0; i < n; ++i) runCycle(/*latch=*/true);
+  using Clock = std::chrono::steady_clock;
+  const bool timed = opts_.maxSimMillis > 0;
+  const Clock::time_point start = timed ? Clock::now() : Clock::time_point{};
+  for (uint64_t i = 0; i < n; ++i) {
+    if (timed) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         Clock::now() - start)
+                         .count();
+      if (static_cast<uint64_t>(elapsed) >= opts_.maxSimMillis && i > 0) {
+        errors_.push_back(
+            {cycle_, Diag::SimWallClock, "",
+             "simulation stopped after " + std::to_string(i) + " of " +
+                 std::to_string(n) + " cycle(s): wall-clock budget of " +
+                 std::to_string(opts_.maxSimMillis) + " ms exhausted"});
+        if (opts_.usage) opts_.usage->simFaults = errors_.size();
+        return;
+      }
+    }
+    runCycle(/*latch=*/true);
+    // A tripped watchdog means further cycles would spin on the same
+    // wedged evaluation — stop the run rather than flood errors().
+    if (result_.watchdogTripped) return;
+  }
 }
 
 void Simulation::evaluateOnly() { runCycle(/*latch=*/false); }

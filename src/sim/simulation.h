@@ -16,21 +16,41 @@
 
 #include "src/sim/firing_evaluator.h"
 #include "src/sim/naive_evaluator.h"
+#include "src/support/diagnostics.h"
+#include "src/support/limits.h"
 
 namespace zeus {
 
 enum class EvaluatorKind { Firing, Naive };
 
+/// A runtime fault recorded during simulation.  Faults never abort the
+/// run; they accumulate in Simulation::errors() with a stable Diag code
+/// (SimContention, SimWatchdog, SimWallClock) so callers and tests can
+/// match on them like any other diagnostic.
 struct SimError {
   uint64_t cycle;
-  std::string netName;
+  Diag code;
+  std::string netName;  ///< empty for faults not tied to one net
   std::string message;
 };
 
 class Simulation {
  public:
+  struct Options {
+    EvaluatorKind evaluator = EvaluatorKind::Firing;
+    /// Firing watchdog: abort a cycle after this many input-arrival
+    /// events (0 = automatic, see CycleSeeds::eventBudget).
+    uint64_t maxEventsPerCycle = 0;
+    /// Wall-clock budget for step(); 0 = unlimited.  When exceeded the
+    /// run stops early with a SimWallClock fault.
+    uint64_t maxSimMillis = 0;
+    /// Optional usage sink (simCycles / simEvents / simFaults).
+    ResourceUsage* usage = nullptr;
+  };
+
   explicit Simulation(const SimGraph& graph,
                       EvaluatorKind kind = EvaluatorKind::Firing);
+  Simulation(const SimGraph& graph, const Options& opts);
 
   /// Clears registers to UNDEF, inputs to unset, cycle count to 0.
   void reset();
@@ -53,7 +73,8 @@ class Simulation {
   /// Restores a previously saved register state.
   void restoreRegisters(const std::vector<Logic>& state);
 
-  /// Evaluates `n` clock cycles (evaluate + latch each).
+  /// Evaluates `n` clock cycles (evaluate + latch each).  Stops early —
+  /// recording a SimWallClock fault — when the wall-clock budget runs out.
   void step(uint64_t n = 1);
   /// Evaluates combinationally without latching registers (inspection).
   void evaluateOnly();
@@ -84,6 +105,7 @@ class Simulation {
   void runCycle(bool latch);
 
   const SimGraph& g_;
+  Options opts_;
   EvaluatorKind kind_;
   std::unique_ptr<FiringEvaluator> firing_;
   std::unique_ptr<NaiveEvaluator> naive_;

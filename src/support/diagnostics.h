@@ -20,6 +20,8 @@ enum class Diag {
   InvalidCharacter,
   InvalidOctalDigit,
   NumberTooLarge,
+  SourceTooLarge,
+  TooManyTokens,
   // Parser
   ExpectedToken,
   UnexpectedToken,
@@ -28,6 +30,8 @@ enum class Diag {
   ExpectedExpression,
   ExpectedType,
   SignalAfterOtherDecls,
+  NestingTooDeep,
+  TooManyErrors,
   // Sema / const eval
   UnknownIdentifier,
   NotAConstant,
@@ -37,6 +41,7 @@ enum class Diag {
   NotAComponentType,
   NotAFunctionComponent,
   RecursionTooDeep,
+  TypeBudgetExceeded,
   BadArrayBounds,
   DuplicateDeclaration,
   InOutBasicMustBeMultiplex,
@@ -68,6 +73,13 @@ enum class Diag {
   ReplacementOnNonVirtual,
   SequentialOrderViolated,
   IndexOutOfRange,
+  InstanceBudgetExceeded,
+  NetBudgetExceeded,
+  ElabBudgetExceeded,
+  // Simulation (runtime faults, carried on SimError records)
+  SimContention,
+  SimWatchdog,
+  SimWallClock,
   // Layout
   LayoutUnknownDirection,
   LayoutUnknownOrientation,

@@ -1,6 +1,8 @@
 // Unit tests for the scanner (paper §2).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "src/lexer/lexer.h"
 
 namespace zeus {
@@ -85,6 +87,33 @@ TEST(Lexer, InvalidOctalDigitDiagnosed) {
 TEST(Lexer, HugeNumberDiagnosed) {
   LexResult r = lex("99999999999999999999999999");
   EXPECT_TRUE(r.diags->has(Diag::NumberTooLarge));
+}
+
+TEST(Lexer, Int64MaxParses) {
+  // INT64_MAX itself must lex without tripping the overflow check.
+  LexResult r = lex("9223372036854775807");
+  ASSERT_EQ(r.tokens[0].kind, Tok::Number);
+  EXPECT_EQ(r.tokens[0].number, INT64_MAX);
+  EXPECT_FALSE(r.diags->hasErrors());
+}
+
+TEST(Lexer, Int64MaxPlusOneDiagnosed) {
+  // One past INT64_MAX must be a structured NumberTooLarge, not wraparound.
+  LexResult r = lex("9223372036854775808");
+  EXPECT_EQ(r.tokens[0].kind, Tok::Error);
+  EXPECT_TRUE(r.diags->has(Diag::NumberTooLarge));
+}
+
+TEST(Lexer, OctalInt64Boundary) {
+  // INT64_MAX in octal is 7 followed by twenty 7s.
+  LexResult r = lex("777777777777777777777B");
+  ASSERT_EQ(r.tokens[0].kind, Tok::Number);
+  EXPECT_EQ(r.tokens[0].number, INT64_MAX);
+  EXPECT_FALSE(r.diags->hasErrors());
+
+  LexResult over = lex("1000000000000000000000B");
+  EXPECT_EQ(over.tokens[0].kind, Tok::Error);
+  EXPECT_TRUE(over.diags->has(Diag::NumberTooLarge));
 }
 
 TEST(Lexer, TwoCharSymbols) {
