@@ -1,0 +1,199 @@
+// E9 — levelized simulation: the statically scheduled evaluator against
+// the firing rules and the naive fixpoint baseline, scalar and 64-lane
+// batch, on the paper's ripple-carry adder (§3.2/§10).
+//
+// Unlike the google-benchmark binaries this one has a plain main() so the
+// ctest smoke target can run it with a tiny cycle count and validate the
+// emitted BENCH_sim.json.  Every evaluator is driven with the same
+// pseudo-random stimulus and must produce the same checksum — the bench
+// doubles as a coarse differential test.
+//
+// Usage: bench_levelized [--cycles N] [--width W] [--out FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/zeus.h"
+#include "src/corpus/corpus.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  std::string name;
+  uint64_t lanes = 1;
+  uint64_t evaluatedCycles = 0;  ///< calls into the evaluator
+  uint64_t laneCycles = 0;       ///< stimulus vectors simulated
+  double seconds = 0;
+  uint64_t checksum = 0;  ///< sum of `s` outputs over all lane cycles
+
+  [[nodiscard]] double cyclesPerSec() const {
+    return seconds > 0 ? static_cast<double>(laneCycles) / seconds : 0;
+  }
+};
+
+uint64_t xorshift(uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+RunResult runScalar(const zeus::SimGraph& g, zeus::EvaluatorKind kind,
+                    const char* name, int width, uint64_t cycles) {
+  zeus::Simulation sim(g, kind);
+  const uint64_t mask =
+      width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  uint64_t rng = 0xFEED;
+  RunResult r;
+  r.name = name;
+  sim.setInput("cin", zeus::Logic::Zero);
+  const Clock::time_point t0 = Clock::now();
+  for (uint64_t i = 0; i < cycles; ++i) {
+    uint64_t x = xorshift(rng);
+    sim.setInputUint("a", x & mask);
+    sim.setInputUint("b", (x >> 17) & mask);
+    sim.step();
+    r.checksum += *sim.outputUint("s");
+  }
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.evaluatedCycles = cycles;
+  r.laneCycles = cycles;
+  return r;
+}
+
+RunResult runBatch(const zeus::SimGraph& g, int width, uint64_t cycles) {
+  constexpr size_t kLanes = zeus::BatchSimulation::kMaxLanes;
+  zeus::BatchSimulation sim(g, kLanes);
+  const uint64_t mask =
+      width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  uint64_t rng = 0xFEED;
+  RunResult r;
+  r.name = "levelized-batch";
+  r.lanes = kLanes;
+  sim.setInputAll("cin", zeus::Logic::Zero);
+  const uint64_t evalCycles = (cycles + kLanes - 1) / kLanes;
+  const Clock::time_point t0 = Clock::now();
+  for (uint64_t i = 0; i < evalCycles; ++i) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      uint64_t x = xorshift(rng);
+      sim.setInputUint(l, "a", x & mask);
+      sim.setInputUint(l, "b", (x >> 17) & mask);
+    }
+    sim.step();
+    for (size_t l = 0; l < kLanes; ++l) {
+      r.checksum += *sim.outputUint(l, "s");
+    }
+  }
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.evaluatedCycles = evalCycles;
+  r.laneCycles = evalCycles * kLanes;
+  return r;
+}
+
+void emitJson(const std::string& path, int width, uint64_t cycles,
+              const std::vector<RunResult>& runs, double speedupBatch,
+              double speedupLevelized) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema\": \"zeus-bench-sim-v1\",\n"
+      << "  \"design\": \"rippleCarry\",\n"
+      << "  \"width\": " << width << ",\n"
+      << "  \"cycles\": " << cycles << ",\n"
+      << "  \"evaluators\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    out << "    {\"name\": \"" << r.name << "\", \"lanes\": " << r.lanes
+        << ", \"evaluated_cycles\": " << r.evaluatedCycles
+        << ", \"lane_cycles\": " << r.laneCycles
+        << ", \"seconds\": " << r.seconds
+        << ", \"cycles_per_sec\": " << r.cyclesPerSec()
+        << ", \"checksum\": " << r.checksum << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"speedup_levelized_vs_firing\": " << speedupLevelized << ",\n"
+      << "  \"speedup_batch_vs_firing\": " << speedupBatch << "\n"
+      << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t cycles = 20480;  // multiple of 64: batch checksum is comparable
+  int width = 32;
+  std::string outPath = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (!std::strcmp(argv[i], "--cycles")) {
+      const char* v = next();
+      if (v) cycles = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--width")) {
+      const char* v = next();
+      if (v) width = std::atoi(v);
+    } else if (!std::strcmp(argv[i], "--out")) {
+      const char* v = next();
+      if (v) outPath = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_levelized [--cycles N] [--width W] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  std::string src = std::string(zeus::corpus::kAdders) +
+                    "SIGNAL adder: rippleCarry(" + std::to_string(width) +
+                    ");\n";
+  auto comp = zeus::Compilation::fromSource("bench.zeus", src);
+  if (!comp->ok()) {
+    std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+    return 1;
+  }
+  auto design = comp->elaborate("adder");
+  if (!design) return 1;
+  zeus::SimGraph g = zeus::buildSimGraph(*design, comp->diags());
+  if (g.hasCycle) return 1;
+
+  std::vector<RunResult> runs;
+  runs.push_back(
+      runScalar(g, zeus::EvaluatorKind::Naive, "naive", width, cycles));
+  runs.push_back(
+      runScalar(g, zeus::EvaluatorKind::Firing, "firing", width, cycles));
+  runs.push_back(runScalar(g, zeus::EvaluatorKind::Levelized, "levelized",
+                           width, cycles));
+  runs.push_back(runBatch(g, width, cycles));
+
+  // Identical stimulus must give identical checksums everywhere; a
+  // mismatch means an evaluator is wrong, so fail loudly.
+  for (const RunResult& r : runs) {
+    if (r.laneCycles == cycles && r.checksum != runs[0].checksum) {
+      std::fprintf(stderr, "checksum mismatch: %s\n", r.name.c_str());
+      return 1;
+    }
+  }
+
+  const double firing = runs[1].cyclesPerSec();
+  const double speedupLevelized =
+      firing > 0 ? runs[2].cyclesPerSec() / firing : 0;
+  const double speedupBatch =
+      firing > 0 ? runs[3].cyclesPerSec() / firing : 0;
+  emitJson(outPath, width, cycles, runs, speedupBatch, speedupLevelized);
+
+  for (const RunResult& r : runs) {
+    std::printf("%-18s %12.0f cycles/s  (%llu lane-cycles in %.3fs)\n",
+                r.name.c_str(), r.cyclesPerSec(),
+                static_cast<unsigned long long>(r.laneCycles), r.seconds);
+  }
+  std::printf("levelized vs firing: %.2fx\n", speedupLevelized);
+  std::printf("batch-64  vs firing: %.2fx\n", speedupBatch);
+  std::printf("wrote %s\n", outPath.c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+# ctest smoke harness for bench_levelized: runs the bench with a tiny
+# cycle count and validates the emitted BENCH_sim.json against the
+# zeus-bench-sim-v1 schema.
+#
+# Usage: cmake -DBENCH=<bench_levelized> -DJSON=<out.json> -P check_bench_json.cmake
+if(NOT BENCH OR NOT JSON)
+  message(FATAL_ERROR "pass -DBENCH=<binary> and -DJSON=<output path>")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} --cycles 128 --width 16 --out ${JSON}
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "bench_levelized failed (${rv}):\n${out}\n${err}")
+endif()
+
+file(READ ${JSON} content)
+
+string(JSON schema ERROR_VARIABLE jerr GET "${content}" schema)
+if(jerr OR NOT schema STREQUAL "zeus-bench-sim-v1")
+  message(FATAL_ERROR "bad schema field: '${schema}' ${jerr}")
+endif()
+
+string(JSON ncyc GET "${content}" cycles)
+if(NOT ncyc EQUAL 128)
+  message(FATAL_ERROR "cycles field ${ncyc} != 128")
+endif()
+
+string(JSON nevals LENGTH "${content}" evaluators)
+if(NOT nevals EQUAL 4)
+  message(FATAL_ERROR "expected 4 evaluator entries, got ${nevals}")
+endif()
+
+set(want_names "naive;firing;levelized;levelized-batch")
+math(EXPR last "${nevals} - 1")
+foreach(i RANGE ${last})
+  string(JSON name GET "${content}" evaluators ${i} name)
+  list(GET want_names ${i} want)
+  if(NOT name STREQUAL want)
+    message(FATAL_ERROR "evaluator ${i} named '${name}', expected '${want}'")
+  endif()
+  foreach(field cycles_per_sec lane_cycles seconds checksum)
+    string(JSON v ERROR_VARIABLE jerr GET "${content}" evaluators ${i} ${field})
+    if(jerr)
+      message(FATAL_ERROR "evaluator ${i} missing field '${field}': ${jerr}")
+    endif()
+  endforeach()
+  string(JSON cps GET "${content}" evaluators ${i} cycles_per_sec)
+  if(cps LESS_EQUAL 0)
+    message(FATAL_ERROR "evaluator ${i} cycles_per_sec not positive: ${cps}")
+  endif()
+endforeach()
+
+foreach(field speedup_levelized_vs_firing speedup_batch_vs_firing)
+  string(JSON v ERROR_VARIABLE jerr GET "${content}" ${field})
+  if(jerr)
+    message(FATAL_ERROR "missing '${field}': ${jerr}")
+  endif()
+endforeach()
+
+message(STATUS "BENCH_sim.json schema OK (${nevals} evaluators)")

@@ -12,6 +12,7 @@
 //   --svg <file>         write the layout as SVG
 //   --sim <cycles>       simulate N cycles (inputs all 0) and print ports
 //   --naive              use the naive fixpoint evaluator
+//   --levelized          use the statically scheduled levelized evaluator
 //   --stats              print evaluator statistics after --sim
 //   --report             print design statistics and the instance tree
 //   --script <file>      run a testbench script (set/step/expect/...)
@@ -35,7 +36,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: zeusc <file.zeus> --top <signal> [--dump-ast] "
                "[--dump-netlist] [--layout] [--svg out.svg] [--sim N] "
-               "[--naive] [--stats]\n"
+               "[--naive] [--levelized] [--stats]\n"
                "       zeusc --example <name> [options]\n"
                "       zeusc --list-examples\n");
   return 2;
@@ -46,7 +47,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::string file, top, example, svgOut;
   bool dumpAst = false, dumpNetlist = false, layout = false, naive = false;
-  bool stats = false, report = false;
+  bool levelized = false, stats = false, report = false;
   std::string dotOut, scriptFile;
   long simCycles = -1;
 
@@ -84,6 +85,8 @@ int main(int argc, char** argv) {
       simCycles = std::atol(v);
     } else if (arg == "--naive") {
       naive = true;
+    } else if (arg == "--levelized") {
+      levelized = true;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--report") {
@@ -230,7 +233,8 @@ int main(int argc, char** argv) {
     zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
     if (graph.hasCycle) return 1;
     zeus::Simulation sim(graph, naive ? zeus::EvaluatorKind::Naive
-                                      : zeus::EvaluatorKind::Firing);
+                         : levelized ? zeus::EvaluatorKind::Levelized
+                                     : zeus::EvaluatorKind::Firing);
     zeus::ScriptResult sr = zeus::runScript(sim, ss.str());
     std::printf("%s", sr.log.c_str());
     std::printf("script: %d expectation(s) checked, %s\n",
@@ -245,7 +249,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     zeus::Simulation sim(graph, naive ? zeus::EvaluatorKind::Naive
-                                      : zeus::EvaluatorKind::Firing);
+                         : levelized ? zeus::EvaluatorKind::Levelized
+                                     : zeus::EvaluatorKind::Firing);
     for (const zeus::Port& p : design->ports) {
       if (p.mode == zeus::ast::ParamMode::In) {
         sim.setInput(p.name, std::vector<zeus::Logic>(p.nets.size(),

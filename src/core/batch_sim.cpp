@@ -1,0 +1,234 @@
+#include "src/core/batch_sim.h"
+
+#include <stdexcept>
+
+namespace zeus {
+
+BatchSimulation::BatchSimulation(const SimGraph& graph, size_t lanes)
+    : g_(graph), lanes_(lanes), eval_(graph) {
+  if (g_.hasCycle) {
+    throw std::runtime_error("cannot simulate a cyclic design: " +
+                             g_.cycleDescription);
+  }
+  if (lanes_ == 0 || lanes_ > kMaxLanes) {
+    throw std::invalid_argument("batch lane count must be 1..64");
+  }
+  laneMask_ = lanes_ == kMaxLanes ? ~uint64_t{0}
+                                  : (uint64_t{1} << lanes_) - 1;
+  inputValues_.assign(g_.denseCount, {});
+  regValues_.assign(g_.regNodes.size(),
+                    lanesBroadcast(Logic::Undef, ~uint64_t{0}));
+  seedDefaults();
+}
+
+void BatchSimulation::seedDefaults() {
+  // CLK reads as 1 while a cycle is evaluated; RSET is inactive.  Every
+  // lane's RANDOM stream starts from the scalar default seed, so an
+  // unseeded lane replays an unseeded scalar run.
+  inputValues_[g_.dense(g_.design->clk)] =
+      lanesBroadcast(Logic::One, ~uint64_t{0});
+  inputValues_[g_.dense(g_.design->rset)] =
+      lanesBroadcast(Logic::Zero, ~uint64_t{0});
+  rngStates_.fill(kDefaultRngSeed);
+}
+
+void BatchSimulation::reset() {
+  inputValues_.assign(g_.denseCount, {});
+  regValues_.assign(g_.regNodes.size(),
+                    lanesBroadcast(Logic::Undef, ~uint64_t{0}));
+  seedDefaults();
+  cycle_ = 0;
+  errors_.clear();
+  evaluated_ = false;
+}
+
+const Port* BatchSimulation::findPortOrThrow(const std::string& name) const {
+  const Port* p = g_.design->findPort(name);
+  if (!p) throw std::invalid_argument("no port named '" + name + "'");
+  return p;
+}
+
+void BatchSimulation::checkLane(size_t lane) const {
+  if (lane >= lanes_) {
+    throw std::invalid_argument("lane " + std::to_string(lane) +
+                                " out of range (batch has " +
+                                std::to_string(lanes_) + " lane(s))");
+  }
+}
+
+void BatchSimulation::setInput(size_t lane, const std::string& port,
+                               Logic v) {
+  setInput(lane, port, std::vector<Logic>{v});
+}
+
+void BatchSimulation::setInput(size_t lane, const std::string& port,
+                               const std::vector<Logic>& bits) {
+  checkLane(lane);
+  const Port* p = findPortOrThrow(port);
+  if (bits.size() != p->nets.size()) {
+    throw std::invalid_argument("port '" + p->name + "' has " +
+                                std::to_string(p->nets.size()) +
+                                " bit(s), got " +
+                                std::to_string(bits.size()));
+  }
+  for (size_t i = 0; i < bits.size(); ++i) {
+    laneSet(inputValues_[g_.dense(p->nets[i])],
+            static_cast<uint32_t>(lane), bits[i]);
+  }
+}
+
+void BatchSimulation::setInputUint(size_t lane, const std::string& port,
+                                   uint64_t value) {
+  const Port* p = findPortOrThrow(port);
+  std::vector<Logic> bits(p->nets.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = logicFromBool((value >> i) & 1);
+  }
+  setInput(lane, port, bits);
+}
+
+void BatchSimulation::setInputAll(const std::string& port, Logic v) {
+  const Port* p = findPortOrThrow(port);
+  for (NetId n : p->nets) {
+    inputValues_[g_.dense(n)] = lanesBroadcast(v, ~uint64_t{0});
+  }
+}
+
+void BatchSimulation::clearInput(size_t lane, const std::string& port) {
+  checkLane(lane);
+  const Port* p = findPortOrThrow(port);
+  for (NetId n : p->nets) {
+    // A cleared lane carries NOINFL = (0,0): no contribution.
+    laneSet(inputValues_[g_.dense(n)], static_cast<uint32_t>(lane),
+            Logic::NoInfl);
+  }
+}
+
+void BatchSimulation::setRset(bool active) {
+  inputValues_[g_.dense(g_.design->rset)] =
+      lanesBroadcast(logicFromBool(active), ~uint64_t{0});
+}
+
+void BatchSimulation::setRset(size_t lane, bool active) {
+  checkLane(lane);
+  laneSet(inputValues_[g_.dense(g_.design->rset)],
+          static_cast<uint32_t>(lane), logicFromBool(active));
+}
+
+void BatchSimulation::setRandomSeed(size_t lane, uint64_t seed) {
+  checkLane(lane);
+  rngStates_[lane] = seed ? seed : 1;
+}
+
+std::vector<Logic> BatchSimulation::saveRegisters(size_t lane) const {
+  checkLane(lane);
+  std::vector<Logic> out(regValues_.size());
+  for (size_t k = 0; k < regValues_.size(); ++k) {
+    out[k] = laneValue(regValues_[k], static_cast<uint32_t>(lane));
+  }
+  return out;
+}
+
+void BatchSimulation::restoreRegisters(size_t lane,
+                                       const std::vector<Logic>& state) {
+  checkLane(lane);
+  if (state.size() != regValues_.size()) {
+    throw std::invalid_argument(
+        "register snapshot has wrong size for this design");
+  }
+  for (size_t k = 0; k < regValues_.size(); ++k) {
+    laneSet(regValues_[k], static_cast<uint32_t>(lane), state[k]);
+  }
+}
+
+void BatchSimulation::runCycle(bool latch) {
+  BatchSeeds seeds;
+  seeds.inputValues = &inputValues_;
+  seeds.regValues = &regValues_;
+  seeds.rngStates = &rngStates_;
+  seeds.laneMask = laneMask_;
+  eval_.evaluate(seeds, result_);
+  evaluated_ = true;
+
+  const Netlist& nl = g_.design->netlist;
+  for (uint32_t dn : result_.collisions) {
+    uint64_t mask = result_.activeMulti[dn] & laneMask_;
+    for (uint32_t lane = 0; lane < lanes_; ++lane) {
+      if (!((mask >> lane) & 1)) continue;
+      errors_.push_back(
+          {cycle_, Diag::SimContention, nl.net(g_.rootOf[dn]).name,
+           "more than one (0,1,UNDEF)-assignment active in one cycle",
+           static_cast<int32_t>(lane)});
+    }
+  }
+
+  if (!latch) return;
+  // Per-lane two-phase latch (§5.1): a lane's register keeps its value
+  // when that lane saw no active assignment this cycle.
+  for (size_t k = 0; k < g_.regNodes.size(); ++k) {
+    const Node& reg = nl.node(g_.regNodes[k]);
+    uint32_t in = g_.dense(reg.inputs[0]);
+    uint64_t act = result_.activeAny[in];
+    const LanePlanes& v = result_.netValues[in];
+    LanePlanes& r = regValues_[k];
+    r.p0 = (v.p0 & act) | (r.p0 & ~act);
+    r.p1 = (v.p1 & act) | (r.p1 & ~act);
+  }
+  ++cycle_;
+}
+
+void BatchSimulation::step(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) runCycle(/*latch=*/true);
+}
+
+void BatchSimulation::evaluateOnly() { runCycle(/*latch=*/false); }
+
+Logic BatchSimulation::netValue(size_t lane, NetId net) const {
+  checkLane(lane);
+  if (!evaluated_) return Logic::Undef;
+  return laneValue(result_.netValues[g_.dense(net)],
+                   static_cast<uint32_t>(lane));
+}
+
+Logic BatchSimulation::netValueByName(size_t lane,
+                                      const std::string& name) const {
+  NetId id = g_.design->netlist.findByName(name);
+  if (id == kNoNet) throw std::invalid_argument("no net named '" + name + "'");
+  return netValue(lane, id);
+}
+
+std::vector<Logic> BatchSimulation::outputBits(
+    size_t lane, const std::string& port) const {
+  const Port* p = findPortOrThrow(port);
+  std::vector<Logic> out;
+  out.reserve(p->nets.size());
+  for (size_t i = 0; i < p->nets.size(); ++i) {
+    Logic v = netValue(lane, p->nets[i]);
+    // Observation of a boolean port converts NOINFL to UNDEF (§4.1).
+    if (v == Logic::NoInfl && p->kinds[i] == BasicKind::Boolean)
+      v = Logic::Undef;
+    out.push_back(v);
+  }
+  return out;
+}
+
+Logic BatchSimulation::output(size_t lane, const std::string& port) const {
+  std::vector<Logic> bits = outputBits(lane, port);
+  if (bits.size() != 1) {
+    throw std::invalid_argument("port '" + port + "' is not a single bit");
+  }
+  return bits[0];
+}
+
+std::optional<uint64_t> BatchSimulation::outputUint(
+    size_t lane, const std::string& port) const {
+  std::vector<Logic> bits = outputBits(lane, port);
+  uint64_t value = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (!isDefined(bits[i])) return std::nullopt;
+    if (bits[i] == Logic::One) value |= uint64_t{1} << i;
+  }
+  return value;
+}
+
+}  // namespace zeus

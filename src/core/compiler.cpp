@@ -1,5 +1,6 @@
 #include "src/core/compiler.h"
 
+#include "src/core/batch_sim.h"
 #include "src/parser/parser.h"
 #include "src/sim/simulation.h"
 
@@ -42,6 +43,12 @@ std::unique_ptr<Design> Compilation::elaborate(const std::string& topName,
 }
 
 void Compilation::recordSimulation(const Simulation& sim) {
+  usage_.simCycles = sim.cycle();
+  usage_.simEvents = sim.stats().inputEvents;
+  usage_.simFaults = sim.errors().size();
+}
+
+void Compilation::recordSimulation(const BatchSimulation& sim) {
   usage_.simCycles = sim.cycle();
   usage_.simEvents = sim.stats().inputEvents;
   usage_.simFaults = sim.errors().size();

@@ -21,6 +21,7 @@
 namespace zeus {
 
 class Simulation;
+class BatchSimulation;
 
 class Compilation {
  public:
@@ -57,6 +58,8 @@ class Compilation {
   }
   /// Folds a simulation's cycle/event/fault counters into the report.
   void recordSimulation(const Simulation& sim);
+  /// Same for a 64-lane batch run; cycles count evaluated (not lane) cycles.
+  void recordSimulation(const BatchSimulation& sim);
   /// Usage sink to hand to stages (e.g. Simulation::Options::usage) that
   /// should account against this compilation's report.
   ResourceUsage* usage() { return &usage_; }

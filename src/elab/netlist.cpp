@@ -28,10 +28,16 @@ NetId Netlist::addNet(std::string name, BasicKind kind, SourceLoc loc) {
   n.name = std::move(name);
   n.kind = kind;
   n.loc = loc;
+  nameIndex_.emplace(n.name, id);  // first net with a name wins
   nets_.push_back(std::move(n));
   parent_.push_back(id);
   drivers_.emplace_back();
   return id;
+}
+
+NetId Netlist::findByName(const std::string& name) const {
+  auto it = nameIndex_.find(name);
+  return it == nameIndex_.end() ? kNoNet : it->second;
 }
 
 NodeId Netlist::addNode(Node n) {

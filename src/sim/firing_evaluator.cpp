@@ -17,8 +17,8 @@ uint64_t xorshift(uint64_t& s) {
 
 FiringEvaluator::FiringEvaluator(const SimGraph& graph) : g_(graph) {
   const Netlist& nl = g_.design->netlist;
-  value_.assign(g_.denseCount, Logic::NoInfl);
-  active_.assign(g_.denseCount, 0);
+  netStamp_.assign(g_.denseCount, 0);
+  nodeStamp_.assign(nl.nodeCount(), 0);
   pending_.assign(g_.denseCount, 0);
   netFired_.assign(g_.denseCount, 0);
   nodeFired_.assign(nl.nodeCount(), 0);
@@ -33,10 +33,38 @@ FiringEvaluator::FiringEvaluator(const SimGraph& graph) : g_(graph) {
   }
   inputVal_.assign(inputStart_.back(), Logic::Undef);
   inputKnown_.assign(inputStart_.back(), 0);
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    if (g_.nets[i].isInput) inputNets_.push_back(static_cast<uint32_t>(i));
+    if (g_.nets[i].nonRegDrivers == 0)
+      undrivenNets_.push_back(static_cast<uint32_t>(i));
+  }
   worklist_.reserve(g_.denseCount);
 }
 
+void FiringEvaluator::touchNet(uint32_t net) {
+  if (netStamp_[net] == epoch_) return;
+  netStamp_[net] = epoch_;
+  value_[net] = Logic::NoInfl;
+  active_[net] = 0;
+  netFired_[net] = 0;
+  pending_[net] = g_.nets[net].nonRegDrivers;
+}
+
+void FiringEvaluator::touchNode(NodeId node) {
+  if (nodeStamp_[node] == epoch_) return;
+  nodeStamp_[node] = epoch_;
+  nodeFired_[node] = 0;
+  nodeKnown_[node] = 0;
+  nodeZeros_[node] = 0;
+  nodeOnes_[node] = 0;
+  nodeUndef_[node] = 0;
+  for (uint32_t s = inputStart_[node]; s < inputStart_[node + 1]; ++s) {
+    inputKnown_[s] = 0;
+  }
+}
+
 void FiringEvaluator::contribute(uint32_t net, Logic v) {
+  touchNet(net);
   if (v != Logic::NoInfl) {
     if (++active_[net] == 1) value_[net] = v;
     else value_[net] = Logic::Undef;
@@ -48,6 +76,7 @@ void FiringEvaluator::contribute(uint32_t net, Logic v) {
 void FiringEvaluator::fireNet(uint32_t net, Logic value) {
   assert(!netFired_[net]);
   netFired_[net] = 1;
+  ++firedCount_;
   value_[net] = value;
   if (active_[net] > 1 && collisions_) collisions_->push_back(net);
   worklist_.push_back(net);
@@ -55,22 +84,17 @@ void FiringEvaluator::fireNet(uint32_t net, Logic value) {
 
 void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   const Netlist& nl = g_.design->netlist;
-  uint64_t rng = seeds.rngState ? seeds.rngState : 0x9E3779B97F4A7C15ull;
+  uint64_t rng = seeds.rngState ? seeds.rngState : kDefaultRngSeed;
 
-  // Reset per-cycle state.
-  std::fill(value_.begin(), value_.end(), Logic::NoInfl);
-  std::fill(active_.begin(), active_.end(), 0u);
-  std::fill(netFired_.begin(), netFired_.end(), 0);
-  std::fill(nodeFired_.begin(), nodeFired_.end(), 0);
-  std::fill(nodeKnown_.begin(), nodeKnown_.end(), 0u);
-  std::fill(nodeZeros_.begin(), nodeZeros_.end(), 0u);
-  std::fill(nodeOnes_.begin(), nodeOnes_.end(), 0u);
-  std::fill(nodeUndef_.begin(), nodeUndef_.end(), 0);
-  std::fill(inputKnown_.begin(), inputKnown_.end(), 0);
-  worklist_.clear();
-  for (size_t i = 0; i < g_.denseCount; ++i) {
-    pending_[i] = g_.nets[i].nonRegDrivers;
+  ++epoch_;
+  if (out.netValues.size() != g_.denseCount) {
+    out.netValues.assign(g_.denseCount, Logic::Undef);
+    out.activeCounts.assign(g_.denseCount, 0);
   }
+  value_ = out.netValues.data();
+  active_ = out.activeCounts.data();
+  worklist_.clear();
+  firedCount_ = 0;
   out.collisions.clear();
   out.watchdogTripped = false;
   collisions_ = &out.collisions;
@@ -88,6 +112,7 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   for (size_t k = 0; k < g_.regNodes.size(); ++k) {
     const Node& reg = nl.node(g_.regNodes[k]);
     uint32_t net = g_.denseOf[reg.output];
+    touchNet(net);
     Logic v = (*seeds.regValues)[k];
     if (v != Logic::NoInfl) {
       if (++active_[net] == 1) value_[net] = v;
@@ -96,8 +121,9 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   }
   // Seed primary inputs.
   if (seeds.inputValues) {
-    for (size_t i = 0; i < g_.denseCount; ++i) {
-      if (!g_.nets[i].isInput || !(*seeds.inputSet)[i]) continue;
+    for (uint32_t i : inputNets_) {
+      if (!(*seeds.inputSet)[i]) continue;
+      touchNet(i);
       Logic v = (*seeds.inputValues)[i];
       if (v != Logic::NoInfl) {
         if (++active_[i] == 1) value_[i] = v;
@@ -108,6 +134,7 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   // Fire source nodes (Const / Random).
   for (NodeId ni : g_.sourceNodes) {
     const Node& node = nl.node(ni);
+    touchNode(ni);
     nodeFired_[ni] = 1;
     ++stats_.nodeFirings;
     Logic v = node.op == NodeOp::Const
@@ -115,10 +142,11 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
                   : logicFromBool(xorshift(rng) & 1);
     contribute(g_.denseOf[node.output], v);
   }
-  // Fire all nets whose every (non-REG) driver has contributed.
-  for (size_t i = 0; i < g_.denseCount; ++i) {
-    if (pending_[i] == 0 && !netFired_[i]) fireNet(static_cast<uint32_t>(i),
-                                                   value_[i]);
+  // Fire all nets with no non-REG driver (everything else fires from
+  // contribute() when its last driver arrives).
+  for (uint32_t i : undrivenNets_) {
+    touchNet(i);
+    if (!netFired_[i]) fireNet(i, value_[i]);
   }
 
   // Propagate.
@@ -138,6 +166,7 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
       if (node.op == NodeOp::Reg) continue;  // latched at end of cycle
       ++stats_.inputEvents;
 
+      touchNode(ni);
       uint32_t slot = inputStart_[ni] + idx;
       if (!inputKnown_[slot]) {
         inputKnown_[slot] = 1;
@@ -149,8 +178,7 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
         else nodeUndef_[ni] = 1;
       }
       if (nodeFired_[ni]) {
-        // Already fired (short-circuit); later arrivals still release the
-        // output net's pending count — no, the node contributed exactly
+        // Already fired (short-circuit); the node contributed exactly
         // once when it fired.  Nothing to do.
         continue;
       }
@@ -247,15 +275,24 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
     }
   }
 
-  // On a DAG every net fires; guard against inconsistencies anyway.
-  for (size_t i = 0; i < g_.denseCount; ++i) {
-    if (!netFired_[i]) value_[i] = Logic::Undef;
+  // On a consistent DAG every net fires; only a watchdog-aborted cycle
+  // leaves nets behind, and then their (stale or untouched) slots read
+  // UNDEF.
+  if (firedCount_ < g_.denseCount) {
+    for (size_t i = 0; i < g_.denseCount; ++i) {
+      if (netStamp_[i] != epoch_) {
+        out.netValues[i] = Logic::Undef;
+        out.activeCounts[i] = 0;
+      } else if (!netFired_[i]) {
+        out.netValues[i] = Logic::Undef;
+      }
+    }
   }
 
-  out.netValues = value_;
-  out.activeCounts = active_;
   out.rngState = rng;
   collisions_ = nullptr;
+  value_ = nullptr;
+  active_ = nullptr;
 }
 
 }  // namespace zeus

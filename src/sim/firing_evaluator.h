@@ -22,6 +22,10 @@ struct EvalStats {
   uint64_t sweeps = 0;        ///< naive evaluator only
 };
 
+/// Seed of the RANDOM stream when none is set explicitly; shared by every
+/// evaluator and restored by Simulation::reset().
+inline constexpr uint64_t kDefaultRngSeed = 0x9E3779B97F4A7C15ull;
+
 /// Seed values for one cycle of evaluation.
 struct CycleSeeds {
   /// Per dense net: externally injected value (primary inputs); only
@@ -58,13 +62,22 @@ class FiringEvaluator {
  private:
   void fireNet(uint32_t net, Logic value);
   void contribute(uint32_t net, Logic value);
+  void touchNet(uint32_t net);
+  void touchNode(NodeId node);
 
   const SimGraph& g_;
   EvalStats stats_;
 
-  // Per-cycle state, reused across cycles.
-  std::vector<Logic> value_;
-  std::vector<uint32_t> active_;
+  // Per-cycle state, epoch-stamped instead of std::fill-reset each cycle:
+  // a slot's contents are valid only when its stamp equals the current
+  // epoch, so untouched state stays stale instead of being re-cleared.
+  // Net values and active counts live directly in the caller's
+  // CycleResult (no end-of-cycle copy); value_/active_ point into it.
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> netStamp_;
+  std::vector<uint64_t> nodeStamp_;
+  Logic* value_ = nullptr;
+  uint32_t* active_ = nullptr;
   std::vector<uint32_t> pending_;  ///< remaining driver contributions
   std::vector<char> netFired_;
   std::vector<char> nodeFired_;
@@ -76,7 +89,10 @@ class FiringEvaluator {
   std::vector<uint32_t> inputStart_;
   std::vector<Logic> inputVal_;
   std::vector<char> inputKnown_;
+  std::vector<uint32_t> inputNets_;      ///< dense nets with isInput
+  std::vector<uint32_t> undrivenNets_;   ///< nets with no non-REG driver
   std::vector<uint32_t> worklist_;
+  size_t firedCount_ = 0;
   std::vector<uint32_t>* collisions_ = nullptr;
 };
 

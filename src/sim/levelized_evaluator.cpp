@@ -1,0 +1,350 @@
+#include "src/sim/levelized_evaluator.h"
+
+#include <deque>
+
+#include "src/sim/value.h"
+
+namespace zeus {
+
+namespace {
+uint64_t xorshift(uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+}  // namespace
+
+LevelizedEvaluator::LevelizedEvaluator(const SimGraph& graph) : g_(graph) {
+  const Netlist& nl = g_.design->netlist;
+  nodeOut_.assign(nl.nodeCount(), Logic::Undef);
+  nodeStamp_.assign(nl.nodeCount(), 0);
+  regIndexOf_.assign(nl.nodeCount(), kNotReg);
+  for (size_t k = 0; k < g_.regNodes.size(); ++k) {
+    regIndexOf_[g_.regNodes[k]] = static_cast<uint32_t>(k);
+  }
+
+  // Build the interleaved schedule with the same Kahn walk as
+  // buildSimGraph, emitting resolve/evaluate steps as they become legal.
+  // Source nodes go first in graph.sourceNodes order so RANDOM nodes draw
+  // from the rng stream in the same order as the other evaluators.
+  schedule_.reserve(nl.nodeCount() + g_.denseCount);
+  std::vector<uint32_t> netPending(g_.denseCount);
+  std::vector<uint32_t> nodePending(nl.nodeCount(), 0);
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    netPending[i] = g_.nets[i].nonRegDrivers;
+  }
+  for (NodeId ni = 0; ni < nl.nodeCount(); ++ni) {
+    if (nl.node(ni).op != NodeOp::Reg) {
+      nodePending[ni] = static_cast<uint32_t>(nl.node(ni).inputs.size());
+    }
+  }
+  for (NodeId ni : g_.sourceNodes) {
+    schedule_.push_back({ni, /*isNode=*/true});
+    const Node& node = nl.node(ni);
+    if (node.output != kNoNet) --netPending[g_.denseOf[node.output]];
+  }
+  std::deque<uint32_t> readyNets;
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    if (netPending[i] == 0) readyNets.push_back(static_cast<uint32_t>(i));
+  }
+  while (!readyNets.empty()) {
+    uint32_t net = readyNets.front();
+    readyNets.pop_front();
+    schedule_.push_back({net, /*isNode=*/false});
+    for (uint32_t e = g_.consumerStart[net]; e < g_.consumerStart[net + 1];
+         ++e) {
+      NodeId ni = g_.consumers[e];
+      const Node& node = nl.node(ni);
+      if (node.op == NodeOp::Reg) continue;
+      if (--nodePending[ni] == 0) {
+        schedule_.push_back({ni, /*isNode=*/true});
+        if (node.output != kNoNet) {
+          uint32_t on = g_.denseOf[node.output];
+          if (--netPending[on] == 0) readyNets.push_back(on);
+        }
+      }
+    }
+  }
+}
+
+void LevelizedEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
+  const Netlist& nl = g_.design->netlist;
+  uint64_t rng = seeds.rngState ? seeds.rngState : kDefaultRngSeed;
+  ++epoch_;
+
+  // Every schedule step writes its slot exactly once, so nothing is
+  // cleared up front; only the (cheap) collision list resets.
+  if (out.netValues.size() != g_.denseCount) {
+    out.netValues.assign(g_.denseCount, Logic::Undef);
+    out.activeCounts.assign(g_.denseCount, 0);
+  }
+  out.collisions.clear();
+  out.watchdogTripped = false;  // the static schedule cannot wedge
+
+  for (const Op& op : schedule_) {
+    if (!op.isNode) {
+      // Resolve a net from seed + drivers (§8 strength rule).
+      uint32_t i = op.index;
+      Resolution r;
+      if (g_.nets[i].isInput && seeds.inputSet && (*seeds.inputSet)[i]) {
+        r.add((*seeds.inputValues)[i]);
+      }
+      for (uint32_t e = g_.driverStart[i]; e < g_.driverStart[i + 1]; ++e) {
+        NodeId d = g_.driverNodes[e];
+        uint32_t ri = regIndexOf_[d];
+        r.add(ri != kNotReg ? (*seeds.regValues)[ri]
+                            : (nodeStamp_[d] == epoch_ ? nodeOut_[d]
+                                                       : Logic::Undef));
+      }
+      out.netValues[i] = r.value;
+      out.activeCounts[i] = static_cast<uint32_t>(r.activeCount);
+      if (r.collision()) out.collisions.push_back(i);
+      continue;
+    }
+
+    NodeId ni = op.index;
+    const Node& node = nl.node(ni);
+    ++stats_.nodeFirings;
+    Logic v = Logic::Undef;
+    switch (node.op) {
+      case NodeOp::Const:
+        v = node.constVal;
+        break;
+      case NodeOp::Random:
+        v = logicFromBool(xorshift(rng) & 1);
+        break;
+      case NodeOp::Buf:
+        v = out.netValues[g_.denseOf[node.inputs[0]]];
+        if (v == Logic::NoInfl && g_.nets[g_.denseOf[node.output]].isBool)
+          v = Logic::Undef;
+        break;
+      case NodeOp::Not:
+      case NodeOp::And:
+      case NodeOp::Or:
+      case NodeOp::Nand:
+      case NodeOp::Nor:
+      case NodeOp::Xor: {
+        scratch_.clear();
+        for (NetId in : node.inputs)
+          scratch_.push_back(out.netValues[g_.denseOf[in]]);
+        v = evalGate(node.op, scratch_);
+        break;
+      }
+      case NodeOp::Equal: {
+        scratch_.clear();
+        for (NetId in : node.inputs)
+          scratch_.push_back(out.netValues[g_.denseOf[in]]);
+        size_t m = scratch_.size() / 2;
+        v = evalEqual(std::span<const Logic>(scratch_.data(), m),
+                      std::span<const Logic>(scratch_.data() + m, m));
+        break;
+      }
+      case NodeOp::Switch:
+        v = evalSwitch(out.netValues[g_.denseOf[node.inputs[0]]],
+                       out.netValues[g_.denseOf[node.inputs[1]]]);
+        break;
+      case NodeOp::Reg:
+        break;  // never scheduled
+    }
+    nodeOut_[ni] = v;
+    nodeStamp_[ni] = epoch_;
+  }
+
+  out.rngState = rng;
+}
+
+// ---------------------------------------------------------------------
+// Batch mode
+// ---------------------------------------------------------------------
+
+LanePlanes lanesBroadcast(Logic v, uint64_t mask) {
+  switch (v) {
+    case Logic::Zero: return {mask, 0};
+    case Logic::One: return {0, mask};
+    case Logic::Undef: return {mask, mask};
+    case Logic::NoInfl: return {0, 0};
+  }
+  return {mask, mask};
+}
+
+Logic laneValue(const LanePlanes& p, uint32_t lane) {
+  bool b0 = (p.p0 >> lane) & 1;
+  bool b1 = (p.p1 >> lane) & 1;
+  if (b0 && b1) return Logic::Undef;
+  if (b0) return Logic::Zero;
+  if (b1) return Logic::One;
+  return Logic::NoInfl;
+}
+
+void laneSet(LanePlanes& planes, uint32_t lane, Logic v) {
+  uint64_t bit = uint64_t{1} << lane;
+  planes.p0 &= ~bit;
+  planes.p1 &= ~bit;
+  if (v == Logic::Zero || v == Logic::Undef) planes.p0 |= bit;
+  if (v == Logic::One || v == Logic::Undef) planes.p1 |= bit;
+}
+
+namespace {
+
+/// Gate-input conversion: NOINFL lanes (0,0) read as UNDEF (1,1) — the
+/// word-parallel form of gateInput().
+inline LanePlanes laneGateInput(LanePlanes c) {
+  uint64_t noinfl = ~(c.p0 | c.p1);
+  return {c.p0 | noinfl, c.p1 | noinfl};
+}
+
+}  // namespace
+
+LevelizedBatchEvaluator::LevelizedBatchEvaluator(const SimGraph& graph)
+    : g_(graph), scalar_(graph) {
+  const Netlist& nl = g_.design->netlist;
+  nodeOut_.assign(nl.nodeCount(), {});
+  nodeStamp_.assign(nl.nodeCount(), 0);
+}
+
+void LevelizedBatchEvaluator::evaluate(const BatchSeeds& seeds,
+                                       BatchCycleResult& out) {
+  const Netlist& nl = g_.design->netlist;
+  ++epoch_;
+  if (out.netValues.size() != g_.denseCount) {
+    out.netValues.assign(g_.denseCount, {});
+    out.activeAny.assign(g_.denseCount, 0);
+    out.activeMulti.assign(g_.denseCount, 0);
+  }
+  out.collisions.clear();
+
+  for (const LevelizedEvaluator::Op& op : scalar_.schedule_) {
+    if (!op.isNode) {
+      uint32_t i = op.index;
+      // Per-lane strength resolution: first active contribution wins,
+      // two or more active contributions collide to UNDEF.
+      LanePlanes res;
+      uint64_t seen = 0, multi = 0;
+      auto contribute = [&](LanePlanes c) {
+        uint64_t act = c.p0 | c.p1;
+        multi |= seen & act;
+        res.p0 |= c.p0 & ~seen;
+        res.p1 |= c.p1 & ~seen;
+        seen |= act;
+      };
+      if (g_.nets[i].isInput && seeds.inputValues) {
+        contribute((*seeds.inputValues)[i]);
+      }
+      for (uint32_t e = g_.driverStart[i]; e < g_.driverStart[i + 1]; ++e) {
+        NodeId d = g_.driverNodes[e];
+        uint32_t ri = scalar_.regIndexOf_[d];
+        if (ri != LevelizedEvaluator::kNotReg) {
+          contribute((*seeds.regValues)[ri]);
+        } else {
+          contribute(nodeStamp_[d] == epoch_
+                         ? nodeOut_[d]
+                         : lanesBroadcast(Logic::Undef, ~uint64_t{0}));
+        }
+      }
+      res.p0 |= multi;  // colliding lanes resolve to UNDEF
+      res.p1 |= multi;
+      out.netValues[i] = res;
+      out.activeAny[i] = seen;
+      out.activeMulti[i] = multi;
+      if (multi & seeds.laneMask) out.collisions.push_back(i);
+      continue;
+    }
+
+    NodeId ni = op.index;
+    const Node& node = nl.node(ni);
+    ++stats_.nodeFirings;
+    LanePlanes v;
+    switch (node.op) {
+      case NodeOp::Const:
+        v = lanesBroadcast(node.constVal, ~uint64_t{0});
+        break;
+      case NodeOp::Random: {
+        uint64_t bits = 0;
+        for (uint32_t l = 0; l < 64; ++l) {
+          bits |= (xorshift((*seeds.rngStates)[l]) & 1) << l;
+        }
+        v = {~bits, bits};
+        break;
+      }
+      case NodeOp::Buf: {
+        v = out.netValues[g_.denseOf[node.inputs[0]]];
+        if (g_.nets[g_.denseOf[node.output]].isBool) {
+          uint64_t noinfl = ~(v.p0 | v.p1);
+          v.p0 |= noinfl;
+          v.p1 |= noinfl;
+        }
+        break;
+      }
+      case NodeOp::Not: {
+        LanePlanes in =
+            laneGateInput(out.netValues[g_.denseOf[node.inputs[0]]]);
+        v = {in.p1, in.p0};
+        break;
+      }
+      case NodeOp::And:
+      case NodeOp::Nand: {
+        v = {0, ~uint64_t{0}};
+        for (NetId in : node.inputs) {
+          LanePlanes c = laneGateInput(out.netValues[g_.denseOf[in]]);
+          v.p0 |= c.p0;  // any input that can be 0 allows a 0 output
+          v.p1 &= c.p1;  // a 1 output needs every input able to be 1
+        }
+        if (node.op == NodeOp::Nand) v = {v.p1, v.p0};
+        break;
+      }
+      case NodeOp::Or:
+      case NodeOp::Nor: {
+        v = {~uint64_t{0}, 0};
+        for (NetId in : node.inputs) {
+          LanePlanes c = laneGateInput(out.netValues[g_.denseOf[in]]);
+          v.p0 &= c.p0;
+          v.p1 |= c.p1;
+        }
+        if (node.op == NodeOp::Nor) v = {v.p1, v.p0};
+        break;
+      }
+      case NodeOp::Xor: {
+        uint64_t allDef = ~uint64_t{0}, parity = 0;
+        for (NetId in : node.inputs) {
+          LanePlanes c = laneGateInput(out.netValues[g_.denseOf[in]]);
+          allDef &= ~(c.p0 & c.p1);
+          parity ^= c.p1 & ~c.p0;
+        }
+        v = {(~parity & allDef) | ~allDef, (parity & allDef) | ~allDef};
+        break;
+      }
+      case NodeOp::Equal: {
+        size_t m = node.inputs.size() / 2;
+        uint64_t allDef = ~uint64_t{0}, anyUneq = 0;
+        for (size_t k = 0; k < m; ++k) {
+          LanePlanes a =
+              laneGateInput(out.netValues[g_.denseOf[node.inputs[k]]]);
+          LanePlanes b =
+              laneGateInput(out.netValues[g_.denseOf[node.inputs[k + m]]]);
+          uint64_t defPair = ~(a.p0 & a.p1) & ~(b.p0 & b.p1);
+          allDef &= defPair;
+          anyUneq |= defPair & ((a.p1 & ~a.p0) ^ (b.p1 & ~b.p0));
+        }
+        uint64_t one = allDef & ~anyUneq;
+        v = {~one, ~anyUneq};
+        break;
+      }
+      case NodeOp::Switch: {
+        LanePlanes c =
+            laneGateInput(out.netValues[g_.denseOf[node.inputs[0]]]);
+        LanePlanes d = out.netValues[g_.denseOf[node.inputs[1]]];
+        uint64_t cone = c.p1 & ~c.p0;
+        uint64_t cundef = c.p0 & c.p1;
+        v = {(cone & d.p0) | cundef, (cone & d.p1) | cundef};
+        break;
+      }
+      case NodeOp::Reg:
+        break;  // never scheduled
+    }
+    nodeOut_[ni] = v;
+    nodeStamp_[ni] = epoch_;
+  }
+}
+
+}  // namespace zeus

@@ -1,0 +1,119 @@
+// Levelized evaluator: the cycle-compiled counterpart of the firing rules.
+//
+// The acyclic semantics graph is topologically levelized ONCE at
+// construction into a flat schedule of interleaved net-resolution and
+// node-evaluation steps.  A cycle is then one linear walk over dense
+// arrays — no worklist, no per-edge arrival events, no per-cycle
+// std::fill over the whole state: every slot is written before it is
+// read, and the few slots that need staleness protection (node outputs
+// read through driver edges) carry an epoch stamp instead of being
+// re-cleared.  The results are bit-identical to the firing evaluator.
+//
+// On top of the same schedule sits a 64-wide batch mode: 64 independent
+// stimulus lanes are packed into two 64-bit planes per net (four-valued
+// logic as 2 bits per lane) and every gate evaluates all lanes with a
+// handful of word-parallel boolean ops.  The §8 at-most-one-driver check
+// is still per lane: contention surfaces as a bitmask of colliding lanes
+// on each multiply-driven net.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/firing_evaluator.h"
+
+namespace zeus {
+
+class LevelizedEvaluator {
+ public:
+  explicit LevelizedEvaluator(const SimGraph& graph);
+
+  void evaluate(const CycleSeeds& seeds, CycleResult& out);
+  [[nodiscard]] const EvalStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+ private:
+  friend class LevelizedBatchEvaluator;
+
+  /// One schedule step: resolve a dense net from its drivers, or
+  /// evaluate a node from its (already resolved) input nets.
+  struct Op {
+    uint32_t index;
+    bool isNode;
+  };
+
+  const SimGraph& g_;
+  EvalStats stats_;
+  std::vector<Op> schedule_;
+  /// NodeId -> index into graph.regNodes, or kNotReg.
+  static constexpr uint32_t kNotReg = 0xFFFFFFFFu;
+  std::vector<uint32_t> regIndexOf_;
+
+  // Node outputs, epoch-stamped: an entry is valid only when its stamp
+  // matches the current cycle's epoch, so nothing is re-filled per cycle.
+  std::vector<Logic> nodeOut_;
+  std::vector<uint64_t> nodeStamp_;
+  uint64_t epoch_ = 0;
+  std::vector<Logic> scratch_;
+};
+
+// ---------------------------------------------------------------------
+// 64-lane batch mode
+// ---------------------------------------------------------------------
+
+/// Four-valued logic for 64 lanes in two bit-planes: p0 = "can be 0",
+/// p1 = "can be 1".  Per lane: Zero=(1,0), One=(0,1), Undef=(1,1),
+/// NoInfl=(0,0) — so an undriven lane contributes nothing to resolution
+/// for free, and gate algebra is plain word-parallel and/or/xor.
+struct LanePlanes {
+  uint64_t p0 = 0;
+  uint64_t p1 = 0;
+};
+
+/// Packs one scalar Logic into all lanes of `mask`.
+LanePlanes lanesBroadcast(Logic v, uint64_t mask);
+/// Extracts one lane's Logic value.
+Logic laneValue(const LanePlanes& p, uint32_t lane);
+/// Sets one lane of `planes` to `v` (other lanes untouched).
+void laneSet(LanePlanes& planes, uint32_t lane, Logic v);
+
+struct BatchSeeds {
+  /// Per dense net: externally driven lanes; lanes not driving a net
+  /// carry (0,0) = NOINFL and thus contribute nothing.
+  const std::vector<LanePlanes>* inputValues = nullptr;
+  /// Per REG node (indexed as in graph.regNodes): stored lane values.
+  const std::vector<LanePlanes>* regValues = nullptr;
+  /// Per-lane RANDOM streams, advanced in place (lane L draws the same
+  /// sequence a scalar run seeded with rngStates[L] would).
+  std::array<uint64_t, 64>* rngStates = nullptr;
+  /// Lanes in use; contention is only reported for these.
+  uint64_t laneMask = ~uint64_t{0};
+};
+
+struct BatchCycleResult {
+  std::vector<LanePlanes> netValues;  ///< per dense net, raw (may be NOINFL)
+  std::vector<uint64_t> activeAny;    ///< lanes with >=1 active driver
+  std::vector<uint64_t> activeMulti;  ///< lanes with >=2 active drivers
+  std::vector<uint32_t> collisions;   ///< nets with activeMulti∩laneMask ≠ ∅
+};
+
+class LevelizedBatchEvaluator {
+ public:
+  explicit LevelizedBatchEvaluator(const SimGraph& graph);
+
+  void evaluate(const BatchSeeds& seeds, BatchCycleResult& out);
+  [[nodiscard]] const EvalStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+ private:
+  const SimGraph& g_;
+  LevelizedEvaluator scalar_;  ///< owns the shared schedule
+  EvalStats stats_;
+  std::vector<LanePlanes> nodeOut_;
+  std::vector<uint64_t> nodeStamp_;
+  uint64_t epoch_ = 0;
+  std::vector<LanePlanes> scratch_;
+};
+
+}  // namespace zeus

@@ -25,7 +25,7 @@ NaiveEvaluator::NaiveEvaluator(const SimGraph& graph) : g_(graph) {
 
 void NaiveEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   const Netlist& nl = g_.design->netlist;
-  uint64_t rng = seeds.rngState ? seeds.rngState : 0x9E3779B97F4A7C15ull;
+  uint64_t rng = seeds.rngState ? seeds.rngState : kDefaultRngSeed;
 
   std::fill(seedSet_.begin(), seedSet_.end(), 0);
   std::fill(seedVal_.begin(), seedVal_.end(), Logic::NoInfl);
@@ -132,14 +132,18 @@ void NaiveEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   // as a structured SimError by the Simulation — never a silent assert.
   if (changed && sweep >= maxSweeps) out.watchdogTripped = true;
 
-  // Final resolution + collision check.
+  // Final resolution + collision check, written straight into the
+  // caller's buffers (no full-vector copies).
   out.collisions.clear();
+  if (out.netValues.size() != g_.denseCount) {
+    out.netValues.assign(g_.denseCount, Logic::Undef);
+    out.activeCounts.assign(g_.denseCount, 0);
+  }
   for (size_t i = 0; i < g_.denseCount; ++i) {
-    netVal_[i] = resolveNet(i);
+    out.netValues[i] = resolveNet(i);
+    out.activeCounts[i] = active_[i];
     if (active_[i] > 1) out.collisions.push_back(static_cast<uint32_t>(i));
   }
-  out.netValues = netVal_;
-  out.activeCounts = active_;
   out.rngState = rng;
 }
 

@@ -14,10 +14,16 @@ Simulation::Simulation(const SimGraph& graph, const Options& opts)
     throw std::runtime_error("cannot simulate a cyclic design: " +
                              g_.cycleDescription);
   }
-  if (kind_ == EvaluatorKind::Firing) {
-    firing_ = std::make_unique<FiringEvaluator>(g_);
-  } else {
-    naive_ = std::make_unique<NaiveEvaluator>(g_);
+  switch (kind_) {
+    case EvaluatorKind::Firing:
+      firing_ = std::make_unique<FiringEvaluator>(g_);
+      break;
+    case EvaluatorKind::Naive:
+      naive_ = std::make_unique<NaiveEvaluator>(g_);
+      break;
+    case EvaluatorKind::Levelized:
+      levelized_ = std::make_unique<LevelizedEvaluator>(g_);
+      break;
   }
   inputValues_.assign(g_.denseCount, Logic::Undef);
   inputSet_.assign(g_.denseCount, 0);
@@ -38,6 +44,9 @@ void Simulation::reset() {
   inputSet_[clk] = 1;
   setRset(false);
   cycle_ = 0;
+  // Restore the RANDOM stream too: a reset simulation must replay exactly
+  // like a freshly constructed one.
+  rngState_ = kDefaultRngSeed;
   errors_.clear();
   evaluated_ = false;
 }
@@ -116,7 +125,8 @@ void Simulation::runCycle(bool latch) {
   seeds.rngState = rngState_;
   seeds.eventBudget = opts_.maxEventsPerCycle;
   if (firing_) firing_->evaluate(seeds, result_);
-  else naive_->evaluate(seeds, result_);
+  else if (naive_) naive_->evaluate(seeds, result_);
+  else levelized_->evaluate(seeds, result_);
   rngState_ = result_.rngState;
   evaluated_ = true;
 
@@ -137,6 +147,9 @@ void Simulation::runCycle(bool latch) {
     opts_.usage->simFaults = errors_.size();
   }
 
+  // A tripped watchdog declares this cycle's net values unreliable: do
+  // not latch them into registers, and do not count the cycle.
+  if (result_.watchdogTripped) return;
   if (!latch) return;
   const Netlist& nl = g_.design->netlist;
   // Two-phase latch: every register reads its input's resolved value from
@@ -189,11 +202,9 @@ Logic Simulation::netValue(NetId net) const {
 }
 
 Logic Simulation::netValueByName(const std::string& name) const {
-  const Netlist& nl = g_.design->netlist;
-  for (NetId i = 0; i < nl.netCount(); ++i) {
-    if (nl.net(i).name == name) return netValue(i);
-  }
-  throw std::invalid_argument("no net named '" + name + "'");
+  NetId id = g_.design->netlist.findByName(name);
+  if (id == kNoNet) throw std::invalid_argument("no net named '" + name + "'");
+  return netValue(id);
 }
 
 std::vector<Logic> Simulation::outputBits(const std::string& port) const {
@@ -230,12 +241,15 @@ std::optional<uint64_t> Simulation::outputUint(
 }
 
 const EvalStats& Simulation::stats() const {
-  return firing_ ? firing_->stats() : naive_->stats();
+  if (firing_) return firing_->stats();
+  if (naive_) return naive_->stats();
+  return levelized_->stats();
 }
 
 void Simulation::resetStats() {
   if (firing_) firing_->resetStats();
-  else naive_->resetStats();
+  else if (naive_) naive_->resetStats();
+  else levelized_->resetStats();
 }
 
 }  // namespace zeus

@@ -15,13 +15,18 @@
 #include <vector>
 
 #include "src/sim/firing_evaluator.h"
+#include "src/sim/levelized_evaluator.h"
 #include "src/sim/naive_evaluator.h"
 #include "src/support/diagnostics.h"
 #include "src/support/limits.h"
 
 namespace zeus {
 
-enum class EvaluatorKind { Firing, Naive };
+/// Firing: event-driven §8 firing rules (short-circuit, one pass).
+/// Naive: sweep-to-fixpoint baseline (ablation partner).
+/// Levelized: statically scheduled linear walk (fastest; also the engine
+/// under the 64-lane BatchSimulation facade in src/core/batch_sim.h).
+enum class EvaluatorKind { Firing, Naive, Levelized };
 
 /// A runtime fault recorded during simulation.  Faults never abort the
 /// run; they accumulate in Simulation::errors() with a stable Diag code
@@ -32,6 +37,7 @@ struct SimError {
   Diag code;
   std::string netName;  ///< empty for faults not tied to one net
   std::string message;
+  int32_t lane = -1;  ///< stimulus lane (BatchSimulation); -1 = scalar
 };
 
 class Simulation {
@@ -109,13 +115,14 @@ class Simulation {
   EvaluatorKind kind_;
   std::unique_ptr<FiringEvaluator> firing_;
   std::unique_ptr<NaiveEvaluator> naive_;
+  std::unique_ptr<LevelizedEvaluator> levelized_;
 
   std::vector<Logic> inputValues_;  ///< per dense net
   std::vector<char> inputSet_;
   std::vector<Logic> regValues_;  ///< per graph.regNodes index
   CycleResult result_;
   uint64_t cycle_ = 0;
-  uint64_t rngState_ = 0x9E3779B97F4A7C15ull;
+  uint64_t rngState_ = kDefaultRngSeed;
   std::vector<SimError> errors_;
   bool evaluated_ = false;
 };

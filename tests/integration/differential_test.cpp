@@ -1,0 +1,183 @@
+// Differential test: the blackjack FSM and a parameterized ripple-carry
+// adder are driven with random stimulus for many cycles through the
+// naive, firing and levelized evaluators plus the 64-lane batch engine,
+// asserting identical net values, contention errors and register
+// trajectories on every lane and every cycle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <tuple>
+
+#include "tests/support/paper_examples.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+/// Per lane: one batch lane plus three scalar simulations (firing, naive,
+/// levelized) fed the same stimulus.  Agreement is checked net-by-net.
+class DifferentialRig {
+ public:
+  DifferentialRig(const std::string& src, const std::string& top,
+                  size_t lanes)
+      : built_(buildOk(src, top)),
+        graph_(buildSimGraph(*built_.design, built_.comp->diags())),
+        lanes_(lanes),
+        batch_(graph_, lanes) {
+    EXPECT_FALSE(graph_.hasCycle);
+    scalars_.reserve(lanes * 3);
+    for (size_t l = 0; l < lanes; ++l) {
+      for (EvaluatorKind k : {EvaluatorKind::Firing, EvaluatorKind::Naive,
+                              EvaluatorKind::Levelized}) {
+        scalars_.emplace_back(graph_, k);
+      }
+    }
+  }
+
+  Simulation& scalar(size_t lane, size_t which) {
+    return scalars_[lane * 3 + which];
+  }
+
+  void setInput(size_t lane, const std::string& port, Logic v) {
+    batch_.setInput(lane, port, v);
+    for (size_t j = 0; j < 3; ++j) scalar(lane, j).setInput(port, v);
+  }
+
+  void setInputUint(size_t lane, const std::string& port, uint64_t v) {
+    batch_.setInputUint(lane, port, v);
+    for (size_t j = 0; j < 3; ++j) scalar(lane, j).setInputUint(port, v);
+  }
+
+  void setRset(bool active) {
+    batch_.setRset(active);
+    for (Simulation& s : scalars_) s.setRset(active);
+  }
+
+  void step() {
+    batch_.step();
+    for (Simulation& s : scalars_) s.step();
+  }
+
+  /// Every net value and every register must agree across the three
+  /// scalar evaluators and the matching batch lane.
+  void checkAgreement(int cyc) {
+    const Netlist& nl = built_.design->netlist;
+    for (size_t l = 0; l < lanes_; ++l) {
+      Simulation& ref = scalar(l, 0);
+      std::vector<Logic> refRegs = ref.saveRegisters();
+      for (size_t j = 1; j < 3; ++j) {
+        ASSERT_EQ(refRegs, scalar(l, j).saveRegisters())
+            << "registers, lane " << l << " evaluator " << j << " cycle "
+            << cyc;
+      }
+      ASSERT_EQ(refRegs, batch_.saveRegisters(l))
+          << "registers, batch lane " << l << " cycle " << cyc;
+      for (NetId n = 0; n < nl.netCount(); ++n) {
+        Logic want = ref.netValue(n);
+        for (size_t j = 1; j < 3; ++j) {
+          ASSERT_EQ(want, scalar(l, j).netValue(n))
+              << "net " << nl.net(n).name << " lane " << l << " evaluator "
+              << j << " cycle " << cyc;
+        }
+        ASSERT_EQ(want, batch_.netValue(l, n))
+            << "net " << nl.net(n).name << " batch lane " << l << " cycle "
+            << cyc;
+      }
+    }
+  }
+
+  /// Contention faults must agree as (cycle, net) multisets — evaluators
+  /// legitimately discover collisions in different orders.
+  void checkErrors() {
+    using Key = std::tuple<uint64_t, std::string>;
+    auto keysOf = [](const std::vector<SimError>& errs, int32_t lane) {
+      std::vector<Key> keys;
+      for (const SimError& e : errs) {
+        if (lane >= 0 && e.lane != lane) continue;
+        keys.emplace_back(e.cycle, e.netName);
+      }
+      std::sort(keys.begin(), keys.end());
+      return keys;
+    };
+    for (size_t l = 0; l < lanes_; ++l) {
+      std::vector<Key> want = keysOf(scalar(l, 0).errors(), -1);
+      for (size_t j = 1; j < 3; ++j) {
+        EXPECT_EQ(want, keysOf(scalar(l, j).errors(), -1))
+            << "errors, lane " << l << " evaluator " << j;
+      }
+      EXPECT_EQ(want, keysOf(batch_.errors(), static_cast<int32_t>(l)))
+          << "errors, batch lane " << l;
+    }
+  }
+
+  BatchSimulation& batch() { return batch_; }
+
+ private:
+  Built built_;
+  SimGraph graph_;
+  size_t lanes_;
+  BatchSimulation batch_;
+  std::vector<Simulation> scalars_;
+};
+
+TEST(Differential, RippleCarryAdderAllEvaluatorsAllLanes) {
+  constexpr int kWidth = 12;
+  constexpr size_t kLanes = 64;
+  constexpr int kCycles = 16;
+  DifferentialRig rig(
+      std::string(kAdders) + "SIGNAL adder: rippleCarry(12);\n", "adder",
+      kLanes);
+  std::mt19937_64 rng(7);
+  for (int cyc = 0; cyc < kCycles; ++cyc) {
+    std::vector<uint64_t> as(kLanes), bs(kLanes), cins(kLanes);
+    for (size_t l = 0; l < kLanes; ++l) {
+      as[l] = rng() & ((1u << kWidth) - 1);
+      bs[l] = rng() & ((1u << kWidth) - 1);
+      cins[l] = rng() & 1;
+      rig.setInputUint(l, "a", as[l]);
+      rig.setInputUint(l, "b", bs[l]);
+      rig.setInput(l, "cin", logicFromBool(cins[l]));
+    }
+    rig.step();
+    rig.checkAgreement(cyc);
+    // Ground truth on every lane, not just cross-evaluator agreement.
+    for (size_t l = 0; l < kLanes; ++l) {
+      uint64_t sum = as[l] + bs[l] + cins[l];
+      ASSERT_EQ(rig.batch().outputUint(l, "s"),
+                std::optional<uint64_t>(sum & ((1u << kWidth) - 1)))
+          << "lane " << l << " cycle " << cyc;
+      ASSERT_EQ(rig.batch().output(l, "cout"),
+                logicFromBool((sum >> kWidth) & 1));
+    }
+  }
+  rig.checkErrors();
+}
+
+TEST(Differential, BlackjackFsmAllEvaluatorsAllLanes) {
+  constexpr size_t kLanes = 8;
+  constexpr int kCycles = 48;
+  DifferentialRig rig(kBlackjack, "bj", kLanes);
+  // Bring every engine out of reset the same way.
+  for (size_t l = 0; l < kLanes; ++l) {
+    rig.setInput(l, "ycard", Logic::Zero);
+    rig.setInputUint(l, "value", 0);
+  }
+  rig.setRset(true);
+  rig.step();
+  rig.setRset(false);
+  // Random card stream per lane: ycard toggles at random, values 0..31.
+  std::mt19937_64 rng(11);
+  for (int cyc = 0; cyc < kCycles; ++cyc) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      rig.setInput(l, "ycard", logicFromBool(rng() & 1));
+      rig.setInputUint(l, "value", rng() % 32);
+    }
+    rig.step();
+    rig.checkAgreement(cyc);
+  }
+  rig.checkErrors();
+}
+
+}  // namespace
+}  // namespace zeus::test
