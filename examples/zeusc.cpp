@@ -17,7 +17,13 @@
 //   --report             print design statistics and the instance tree
 //   --script <file>      run a testbench script (set/step/expect/...)
 //   --dot <file>         write the semantics graph as GraphViz dot
+//   --lint               run the static lint pass (docs/lint.md)
+//   --lint-json          print lint findings as JSON (implies --lint)
+//   --lint-depth <n>     combinational-depth lint threshold (default 256)
+//   --lint-fanout <n>    fanout hot-spot lint threshold (default 64)
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -36,10 +42,33 @@ int usage() {
   std::fprintf(stderr,
                "usage: zeusc <file.zeus> --top <signal> [--dump-ast] "
                "[--dump-netlist] [--layout] [--svg out.svg] [--sim N] "
-               "[--naive] [--levelized] [--stats]\n"
+               "[--naive] [--levelized] [--stats] [--lint] [--lint-json] "
+               "[--lint-depth N] [--lint-fanout N]\n"
                "       zeusc --example <name> [options]\n"
                "       zeusc --list-examples\n");
   return 2;
+}
+
+/// Strict decimal parse for numeric flags: rejects empty, non-numeric,
+/// trailing-junk and negative arguments instead of silently reading 0
+/// (std::atol would turn "--sim abc" into zero cycles).
+bool parseCount(const char* flag, const char* text, long& out) {
+  if (!text || !*text) {
+    std::fprintf(stderr, "zeusc: %s expects a non-negative integer\n", flag);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < 0) {
+    std::fprintf(stderr,
+                 "zeusc: invalid argument '%s' to %s (expected a "
+                 "non-negative integer)\n",
+                 text, flag);
+    return false;
+  }
+  out = v;
+  return true;
 }
 
 }  // namespace
@@ -48,8 +77,10 @@ int main(int argc, char** argv) {
   std::string file, top, example, svgOut;
   bool dumpAst = false, dumpNetlist = false, layout = false, naive = false;
   bool levelized = false, stats = false, report = false;
+  bool lint = false, lintJson = false;
   std::string dotOut, scriptFile;
   long simCycles = -1;
+  long lintDepth = -1, lintFanout = -1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -81,8 +112,20 @@ int main(int argc, char** argv) {
       svgOut = v;
     } else if (arg == "--sim") {
       const char* v = next();
-      if (!v) return usage();
-      simCycles = std::atol(v);
+      if (!parseCount("--sim", v, simCycles)) return 2;
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--lint-json") {
+      lint = true;
+      lintJson = true;
+    } else if (arg == "--lint-depth") {
+      const char* v = next();
+      if (!parseCount("--lint-depth", v, lintDepth)) return 2;
+      lint = true;
+    } else if (arg == "--lint-fanout") {
+      const char* v = next();
+      if (!parseCount("--lint-fanout", v, lintFanout)) return 2;
+      lint = true;
     } else if (arg == "--naive") {
       naive = true;
     } else if (arg == "--levelized") {
@@ -171,9 +214,24 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
   if (!design) return 1;
 
-  std::printf("design '%s': %zu nets, %zu nodes, %zu ports\n", top.c_str(),
-              design->netlist.netCount(), design->netlist.nodeCount(),
-              design->ports.size());
+  if (!lintJson) {
+    std::printf("design '%s': %zu nets, %zu nodes, %zu ports\n", top.c_str(),
+                design->netlist.netCount(), design->netlist.nodeCount(),
+                design->ports.size());
+  }
+
+  if (lint) {
+    zeus::LintOptions lopts;
+    if (lintDepth >= 0) lopts.maxDepth = static_cast<uint32_t>(lintDepth);
+    if (lintFanout >= 0) lopts.maxFanout = static_cast<uint32_t>(lintFanout);
+    zeus::LintReport lr = comp->lint(*design, lopts);
+    if (lintJson) {
+      std::printf("%s", lr.renderJson(comp->sources(), top).c_str());
+    } else {
+      std::printf("%s", lr.renderText(comp->sources()).c_str());
+    }
+    if (lr.hasErrors()) return 1;
+  }
 
   if (dumpNetlist) {
     for (zeus::NetId i = 0; i < design->netlist.netCount(); ++i) {

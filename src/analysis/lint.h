@@ -1,0 +1,97 @@
+// Static lint pass over the elaborated design + semantics graph (§4.7, §8).
+//
+// The paper's headline claim is that static rules catch circuits that
+// would burn transistors *before* simulation.  The elaborator enforces the
+// assignment legality tables; this pass promotes everything else that is
+// statically decidable into compile-time diagnostics:
+//
+//   (a) static multiplex contention — nets with two always-active drivers
+//       (a §8 SimContention that fires on *every* cycle, reported here as
+//       an error with certainty=true), and conditional drivers whose
+//       IF-guard conditions provably overlap (warning, certainty=false);
+//   (b) dead/undriven hardware — undriven-but-read nets, driven-but-unread
+//       cones, constant-foldable gates, never-enabled IF branches and
+//       registers whose input cone is constantly UNDEF/NOINFL;
+//   (c) structural warnings — combinational depth over a threshold and
+//       fanout hot spots.
+//
+// Findings flow through the ordinary DiagnosticEngine (stable Diag codes,
+// severities, source locations) and are additionally collected in a
+// LintReport that renders as text or machine-readable JSON (schema in
+// docs/lint.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/elab/design.h"
+#include "src/sim/graph.h"
+#include "src/support/diagnostics.h"
+
+namespace zeus {
+
+/// Thresholds and switches for the lint pass.
+struct LintOptions {
+  /// Combinational depth (graph levels) beyond which LintDeepLogic fires.
+  uint32_t maxDepth = 256;
+  /// Consumer count beyond which a net is a LintFanoutHotspot.
+  uint32_t maxFanout = 64;
+  /// Mirror every finding into the DiagnosticEngine (lint errors then make
+  /// Compilation::ok() false, like any other error).
+  bool reportToDiags = true;
+};
+
+/// The rule that produced a finding (stable names; the JSON `rule` field).
+enum class LintRule : uint8_t {
+  MultiplexContention,  ///< ≥2 drivers that can be simultaneously active
+  UndrivenNet,          ///< read by hardware but never driven
+  UnreadNet,            ///< driven but its cone never reaches an output/REG
+  ConstantGate,         ///< gate output is constant-foldable
+  DeadBranch,           ///< IF branch whose condition is constantly false
+  ConstantRegister,     ///< register input cone constant UNDEF/NOINFL
+  DeepLogic,            ///< combinational depth over LintOptions::maxDepth
+  FanoutHotspot,        ///< fanout over LintOptions::maxFanout
+};
+
+std::string_view lintRuleName(LintRule rule);
+
+/// One lint finding.  `net` names the affected signal (the most readable
+/// member of its alias class) or is empty for design-wide findings.
+struct LintFinding {
+  LintRule rule;
+  Diag code;
+  Severity severity;
+  std::string net;
+  SourceLoc loc;
+  std::string message;
+  /// MultiplexContention only: the contention fires on every simulated
+  /// cycle (all colliding drivers are unconditionally active), so the
+  /// firing evaluator is guaranteed to raise SimContention.
+  bool certain = false;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t notes = 0;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  [[nodiscard]] bool hasErrors() const { return errors > 0; }
+
+  /// One line per finding ("lint severity loc: [rule] message") plus a
+  /// trailing summary line.
+  [[nodiscard]] std::string renderText(const SourceManager& sm) const;
+  /// Machine-readable form; schema documented in docs/lint.md.
+  [[nodiscard]] std::string renderJson(const SourceManager& sm,
+                                       const std::string& designName) const;
+};
+
+/// Runs every rule over an elaborated design and its semantics graph.
+/// A cyclic graph (SimGraph::hasCycle) yields an empty report — the
+/// CombinationalLoop error has already been issued by buildSimGraph.
+LintReport runLint(const Design& design, const SimGraph& graph,
+                   DiagnosticEngine& diags, const LintOptions& opts = {});
+
+}  // namespace zeus

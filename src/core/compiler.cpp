@@ -2,6 +2,7 @@
 
 #include "src/core/batch_sim.h"
 #include "src/parser/parser.h"
+#include "src/sim/graph.h"
 #include "src/sim/simulation.h"
 
 namespace zeus {
@@ -40,6 +41,15 @@ std::unique_ptr<Design> Compilation::elaborate(const std::string& topName,
   }
   Elaborator elab(*diags_, *types_, options);
   return elab.elaborate(program_, *checked_.rootEnv, topName);
+}
+
+LintReport Compilation::lint(const Design& design, const LintOptions& opts) {
+  // Reuse the diagnostic engine for the CombinationalLoop check too, but
+  // only if the caller has not already built a graph — a second build
+  // would duplicate the error.  has() makes the rebuild idempotent.
+  if (diags_->has(Diag::CombinationalLoop)) return {};
+  SimGraph graph = buildSimGraph(design, *diags_);
+  return runLint(design, graph, *diags_, opts);
 }
 
 void Compilation::recordSimulation(const Simulation& sim) {

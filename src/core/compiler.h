@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "src/analysis/lint.h"
 #include "src/ast/ast.h"
 #include "src/elab/design.h"
 #include "src/elab/elaborator.h"
@@ -49,6 +50,12 @@ class Compilation {
   std::unique_ptr<Design> elaborate(const std::string& topName);
   std::unique_ptr<Design> elaborate(const std::string& topName,
                                     Elaborator::Options options);
+
+  /// Runs the static lint pass (src/analysis/lint.h) over an elaborated
+  /// design.  Builds the semantics graph internally; findings go through
+  /// this compilation's diagnostics (lint errors make ok() false) and are
+  /// returned as a LintReport for text/JSON rendering.
+  LintReport lint(const Design& design, const LintOptions& opts = {});
 
   /// The limits this compilation runs under.
   [[nodiscard]] const Limits& limits() const { return limits_; }

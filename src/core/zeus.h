@@ -14,6 +14,7 @@
 //   uint64_t sum = *sim.outputUint("s");
 #pragma once
 
+#include "src/analysis/lint.h"
 #include "src/core/batch_sim.h"
 #include "src/core/compiler.h"
 #include "src/elab/design.h"

@@ -1,5 +1,6 @@
 #include "src/sim/wave.h"
 
+#include <cctype>
 #include <stdexcept>
 
 namespace zeus {
@@ -20,6 +21,12 @@ void WaveRecorder::watchPort(const std::string& port,
 void WaveRecorder::watchNet(NetId net, const std::string& label) {
   Track t;
   t.label = label;
+  if (t.label.empty()) {
+    // Default to the netlist name so the VCD $var is never nameless.
+    const Netlist& nl = sim_.design().netlist;
+    if (net < nl.netCount()) t.label = nl.net(net).name;
+    if (t.label.empty()) t.label = "net<" + std::to_string(net) + ">";
+  }
   t.nets = {net};
   tracks_.push_back(std::move(t));
 }
@@ -53,25 +60,78 @@ std::string WaveRecorder::renderTable() const {
   return out;
 }
 
+namespace {
+
+char vcdChar(Logic v) {
+  switch (v) {
+    case Logic::Zero: return '0';
+    case Logic::One: return '1';
+    case Logic::Undef: return 'x';
+    case Logic::NoInfl: return 'z';
+  }
+  return 'x';
+}
+
+/// VCD reference names allow [a-zA-Z0-9_$] identifiers with an optional
+/// trailing " [index]" bit-select.  Labels like "sum[1]" become
+/// "sum [1]"; any other illegal character becomes '_' so gtkwave-style
+/// parsers accept the file.
+std::string vcdReference(const std::string& label) {
+  std::string base = label;
+  std::string select;
+  size_t open = label.find_last_of('[');
+  if (open != std::string::npos && !label.empty() &&
+      label.back() == ']' && open > 0) {
+    bool digits = open + 1 < label.size() - 1;
+    for (size_t i = open + 1; i + 1 < label.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(label[i]))) {
+        digits = false;
+        break;
+      }
+    }
+    if (digits) {
+      base = label.substr(0, open);
+      select = " " + label.substr(open);
+    }
+  }
+  for (char& c : base) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '$') {
+      c = '_';
+    }
+  }
+  if (base.empty()) base = "_";
+  return base + select;
+}
+
+}  // namespace
+
 std::string WaveRecorder::renderVcd(const std::string& module) const {
   std::string out = "$timescale 1ns $end\n$scope module " + module +
                     " $end\n";
   for (size_t i = 0; i < tracks_.size(); ++i) {
-    out += "$var wire 1 s" + std::to_string(i) + " " + tracks_[i].label +
-           " $end\n";
+    out += "$var wire 1 s" + std::to_string(i) + " " +
+           vcdReference(tracks_[i].label) + " $end\n";
   }
   out += "$upscope $end\n$enddefinitions $end\n";
-  for (size_t c = 0; c < samples_; ++c) {
-    out += "#" + std::to_string(c) + "\n";
+  if (samples_ == 0) return out;
+  // Initial-value block at time 0, then value *changes* only.
+  out += "#0\n$dumpvars\n";
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    out += std::string(1, vcdChar(tracks_[i].history[0])) + "s" +
+           std::to_string(i) + "\n";
+  }
+  out += "$end\n";
+  for (size_t c = 1; c < samples_; ++c) {
+    bool stamped = false;
     for (size_t i = 0; i < tracks_.size(); ++i) {
-      char ch = 'x';
-      switch (tracks_[i].history[c]) {
-        case Logic::Zero: ch = '0'; break;
-        case Logic::One: ch = '1'; break;
-        case Logic::Undef: ch = 'x'; break;
-        case Logic::NoInfl: ch = 'z'; break;
+      if (tracks_[i].history[c] == tracks_[i].history[c - 1]) continue;
+      if (!stamped) {
+        out += "#" + std::to_string(c) + "\n";
+        stamped = true;
       }
-      out += std::string(1, ch) + "s" + std::to_string(i) + "\n";
+      out += std::string(1, vcdChar(tracks_[i].history[c])) + "s" +
+             std::to_string(i) + "\n";
     }
   }
   return out;

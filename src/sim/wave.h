@@ -14,9 +14,10 @@ class WaveRecorder {
  public:
   explicit WaveRecorder(const Simulation& sim) : sim_(sim) {}
 
-  /// Watches a single-bit port or an internal net by name.
+  /// Watches a single-bit port or an internal net by name.  An empty
+  /// label defaults to the net's netlist name (or "net<N>").
   void watchPort(const std::string& port, const std::string& label = "");
-  void watchNet(NetId net, const std::string& label);
+  void watchNet(NetId net, const std::string& label = "");
 
   /// Call once per cycle after Simulation::step().
   void sample();

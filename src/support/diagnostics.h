@@ -76,6 +76,15 @@ enum class Diag {
   InstanceBudgetExceeded,
   NetBudgetExceeded,
   ElabBudgetExceeded,
+  // Lint (static analysis over the semantics graph, src/analysis/lint.h)
+  LintContention,
+  LintUndrivenNet,
+  LintUnreadNet,
+  LintConstantGate,
+  LintDeadBranch,
+  LintConstantRegister,
+  LintDeepLogic,
+  LintFanoutHotspot,
   // Simulation (runtime faults, carried on SimError records)
   SimContention,
   SimWatchdog,

@@ -1,0 +1,102 @@
+# ctest driver: run `zeusc --lint --lint-json` over every built-in corpus
+# entry and validate the machine-readable output.
+#
+#   cmake -DZEUSC=<path-to-zeusc> -P lint_corpus.cmake
+#
+# Checks, per entry:
+#   * zeusc exits 0 — the paper's own programs carry no lint *errors*
+#     (warnings and notes are fine) and nothing crashes;
+#   * stdout is valid JSON matching the schema in docs/lint.md
+#     (validated with CMake's string(JSON ...) parser);
+#   * the summary counters agree with the findings array.
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ZEUSC)
+  message(FATAL_ERROR "pass -DZEUSC=<path to the zeusc binary>")
+endif()
+
+execute_process(COMMAND ${ZEUSC} --list-examples
+                OUTPUT_VARIABLE listing
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "zeusc --list-examples failed (rc=${rc})")
+endif()
+
+# First whitespace-separated token of each line is the entry name.
+string(REPLACE "\n" ";" lines "${listing}")
+set(entries "")
+foreach(line IN LISTS lines)
+  if(line MATCHES "^([a-z0-9-]+)[ \t]")
+    list(APPEND entries "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+list(LENGTH entries count)
+if(count LESS 10)
+  message(FATAL_ERROR "expected at least 10 corpus entries, got ${count}: ${entries}")
+endif()
+
+set(severities "error" "warning" "note")
+
+foreach(entry IN LISTS entries)
+  execute_process(COMMAND ${ZEUSC} --example ${entry} --lint --lint-json
+                  OUTPUT_VARIABLE json
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${entry}: zeusc --lint --lint-json exited ${rc} "
+            "(lint errors or crash)\n${json}\n${err}")
+  endif()
+
+  # Schema validation (docs/lint.md).  string(JSON ...) hard-errors on
+  # malformed JSON, absent keys and type mismatches.
+  string(JSON version GET "${json}" "zeus-lint")
+  if(NOT version EQUAL 1)
+    message(FATAL_ERROR "${entry}: zeus-lint version ${version}, expected 1")
+  endif()
+  string(JSON design GET "${json}" "design")
+  if(design STREQUAL "")
+    message(FATAL_ERROR "${entry}: empty design name")
+  endif()
+  string(JSON nerrors GET "${json}" "summary" "errors")
+  string(JSON nwarnings GET "${json}" "summary" "warnings")
+  string(JSON nnotes GET "${json}" "summary" "notes")
+  string(JSON nfindings GET "${json}" "summary" "findings")
+  if(NOT nerrors EQUAL 0)
+    message(FATAL_ERROR "${entry}: ${nerrors} lint error(s) on a paper example\n${json}")
+  endif()
+  math(EXPR expected "${nerrors} + ${nwarnings} + ${nnotes}")
+  if(NOT nfindings EQUAL expected)
+    message(FATAL_ERROR
+            "${entry}: summary.findings=${nfindings} but counters sum to ${expected}")
+  endif()
+
+  string(JSON len LENGTH "${json}" "findings")
+  if(NOT len EQUAL nfindings)
+    message(FATAL_ERROR
+            "${entry}: findings array length ${len} != summary ${nfindings}")
+  endif()
+  if(len GREATER 0)
+    math(EXPR last "${len} - 1")
+    foreach(i RANGE 0 ${last})
+      string(JSON rule GET "${json}" "findings" ${i} "rule")
+      string(JSON sev GET "${json}" "findings" ${i} "severity")
+      string(JSON msg GET "${json}" "findings" ${i} "message")
+      string(JSON line GET "${json}" "findings" ${i} "line")
+      string(JSON col GET "${json}" "findings" ${i} "col")
+      if(NOT sev IN_LIST severities)
+        message(FATAL_ERROR "${entry}: finding ${i} has severity '${sev}'")
+      endif()
+      if(msg STREQUAL "")
+        message(FATAL_ERROR "${entry}: finding ${i} has an empty message")
+      endif()
+      if(line LESS 0 OR col LESS 0)
+        message(FATAL_ERROR "${entry}: finding ${i} has negative location")
+      endif()
+    endforeach()
+  endif()
+
+  message(STATUS "${entry}: ok (${nfindings} finding(s), 0 errors)")
+endforeach()
+
+message(STATUS "lint_corpus: ${count} corpus entries validated")

@@ -1,0 +1,359 @@
+// Unit tests for the static lint pass (src/analysis/lint.h): one fixture
+// per rule, a clean design with zero findings, the JSON rendering, a
+// corpus-wide zero-errors sweep, and the differential guarantee that every
+// "certain" contention finding actually raises SimContention under the
+// firing evaluator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/corpus/corpus.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+/// Lints a fixture through the public Compilation entry point.
+LintReport lintOf(Built& b, const LintOptions& opts = {}) {
+  return b.comp->lint(*b.design, opts);
+}
+
+size_t countRule(const LintReport& r, LintRule rule) {
+  return static_cast<size_t>(
+      std::count_if(r.findings.begin(), r.findings.end(),
+                    [&](const LintFinding& f) { return f.rule == rule; }));
+}
+
+const LintFinding* findRule(const LintReport& r, LintRule rule) {
+  for (const LintFinding& f : r.findings)
+    if (f.rule == rule) return &f;
+  return nullptr;
+}
+
+// Two unconditional constant drivers joined into one alias class by '=='.
+// Each ':=' is legal when elaborated; the union is the §4.7 violation the
+// elaborator misses and the lint pass must catch statically.
+const char* kCertainContention = R"(
+TYPE t = COMPONENT (OUT o: boolean) IS
+  SIGNAL x, y: multiplex;
+BEGIN
+  x := 1;
+  y := 0;
+  x == y;
+  o := x
+END;
+SIGNAL top: t;
+)";
+
+TEST(Lint, CertainContentionAcrossAliasClass) {
+  Built b = buildOk(kCertainContention, "top");
+  LintReport r = lintOf(b);
+  ASSERT_EQ(countRule(r, LintRule::MultiplexContention), 1u)
+      << r.renderText(b.comp->sources());
+  const LintFinding* f = findRule(r, LintRule::MultiplexContention);
+  EXPECT_EQ(f->severity, Severity::Error);
+  EXPECT_TRUE(f->certain);
+  EXPECT_TRUE(r.hasErrors());
+  // Mirrored into the ordinary diagnostics stream with a stable code.
+  EXPECT_TRUE(b.comp->diags().has(Diag::LintContention));
+}
+
+TEST(Lint, CertainContentionRaisesSimContention) {
+  // Differential check: a finding marked `certain` is a promise that the
+  // firing evaluator reports SimContention on every cycle.  Break the
+  // classifier and this test fails.
+  Built b = buildOk(kCertainContention, "top");
+  LintReport r = lintOf(b, LintOptions{.reportToDiags = false});
+  const LintFinding* f = findRule(r, LintRule::MultiplexContention);
+  ASSERT_NE(f, nullptr);
+  ASSERT_TRUE(f->certain);
+
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  Simulation sim(g);
+  for (const Port& p : b.design->ports) {
+    if (p.mode == ast::ParamMode::In)
+      sim.setInput(p.name, std::vector<Logic>(p.nets.size(), Logic::Zero));
+  }
+  sim.step(2);
+  bool sawContention = false;
+  for (const SimError& e : sim.errors())
+    if (e.code == Diag::SimContention) sawContention = true;
+  EXPECT_TRUE(sawContention)
+      << "lint claimed certain contention but the simulator never "
+         "raised SimContention";
+}
+
+TEST(Lint, PossibleContentionSharedGuard) {
+  // Two conditional drivers behind the *same* IF condition fire together
+  // whenever it holds — statically a warning, not an error, because the
+  // condition may never hold at runtime.
+  const char* src = R"(
+TYPE t = COMPONENT (IN a, b, d: boolean; OUT o: boolean) IS
+  SIGNAL m: multiplex;
+BEGIN
+  IF a THEN m := d END;
+  IF a THEN m := NOT d END;
+  IF b THEN m := d END;
+  o := m
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  LintReport r = lintOf(b);
+  const LintFinding* f = findRule(r, LintRule::MultiplexContention);
+  ASSERT_NE(f, nullptr) << r.renderText(b.comp->sources());
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_FALSE(f->certain);
+  EXPECT_FALSE(r.hasErrors());
+}
+
+TEST(Lint, DistinctGuardsNotFlagged) {
+  // Drivers behind distinct conditions are the §8 multiplex idiom; the
+  // pass must not cry wolf on the standard pattern.
+  const char* src = R"(
+TYPE t = COMPONENT (IN a, b, d: boolean; OUT o: boolean) IS
+  SIGNAL m: multiplex;
+BEGIN
+  IF a THEN m := d END;
+  IF b THEN m := NOT d END;
+  o := m
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  LintReport r = lintOf(b);
+  EXPECT_EQ(countRule(r, LintRule::MultiplexContention), 0u)
+      << r.renderText(b.comp->sources());
+}
+
+// One fixture exercising the dead/undriven-hardware family: 'u' is read
+// but never driven, 'dead' drives nothing reaching an output, the IF 0
+// branch never fires, and register r's input cone stays NOINFL forever.
+const char* kDeadHardware = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT o, q: boolean) IS
+  SIGNAL u: boolean;
+  SIGNAL dead: boolean;
+  SIGNAL r: REG;
+BEGIN
+  o := AND(a, u);
+  dead := NOT a;
+  IF 0 THEN r.in := a END;
+  q := r.out
+END;
+SIGNAL top: t;
+)";
+
+TEST(Lint, UndrivenNetReadByGate) {
+  Built b = buildOk(kDeadHardware, "top");
+  LintReport r = lintOf(b);
+  const LintFinding* f = findRule(r, LintRule::UndrivenNet);
+  ASSERT_NE(f, nullptr) << r.renderText(b.comp->sources());
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_NE(f->net.find("u"), std::string::npos);
+  EXPECT_TRUE(b.comp->diags().has(Diag::LintUndrivenNet));
+}
+
+TEST(Lint, UnreadNetCone) {
+  Built b = buildOk(kDeadHardware, "top");
+  LintReport r = lintOf(b);
+  const LintFinding* f = findRule(r, LintRule::UnreadNet);
+  ASSERT_NE(f, nullptr) << r.renderText(b.comp->sources());
+  EXPECT_NE(f->net.find("dead"), std::string::npos);
+}
+
+TEST(Lint, DeadBranchConstantFalseCondition) {
+  Built b = buildOk(kDeadHardware, "top");
+  LintReport r = lintOf(b);
+  const LintFinding* f = findRule(r, LintRule::DeadBranch);
+  ASSERT_NE(f, nullptr) << r.renderText(b.comp->sources());
+  EXPECT_EQ(f->severity, Severity::Warning);
+}
+
+TEST(Lint, ConstantRegisterNeverDefined) {
+  Built b = buildOk(kDeadHardware, "top");
+  LintReport r = lintOf(b);
+  const LintFinding* f = findRule(r, LintRule::ConstantRegister);
+  ASSERT_NE(f, nullptr) << r.renderText(b.comp->sources());
+}
+
+TEST(Lint, ConstantGateFolds) {
+  // AND with a constant-0 input folds regardless of the other input.
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+  SIGNAL z: boolean;
+BEGIN
+  z := AND(a, 0);
+  o := OR(z, a)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  LintReport r = lintOf(b);
+  const LintFinding* f = findRule(r, LintRule::ConstantGate);
+  ASSERT_NE(f, nullptr) << r.renderText(b.comp->sources());
+  EXPECT_EQ(f->severity, Severity::Note);
+  EXPECT_NE(f->message.find("0"), std::string::npos);
+}
+
+TEST(Lint, DeepLogicThreshold) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT p: boolean) IS
+BEGIN
+  p := NOT(NOT(NOT a))
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  LintReport deep = lintOf(b, LintOptions{.maxDepth = 1});
+  EXPECT_EQ(countRule(deep, LintRule::DeepLogic), 1u)
+      << deep.renderText(b.comp->sources());
+  LintReport fine = lintOf(b, LintOptions{.maxDepth = 16});
+  EXPECT_EQ(countRule(fine, LintRule::DeepLogic), 0u);
+}
+
+TEST(Lint, FanoutHotspotThreshold) {
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT o: ARRAY[1..3] OF boolean) IS
+  SIGNAL z: boolean;
+BEGIN
+  z := NOT a;
+  o[1] := NOT z;
+  o[2] := AND(z, a);
+  o[3] := OR(z, a)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  LintReport hot = lintOf(b, LintOptions{.maxFanout = 2});
+  const LintFinding* f = findRule(hot, LintRule::FanoutHotspot);
+  ASSERT_NE(f, nullptr) << hot.renderText(b.comp->sources());
+  EXPECT_NE(f->net.find("z"), std::string::npos);
+  LintReport cold = lintOf(b, LintOptions{.maxFanout = 64});
+  EXPECT_EQ(countRule(cold, LintRule::FanoutHotspot), 0u);
+}
+
+TEST(Lint, CleanDesignZeroFindings) {
+  const char* src = R"(
+TYPE halfadder = COMPONENT (IN a, b: boolean;
+                            OUT sum, carry: boolean) IS
+BEGIN
+  sum := XOR(a, b);
+  carry := AND(a, b)
+END;
+SIGNAL top: halfadder;
+)";
+  Built b = buildOk(src, "top");
+  LintReport r = lintOf(b);
+  EXPECT_TRUE(r.clean()) << r.renderText(b.comp->sources());
+  EXPECT_EQ(r.errors + r.warnings + r.notes, 0u);
+}
+
+TEST(Lint, JsonRendersSchemaFields) {
+  Built b = buildOk(kCertainContention, "top");
+  LintReport r = lintOf(b, LintOptions{.reportToDiags = false});
+  std::string json = r.renderJson(b.comp->sources(), "top");
+  EXPECT_NE(json.find("\"zeus-lint\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"design\": \"top\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\": \"multiplex-contention\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"certain\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+}
+
+TEST(Lint, TextRenderSummaryLine) {
+  Built b = buildOk(kDeadHardware, "top");
+  LintReport r = lintOf(b, LintOptions{.reportToDiags = false});
+  std::string text = r.renderText(b.comp->sources());
+  EXPECT_NE(text.find("lint:"), std::string::npos) << text;
+  EXPECT_NE(text.find("[undriven-net]"), std::string::npos) << text;
+}
+
+TEST(Lint, CyclicGraphYieldsEmptyReport) {
+  // Combinational loops are already a hard error from buildSimGraph; the
+  // lint entry point must not double-report or crash on them.
+  const char* src = R"(
+TYPE t = COMPONENT (IN a: boolean; OUT o: boolean) IS
+  SIGNAL x, y: boolean;
+BEGIN
+  x := NOT y;
+  y := NOT x;
+  o := AND(x, a)
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  LintReport r = b.comp->lint(*b.design);
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(b.comp->diags().has(Diag::CombinationalLoop));
+}
+
+// ---------------------------------------------------------------------
+// Corpus sweep: the paper's own programs must lint without errors (notes
+// and warnings are acceptable; a lint *error* is a §4.7/§8 violation).
+
+std::string instantiatedCorpus(const corpus::CorpusEntry& e,
+                               std::string* top) {
+  std::string source = e.source;
+  *top = e.top;
+  if (top->empty()) {
+    if (std::string(e.name) == "adders") {
+      source += "SIGNAL t: rippleCarry(8);\n";
+    } else if (std::string(e.name).rfind("tree", 0) == 0) {
+      source += "SIGNAL t: tree(8);\n";
+    } else if (std::string(e.name) == "htree") {
+      source += "SIGNAL t: htree(16);\n";
+    } else if (std::string(e.name) == "routing") {
+      source += "SIGNAL t: routingnetwork(8);\n";
+    } else if (std::string(e.name) == "systolic-stack") {
+      source += "SIGNAL t: systolicstack(8);\n";
+    } else if (std::string(e.name) == "dictionary") {
+      source += "SIGNAL t: dicttree(8);\n";
+    } else if (std::string(e.name) == "snake") {
+      source += "SIGNAL t: snake(3,4);\n";
+    } else if (std::string(e.name) == "sorter") {
+      source += "SIGNAL t: sorter(4);\n";
+    } else if (std::string(e.name) == "matvec") {
+      source += "SIGNAL t: matvec(4);\n";
+    } else {
+      ADD_FAILURE() << "no instantiation rule for " << e.name;
+    }
+    *top = "t";
+  }
+  return source;
+}
+
+class LintCorpus : public ::testing::TestWithParam<corpus::CorpusEntry> {};
+
+TEST_P(LintCorpus, PaperExamplesLintWithoutErrors) {
+  const corpus::CorpusEntry& e = GetParam();
+  std::string top;
+  std::string source = instantiatedCorpus(e, &top);
+  auto comp = Compilation::fromSource(std::string(e.name) + ".zeus", source);
+  ASSERT_TRUE(comp->ok()) << comp->diagnosticsText();
+  auto design = comp->elaborate(top);
+  ASSERT_NE(design, nullptr) << comp->diagnosticsText();
+  LintReport r = comp->lint(*design);
+  EXPECT_FALSE(r.hasErrors())
+      << e.name << ":\n" << r.renderText(comp->sources());
+  // Certainty is reserved for contention findings.
+  for (const LintFinding& f : r.findings) {
+    if (f.rule != LintRule::MultiplexContention) {
+      EXPECT_FALSE(f.certain);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEntries, LintCorpus, ::testing::ValuesIn(corpus::all()),
+    [](const ::testing::TestParamInfo<corpus::CorpusEntry>& info) {
+      std::string n = info.param.name;
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+}  // namespace
+}  // namespace zeus::test

@@ -59,6 +59,11 @@ bool runOne(const uint8_t* data, size_t size) {
       if (!design) continue;  // elaboration error: structured, fine
       zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
       if (graph.hasCycle) continue;  // reported as CombinationalLoop
+      // The static lint pass must behave on anything that survives
+      // elaboration: findings are structured diagnostics, never a crash.
+      zeus::LintReport lr = zeus::runLint(*design, graph, comp->diags());
+      (void)lr.renderText(comp->sources());
+      (void)lr.renderJson(comp->sources(), top);
       zeus::Simulation::Options sopts;
       sopts.maxEventsPerCycle = 1u << 22;
       sopts.maxSimMillis = 2000;
