@@ -8,7 +8,15 @@
 // pseudo-random stimulus and must produce the same checksum — the bench
 // doubles as a coarse differential test.
 //
-// Usage: bench_levelized [--cycles N] [--width W] [--out FILE]
+// With --overhead it instead times the levelized engine in three
+// configurations — a raw evaluator loop ("bare"), the Simulation facade
+// with all observability off ("disabled") and with tracing + activity
+// profiling on ("enabled") — and writes a zeus-bench-overhead-v1 JSON;
+// the bench_metrics_smoke ctest asserts disabled stays within 5% of bare
+// (the zero-overhead-when-disabled claim).
+//
+// Usage: bench_levelized [--cycles N] [--width W] [--out FILE] [--overhead]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +27,8 @@
 
 #include "src/core/zeus.h"
 #include "src/corpus/corpus.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace {
 
@@ -31,6 +41,7 @@ struct RunResult {
   uint64_t laneCycles = 0;       ///< stimulus vectors simulated
   double seconds = 0;
   uint64_t checksum = 0;  ///< sum of `s` outputs over all lane cycles
+  zeus::metrics::SimCounters counters;  ///< embedded in BENCH_sim.json
 
   [[nodiscard]] double cyclesPerSec() const {
     return seconds > 0 ? static_cast<double>(laneCycles) / seconds : 0;
@@ -64,6 +75,7 @@ RunResult runScalar(const zeus::SimGraph& g, zeus::EvaluatorKind kind,
   r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   r.evaluatedCycles = cycles;
   r.laneCycles = cycles;
+  r.counters = sim.metricsCounters();
   return r;
 }
 
@@ -93,6 +105,7 @@ RunResult runBatch(const zeus::SimGraph& g, int width, uint64_t cycles) {
   r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   r.evaluatedCycles = evalCycles;
   r.laneCycles = evalCycles * kLanes;
+  r.counters = sim.metricsCounters();
   return r;
 }
 
@@ -113,7 +126,8 @@ void emitJson(const std::string& path, int width, uint64_t cycles,
         << ", \"lane_cycles\": " << r.laneCycles
         << ", \"seconds\": " << r.seconds
         << ", \"cycles_per_sec\": " << r.cyclesPerSec()
-        << ", \"checksum\": " << r.checksum << "}"
+        << ", \"checksum\": " << r.checksum << ",\n     \"metrics\": "
+        << zeus::metrics::simCountersJson(r.counters) << "}"
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
@@ -122,12 +136,97 @@ void emitJson(const std::string& path, int width, uint64_t cycles,
       << "}\n";
 }
 
+// ---------------------------------------------------------------------
+// Overhead mode (--overhead): the zero-overhead-when-disabled guard.
+// ---------------------------------------------------------------------
+
+/// Raw levelized loop: evaluator + two-phase register latch, nothing
+/// else.  This is the uninstrumented wall-clock the facade competes with.
+double timeBare(const zeus::SimGraph& g, uint64_t cycles) {
+  zeus::LevelizedEvaluator eval(g);
+  const zeus::Netlist& nl = g.design->netlist;
+  std::vector<zeus::Logic> inputValues(g.denseCount, zeus::Logic::Undef);
+  std::vector<char> inputSet(g.denseCount, 0);
+  std::vector<zeus::Logic> regValues(g.regNodes.size(), zeus::Logic::Undef);
+  uint32_t clk = g.dense(g.design->clk);
+  inputValues[clk] = zeus::Logic::One;
+  inputSet[clk] = 1;
+  uint32_t rset = g.dense(g.design->rset);
+  inputValues[rset] = zeus::Logic::Zero;
+  inputSet[rset] = 1;
+  zeus::CycleSeeds seeds;
+  seeds.inputValues = &inputValues;
+  seeds.inputSet = &inputSet;
+  seeds.regValues = &regValues;
+  zeus::CycleResult result;
+  const Clock::time_point t0 = Clock::now();
+  for (uint64_t i = 0; i < cycles; ++i) {
+    eval.evaluate(seeds, result);
+    for (size_t k = 0; k < g.regNodes.size(); ++k) {
+      const zeus::Node& reg = nl.node(g.regNodes[k]);
+      uint32_t in = g.dense(reg.inputs[0]);
+      if (result.activeCounts[in] > 0) {
+        zeus::Logic v = result.netValues[in];
+        regValues[k] = v == zeus::Logic::NoInfl ? zeus::Logic::Undef : v;
+      }
+    }
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The same per-cycle work through the Simulation facade.  Inputs stay
+/// constant (the levelized schedule walks every node regardless), so the
+/// measured difference is exactly the facade + instrumentation cost.
+double timeFacade(const zeus::SimGraph& g, uint64_t cycles, bool observed) {
+  zeus::Simulation::Options opts;
+  opts.evaluator = zeus::EvaluatorKind::Levelized;
+  opts.profileActivity = observed;
+  zeus::Simulation sim(g, opts);
+  const Clock::time_point t0 = Clock::now();
+  sim.step(cycles);
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int runOverhead(const zeus::SimGraph& g, uint64_t cycles,
+                const std::string& outPath) {
+  // Best-of-5, interleaved, so scheduler hiccups (or a parallel build on
+  // the same machine) cannot decide the comparison either way.
+  double bare = 1e99, disabled = 1e99, enabled = 1e99;
+  for (int rep = 0; rep < 5; ++rep) {
+    zeus::trace::setEnabled(false);
+    bare = std::min(bare, timeBare(g, cycles));
+    disabled = std::min(disabled, timeFacade(g, cycles, false));
+    zeus::trace::setEnabled(true);
+    enabled = std::min(enabled, timeFacade(g, cycles, true));
+  }
+  zeus::trace::setEnabled(false);
+  const double disabledOverBare = bare > 0 ? disabled / bare : 0;
+  const double enabledOverBare = bare > 0 ? enabled / bare : 0;
+
+  std::ofstream out(outPath);
+  out << "{\n"
+      << "  \"schema\": \"zeus-bench-overhead-v1\",\n"
+      << "  \"cycles\": " << cycles << ",\n"
+      << "  \"bare_seconds\": " << bare << ",\n"
+      << "  \"disabled_seconds\": " << disabled << ",\n"
+      << "  \"enabled_seconds\": " << enabled << ",\n"
+      << "  \"disabled_over_bare\": " << disabledOverBare << ",\n"
+      << "  \"enabled_over_bare\": " << enabledOverBare << "\n"
+      << "}\n";
+  std::printf("bare      %.6fs\ndisabled  %.6fs (%.3fx)\nenabled   %.6fs "
+              "(%.3fx)\nwrote %s\n",
+              bare, disabled, disabledOverBare, enabled, enabledOverBare,
+              outPath.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t cycles = 20480;  // multiple of 64: batch checksum is comparable
   int width = 32;
-  std::string outPath = "BENCH_sim.json";
+  bool overhead = false;
+  std::string outPath;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -141,12 +240,17 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--out")) {
       const char* v = next();
       if (v) outPath = v;
+    } else if (!std::strcmp(argv[i], "--overhead")) {
+      overhead = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_levelized [--cycles N] [--width W] "
-                   "[--out FILE]\n");
+                   "[--out FILE] [--overhead]\n");
       return 2;
     }
+  }
+  if (outPath.empty()) {
+    outPath = overhead ? "BENCH_overhead.json" : "BENCH_sim.json";
   }
 
   std::string src = std::string(zeus::corpus::kAdders) +
@@ -161,6 +265,8 @@ int main(int argc, char** argv) {
   if (!design) return 1;
   zeus::SimGraph g = zeus::buildSimGraph(*design, comp->diags());
   if (g.hasCycle) return 1;
+
+  if (overhead) return runOverhead(g, cycles, outPath);
 
   std::vector<RunResult> runs;
   runs.push_back(

@@ -51,6 +51,30 @@ foreach(i RANGE ${last})
   if(cps LESS_EQUAL 0)
     message(FATAL_ERROR "evaluator ${i} cycles_per_sec not positive: ${cps}")
   endif()
+  # Embedded metrics block: every evaluator entry must carry its counter
+  # snapshot, and on a real run the work counters cannot be zero.
+  foreach(field ran evaluator node_firings net_resolutions contention_checks
+                epoch_resets faults)
+    string(JSON v ERROR_VARIABLE jerr GET "${content}" evaluators ${i}
+           metrics ${field})
+    if(jerr)
+      message(FATAL_ERROR "evaluator ${i} metrics missing '${field}': ${jerr}")
+    endif()
+  endforeach()
+  string(JSON mran GET "${content}" evaluators ${i} metrics ran)
+  if(NOT mran STREQUAL "ON")
+    message(FATAL_ERROR "evaluator ${i} metrics.ran = ${mran}")
+  endif()
+  string(JSON firings GET "${content}" evaluators ${i} metrics node_firings)
+  if(firings LESS_EQUAL 0)
+    message(FATAL_ERROR "evaluator ${i} metrics.node_firings = ${firings}")
+  endif()
+  string(JSON resolutions GET "${content}" evaluators ${i} metrics
+         net_resolutions)
+  if(resolutions LESS_EQUAL 0)
+    message(FATAL_ERROR
+            "evaluator ${i} metrics.net_resolutions = ${resolutions}")
+  endif()
 endforeach()
 
 foreach(field speedup_levelized_vs_firing speedup_batch_vs_firing)

@@ -13,7 +13,11 @@
 //   --sim <cycles>       simulate N cycles (inputs all 0) and print ports
 //   --naive              use the naive fixpoint evaluator
 //   --levelized          use the statically scheduled levelized evaluator
-//   --stats              print evaluator statistics after --sim
+//   --stats              print the phase/counter/activity summary table
+//   --trace <file>       write phase spans as Chrome trace_event JSON
+//                        (load in Perfetto / chrome://tracing)
+//   --metrics <file>     write the zeus-metrics-v1 JSON report
+//                        (schema in docs/observability.md)
 //   --report             print design statistics and the instance tree
 //   --script <file>      run a testbench script (set/step/expect/...)
 //   --dot <file>         write the semantics graph as GraphViz dot
@@ -35,6 +39,8 @@
 #include "src/core/report.h"
 #include "src/core/script.h"
 #include "src/layout/render.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace {
 
@@ -43,7 +49,8 @@ int usage() {
                "usage: zeusc <file.zeus> --top <signal> [--dump-ast] "
                "[--dump-netlist] [--layout] [--svg out.svg] [--sim N] "
                "[--naive] [--levelized] [--stats] [--lint] [--lint-json] "
-               "[--lint-depth N] [--lint-fanout N]\n"
+               "[--lint-depth N] [--lint-fanout N] [--trace out.json] "
+               "[--metrics out.json]\n"
                "       zeusc --example <name> [options]\n"
                "       zeusc --list-examples\n");
   return 2;
@@ -71,6 +78,16 @@ bool parseCount(const char* flag, const char* text, long& out) {
   return true;
 }
 
+bool writeFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,7 +95,7 @@ int main(int argc, char** argv) {
   bool dumpAst = false, dumpNetlist = false, layout = false, naive = false;
   bool levelized = false, stats = false, report = false;
   bool lint = false, lintJson = false;
-  std::string dotOut, scriptFile;
+  std::string dotOut, scriptFile, traceOut, metricsOut;
   long simCycles = -1;
   long lintDepth = -1, lintFanout = -1;
 
@@ -142,6 +159,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       scriptFile = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return usage();
+      traceOut = v;
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (!v) return usage();
+      metricsOut = v;
     } else if (!arg.empty() && arg[0] != '-') {
       file = arg;
     } else {
@@ -204,15 +229,48 @@ int main(int argc, char** argv) {
     name = file;
   }
 
+  // Spans are recorded from the very first pipeline phase, so tracing has
+  // to be switched on before Compilation::fromSource runs the lexer.
+  // --stats reuses the phase timings for its summary table.
+  if (!traceOut.empty() || !metricsOut.empty() || stats) {
+    zeus::trace::setEnabled(true);
+  }
+
   auto comp = zeus::Compilation::fromSource(name, source);
+
+  zeus::metrics::MetricsReport mreport;
+  mreport.design = top;
+  // Flushes the observability sinks; called on *every* exit path once a
+  // Compilation exists, so failed runs still leave partial trace/metrics
+  // files behind (the report simply carries sim.ran = false).
+  auto emitSinks = [&]() {
+    mreport.resources = comp->resourceReport();
+    mreport.phases = zeus::metrics::phaseTimings();
+    if (!traceOut.empty() &&
+        writeFile(traceOut, zeus::trace::renderChromeJson())) {
+      std::printf("wrote %s\n", traceOut.c_str());
+    }
+    if (!metricsOut.empty() && writeFile(metricsOut, mreport.renderJson())) {
+      std::printf("wrote %s\n", metricsOut.c_str());
+    }
+  };
+  // Failure exit: show how close the run came to its resource budgets
+  // (the usual first question when a compile or simulation dies), then
+  // flush whatever observability data accumulated before the failure.
+  auto fail = [&](int rc) {
+    std::fprintf(stderr, "%s", comp->resourceReport().render().c_str());
+    emitSinks();
+    return rc;
+  };
+
   if (dumpAst) std::printf("%s\n", zeus::ast::dump(comp->program()).c_str());
   if (!comp->ok()) {
     std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
-    return 1;
+    return fail(1);
   }
   auto design = comp->elaborate(top);
   std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
-  if (!design) return 1;
+  if (!design) return fail(1);
 
   if (!lintJson) {
     std::printf("design '%s': %zu nets, %zu nodes, %zu ports\n", top.c_str(),
@@ -230,7 +288,7 @@ int main(int argc, char** argv) {
     } else {
       std::printf("%s", lr.renderText(comp->sources()).c_str());
     }
-    if (lr.hasErrors()) return 1;
+    if (lr.hasErrors()) return fail(1);
   }
 
   if (dumpNetlist) {
@@ -280,35 +338,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  const zeus::EvaluatorKind evalKind =
+      naive ? zeus::EvaluatorKind::Naive
+      : levelized ? zeus::EvaluatorKind::Levelized
+                  : zeus::EvaluatorKind::Firing;
+  const bool wantActivity = stats || !metricsOut.empty();
+
   if (!scriptFile.empty()) {
     std::ifstream in(scriptFile);
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n", scriptFile.c_str());
-      return 1;
+      return fail(1);
     }
     std::ostringstream ss;
     ss << in.rdbuf();
     zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
-    if (graph.hasCycle) return 1;
-    zeus::Simulation sim(graph, naive ? zeus::EvaluatorKind::Naive
-                         : levelized ? zeus::EvaluatorKind::Levelized
-                                     : zeus::EvaluatorKind::Firing);
+    if (graph.hasCycle) return fail(1);
+    zeus::Simulation::Options sopts;
+    sopts.evaluator = evalKind;
+    sopts.profileActivity = wantActivity;
+    zeus::Simulation sim(graph, sopts);
     zeus::ScriptResult sr = zeus::runScript(sim, ss.str());
+    comp->recordSimulation(sim);
+    mreport.sim = sim.metricsCounters();
+    mreport.activity = sim.activityReport();
     std::printf("%s", sr.log.c_str());
     std::printf("script: %d expectation(s) checked, %s\n",
                 sr.expectationsChecked, sr.ok ? "PASS" : "FAIL");
-    if (!sr.ok) return 1;
+    if (!sr.ok) return fail(1);
   }
 
   if (simCycles >= 0) {
     zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
     if (graph.hasCycle) {
       std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
-      return 1;
+      return fail(1);
     }
-    zeus::Simulation sim(graph, naive ? zeus::EvaluatorKind::Naive
-                         : levelized ? zeus::EvaluatorKind::Levelized
-                                     : zeus::EvaluatorKind::Firing);
+    zeus::Simulation::Options sopts;
+    sopts.evaluator = evalKind;
+    sopts.profileActivity = wantActivity;
+    zeus::Simulation sim(graph, sopts);
     for (const zeus::Port& p : design->ports) {
       if (p.mode == zeus::ast::ParamMode::In) {
         sim.setInput(p.name, std::vector<zeus::Logic>(p.nets.size(),
@@ -331,19 +400,33 @@ int main(int argc, char** argv) {
                                                         : "INOUT",
                   p.name.c_str(), bits.c_str());
     }
+    comp->recordSimulation(sim);
+    mreport.sim = sim.metricsCounters();
+    mreport.activity = sim.activityReport();
+    bool budgetFault = false;
     for (const zeus::SimError& e : sim.errors()) {
       std::printf("  runtime error, cycle %llu, %s: %s\n",
                   static_cast<unsigned long long>(e.cycle),
                   e.netName.c_str(), e.message.c_str());
+      if (e.code == zeus::Diag::SimWatchdog ||
+          e.code == zeus::Diag::SimWallClock) {
+        budgetFault = true;
+      }
     }
-    if (stats) {
-      std::printf("  evaluator: %llu node firings, %llu input events, "
-                  "%llu sweeps over %llu cycles\n",
-                  static_cast<unsigned long long>(sim.stats().nodeFirings),
-                  static_cast<unsigned long long>(sim.stats().inputEvents),
-                  static_cast<unsigned long long>(sim.stats().sweeps),
-                  static_cast<unsigned long long>(sim.cycle()));
+    // A watchdog or wall-clock fault means the run hit a budget: show the
+    // consumption-vs-budget report so the user can see which one and by
+    // how much, without rerunning under --stats.
+    if (budgetFault) {
+      std::fprintf(stderr, "%s", comp->resourceReport().render().c_str());
     }
   }
+
+  if (stats) {
+    mreport.resources = comp->resourceReport();
+    mreport.phases = zeus::metrics::phaseTimings();
+    std::printf("%s", mreport.renderText().c_str());
+  }
+
+  emitSinks();
   return 0;
 }

@@ -220,6 +220,28 @@ Logic BatchSimulation::output(size_t lane, const std::string& port) const {
   return bits[0];
 }
 
+metrics::SimCounters BatchSimulation::metricsCounters() const {
+  const EvalStats& s = eval_.stats();
+  metrics::SimCounters c;
+  c.ran = true;
+  c.evaluator = "batch";
+  c.cycles = cycle_;
+  c.lanes = lanes_;
+  c.laneCycles = cycle_ * lanes_;
+  c.nodeFirings = s.nodeFirings;
+  c.inputEvents = s.inputEvents;
+  c.sweeps = s.sweeps;
+  c.netResolutions = s.netResolutions;
+  c.shortCircuitSkips = s.shortCircuitSkips;
+  c.contentionChecks = s.contentionChecks;
+  c.epochResets = s.epochResets;
+  c.faults = errors_.size();
+  for (const SimError& e : errors_) {
+    if (e.code == Diag::SimContention) ++c.contentionFaults;
+  }
+  return c;
+}
+
 std::optional<uint64_t> BatchSimulation::outputUint(
     size_t lane, const std::string& port) const {
   std::vector<Logic> bits = outputBits(lane, port);

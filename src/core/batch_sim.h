@@ -74,6 +74,12 @@ class BatchSimulation {
   [[nodiscard]] const EvalStats& stats() const { return eval_.stats(); }
   void resetStats() { eval_.resetStats(); }
 
+  /// Counter snapshot of this run.  Per-evaluated-cycle counters (one
+  /// word-parallel firing covers every lane), so totals compare directly
+  /// with a scalar levelized run of the same cycle count; lane_cycles
+  /// reports the lanes × cycles of scalar-equivalent work performed.
+  [[nodiscard]] metrics::SimCounters metricsCounters() const;
+
   [[nodiscard]] const SimGraph& graph() const { return g_; }
   [[nodiscard]] const Design& design() const { return *g_.design; }
 

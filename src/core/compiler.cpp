@@ -4,6 +4,7 @@
 #include "src/parser/parser.h"
 #include "src/sim/graph.h"
 #include "src/sim/simulation.h"
+#include "src/support/trace.h"
 
 namespace zeus {
 
@@ -21,8 +22,11 @@ std::unique_ptr<Compilation> Compilation::fromSource(std::string name,
   Parser parser(buf, *comp->diags_, limits, &comp->usage_);
   comp->program_ = parser.parseProgram();
 
-  Checker checker(*comp->diags_, *comp->types_);
-  comp->checked_ = checker.check(comp->program_);
+  {
+    ZEUS_TRACE_SPAN("sema", "compile");
+    Checker checker(*comp->diags_, *comp->types_);
+    comp->checked_ = checker.check(comp->program_);
+  }
   return comp;
 }
 
@@ -39,6 +43,7 @@ std::unique_ptr<Design> Compilation::elaborate(const std::string& topName,
     options.limits = limits_;
     options.usage = &usage_;
   }
+  ZEUS_TRACE_SPAN("elab", "compile");
   Elaborator elab(*diags_, *types_, options);
   return elab.elaborate(program_, *checked_.rootEnv, topName);
 }
@@ -49,6 +54,7 @@ LintReport Compilation::lint(const Design& design, const LintOptions& opts) {
   // would duplicate the error.  has() makes the rebuild idempotent.
   if (diags_->has(Diag::CombinationalLoop)) return {};
   SimGraph graph = buildSimGraph(design, *diags_);
+  ZEUS_TRACE_SPAN("lint", "compile");
   return runLint(design, graph, *diags_, opts);
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/support/trace.h"
+
 namespace zeus {
 
 using namespace ast;
@@ -89,6 +91,7 @@ bool endsStatementSequence(Tok t) {
 Parser::Parser(BufferId buffer, DiagnosticEngine& diags, Limits limits,
                ResourceUsage* usage)
     : diags_(diags), limits_(limits), usage_(usage) {
+  ZEUS_TRACE_SPAN("lex", "compile");
   Lexer lex(buffer, diags, limits, usage);
   tokens_ = lex.tokenize();
   errorsAtStart_ = diags_.errorCount();
@@ -163,6 +166,7 @@ void Parser::skipTo(std::initializer_list<Tok> sync) {
 // ---------------------------------------------------------------------------
 
 ast::Program Parser::parseProgram() {
+  ZEUS_TRACE_SPAN("parse", "compile");
   Program p;
   while (!check(Tok::Eof)) {
     size_t before = pos_;

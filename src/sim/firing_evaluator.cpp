@@ -77,6 +77,8 @@ void FiringEvaluator::fireNet(uint32_t net, Logic value) {
   assert(!netFired_[net]);
   netFired_[net] = 1;
   ++firedCount_;
+  ++stats_.netResolutions;
+  if (g_.nets[net].multiDriven) ++stats_.contentionChecks;
   value_[net] = value;
   if (active_[net] > 1 && collisions_) collisions_->push_back(net);
   worklist_.push_back(net);
@@ -87,6 +89,7 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   uint64_t rng = seeds.rngState ? seeds.rngState : kDefaultRngSeed;
 
   ++epoch_;
+  ++stats_.epochResets;
   if (out.netValues.size() != g_.denseCount) {
     out.netValues.assign(g_.denseCount, Logic::Undef);
     out.activeCounts.assign(g_.denseCount, 0);
@@ -180,6 +183,7 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
       if (nodeFired_[ni]) {
         // Already fired (short-circuit); the node contributed exactly
         // once when it fired.  Nothing to do.
+        ++stats_.shortCircuitSkips;
         continue;
       }
 
@@ -288,6 +292,11 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
       }
     }
   }
+
+  // Watchdog margin: how much of the event budget was left this cycle.
+  uint64_t margin =
+      out.watchdogTripped || events > eventBudget ? 0 : eventBudget - events;
+  if (margin < stats_.watchdogMarginMin) stats_.watchdogMarginMin = margin;
 
   out.rngState = rng;
   collisions_ = nullptr;

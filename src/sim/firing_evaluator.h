@@ -20,6 +20,13 @@ struct EvalStats {
   uint64_t nodeFirings = 0;   ///< nodes that produced a value
   uint64_t inputEvents = 0;   ///< node-input arrival events processed
   uint64_t sweeps = 0;        ///< naive evaluator only
+  uint64_t netResolutions = 0;     ///< nets resolved to their cycle value
+  uint64_t shortCircuitSkips = 0;  ///< arrivals at an already-fired node
+  uint64_t contentionChecks = 0;   ///< resolutions of multi-driven nets
+  uint64_t epochResets = 0;        ///< sparse-reset epoch bumps (1/cycle)
+  /// Smallest remaining event budget at the end of any cycle (firing
+  /// evaluator only); ~0 until a cycle completes, 0 after a trip.
+  uint64_t watchdogMarginMin = ~uint64_t{0};
 };
 
 /// Seed of the RANDOM stream when none is set explicitly; shared by every

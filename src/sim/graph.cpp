@@ -4,9 +4,12 @@
 #include <cassert>
 #include <deque>
 
+#include "src/support/trace.h"
+
 namespace zeus {
 
 SimGraph buildSimGraph(const Design& design, DiagnosticEngine& diags) {
+  ZEUS_TRACE_SPAN("graph-build", "compile");
   SimGraph g;
   g.design = &design;
   const Netlist& nl = design.netlist;
@@ -71,6 +74,8 @@ SimGraph buildSimGraph(const Design& design, DiagnosticEngine& diags) {
     }
     std::copy(driverLists[i].begin(), driverLists[i].end(),
               g.driverNodes.begin() + g.driverStart[i]);
+    g.nets[i].multiDriven =
+        driverLists[i].size() + (g.nets[i].isInput ? 1 : 0) > 1;
   }
 
   // Topological sort (Kahn) over non-REG nodes; net levels on the fly.

@@ -25,6 +25,11 @@ struct SimGraph {
     bool isBool = false;         ///< class contains a boolean member
     bool isInput = false;        ///< primary input (incl. CLK/RSET)
     bool regDriven = false;      ///< some driver is a REG
+    /// More than one potential contributor (drivers + primary input), so
+    /// resolving this net involves a §8 contention check.  Evaluators
+    /// count EvalStats::contentionChecks off this static flag, which
+    /// keeps the counter identical across scalar and batch engines.
+    bool multiDriven = false;
   };
   std::vector<NetInfo> nets;  ///< per dense index
 

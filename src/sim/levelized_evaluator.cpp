@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "src/sim/value.h"
+#include "src/support/trace.h"
 
 namespace zeus {
 
@@ -16,6 +17,7 @@ uint64_t xorshift(uint64_t& s) {
 }  // namespace
 
 LevelizedEvaluator::LevelizedEvaluator(const SimGraph& graph) : g_(graph) {
+  ZEUS_TRACE_SPAN("levelize", "compile");
   const Netlist& nl = g_.design->netlist;
   nodeOut_.assign(nl.nodeCount(), Logic::Undef);
   nodeStamp_.assign(nl.nodeCount(), 0);
@@ -72,6 +74,7 @@ void LevelizedEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   const Netlist& nl = g_.design->netlist;
   uint64_t rng = seeds.rngState ? seeds.rngState : kDefaultRngSeed;
   ++epoch_;
+  ++stats_.epochResets;
 
   // Every schedule step writes its slot exactly once, so nothing is
   // cleared up front; only the (cheap) collision list resets.
@@ -86,6 +89,8 @@ void LevelizedEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
     if (!op.isNode) {
       // Resolve a net from seed + drivers (§8 strength rule).
       uint32_t i = op.index;
+      ++stats_.netResolutions;
+      if (g_.nets[i].multiDriven) ++stats_.contentionChecks;
       Resolution r;
       if (g_.nets[i].isInput && seeds.inputSet && (*seeds.inputSet)[i]) {
         r.add((*seeds.inputValues)[i]);
@@ -207,6 +212,7 @@ void LevelizedBatchEvaluator::evaluate(const BatchSeeds& seeds,
                                        BatchCycleResult& out) {
   const Netlist& nl = g_.design->netlist;
   ++epoch_;
+  ++stats_.epochResets;
   if (out.netValues.size() != g_.denseCount) {
     out.netValues.assign(g_.denseCount, {});
     out.activeAny.assign(g_.denseCount, 0);
@@ -217,6 +223,8 @@ void LevelizedBatchEvaluator::evaluate(const BatchSeeds& seeds,
   for (const LevelizedEvaluator::Op& op : scalar_.schedule_) {
     if (!op.isNode) {
       uint32_t i = op.index;
+      ++stats_.netResolutions;
+      if (g_.nets[i].multiDriven) ++stats_.contentionChecks;
       // Per-lane strength resolution: first active contribution wins,
       // two or more active contributions collide to UNDEF.
       LanePlanes res;

@@ -142,6 +142,8 @@ void NaiveEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   for (size_t i = 0; i < g_.denseCount; ++i) {
     out.netValues[i] = resolveNet(i);
     out.activeCounts[i] = active_[i];
+    ++stats_.netResolutions;
+    if (g_.nets[i].multiDriven) ++stats_.contentionChecks;
     if (active_[i] > 1) out.collisions.push_back(static_cast<uint32_t>(i));
   }
   out.rngState = rng;

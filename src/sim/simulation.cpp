@@ -1,7 +1,11 @@
 #include "src/sim/simulation.h"
 
+#include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <stdexcept>
+
+#include "src/support/trace.h"
 
 namespace zeus {
 
@@ -33,6 +37,7 @@ Simulation::Simulation(const SimGraph& graph, const Options& opts)
   inputValues_[clk] = Logic::One;
   inputSet_[clk] = 1;
   setRset(false);
+  if (opts_.profileActivity) setActivityProfiling(true);
 }
 
 void Simulation::reset() {
@@ -49,6 +54,33 @@ void Simulation::reset() {
   rngState_ = kDefaultRngSeed;
   errors_.clear();
   evaluated_ = false;
+  prevValid_ = false;
+  profiledCycles_ = 0;
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  std::fill(undefCycles_.begin(), undefCycles_.end(), 0);
+  std::fill(noinflCycles_.begin(), noinflCycles_.end(), 0);
+}
+
+void Simulation::setActivityProfiling(bool on) {
+  profiling_ = on;
+  if (on && toggles_.empty()) {
+    prevValues_.assign(g_.denseCount, Logic::Undef);
+    toggles_.assign(g_.denseCount, 0);
+    undefCycles_.assign(g_.denseCount, 0);
+    noinflCycles_.assign(g_.denseCount, 0);
+  }
+}
+
+void Simulation::profileCycle() {
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    Logic v = result_.netValues[i];
+    if (v == Logic::Undef) ++undefCycles_[i];
+    else if (v == Logic::NoInfl) ++noinflCycles_[i];
+    if (prevValid_ && v != prevValues_[i]) ++toggles_[i];
+    prevValues_[i] = v;
+  }
+  prevValid_ = true;
+  ++profiledCycles_;
 }
 
 const Port* Simulation::findPortOrThrow(const std::string& name) const {
@@ -148,9 +180,11 @@ void Simulation::runCycle(bool latch) {
   }
 
   // A tripped watchdog declares this cycle's net values unreliable: do
-  // not latch them into registers, and do not count the cycle.
+  // not latch them into registers, and do not count the cycle — nor
+  // profile it (its values would poison the toggle/dwell statistics).
   if (result_.watchdogTripped) return;
   if (!latch) return;
+  if (profiling_) profileCycle();
   const Netlist& nl = g_.design->netlist;
   // Two-phase latch: every register reads its input's resolved value from
   // this cycle; "if in is not changed during a clock cycle, it keeps its
@@ -168,6 +202,7 @@ void Simulation::runCycle(bool latch) {
 }
 
 void Simulation::step(uint64_t n) {
+  ZEUS_TRACE_SPAN("simulate", "sim");
   using Clock = std::chrono::steady_clock;
   const bool timed = opts_.maxSimMillis > 0;
   const Clock::time_point start = timed ? Clock::now() : Clock::time_point{};
@@ -250,6 +285,79 @@ void Simulation::resetStats() {
   if (firing_) firing_->resetStats();
   else if (naive_) naive_->resetStats();
   else levelized_->resetStats();
+}
+
+metrics::SimCounters Simulation::metricsCounters() const {
+  const EvalStats& s = stats();
+  metrics::SimCounters c;
+  c.ran = true;
+  switch (kind_) {
+    case EvaluatorKind::Firing: c.evaluator = "firing"; break;
+    case EvaluatorKind::Naive: c.evaluator = "naive"; break;
+    case EvaluatorKind::Levelized: c.evaluator = "levelized"; break;
+  }
+  c.cycles = cycle_;
+  c.lanes = 1;
+  c.laneCycles = cycle_;
+  c.nodeFirings = s.nodeFirings;
+  c.inputEvents = s.inputEvents;
+  c.sweeps = s.sweeps;
+  c.netResolutions = s.netResolutions;
+  c.shortCircuitSkips = s.shortCircuitSkips;
+  c.contentionChecks = s.contentionChecks;
+  c.epochResets = s.epochResets;
+  if (kind_ == EvaluatorKind::Firing &&
+      s.watchdogMarginMin != ~uint64_t{0}) {
+    c.watchdogMarginMin = static_cast<int64_t>(
+        std::min<uint64_t>(s.watchdogMarginMin, INT64_MAX));
+  }
+  c.faults = errors_.size();
+  for (const SimError& e : errors_) {
+    if (e.code == Diag::SimContention) ++c.contentionFaults;
+  }
+  return c;
+}
+
+metrics::ActivityReport Simulation::activityReport(size_t topHottest,
+                                                   size_t topDeepest) const {
+  metrics::ActivityReport r;
+  if (toggles_.empty()) return r;  // profiling never enabled
+  r.ran = true;
+  r.cycles = profiledCycles_;
+  r.netsProfiled = g_.denseCount;
+  r.totalToggles =
+      std::accumulate(toggles_.begin(), toggles_.end(), uint64_t{0});
+
+  const Netlist& nl = g_.design->netlist;
+  auto entry = [&](size_t i) {
+    return metrics::ActivityEntry{nl.net(g_.rootOf[i]).name, toggles_[i],
+                                  undefCycles_[i], noinflCycles_[i],
+                                  g_.netLevel[i]};
+  };
+  std::vector<uint32_t> order(g_.denseCount);
+  std::iota(order.begin(), order.end(), 0);
+
+  size_t nh = std::min(topHottest, order.size());
+  std::partial_sort(order.begin(), order.begin() + nh, order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return toggles_[a] != toggles_[b]
+                                 ? toggles_[a] > toggles_[b]
+                                 : a < b;
+                    });
+  for (size_t k = 0; k < nh; ++k) {
+    if (toggles_[order[k]] == 0) break;  // quiet nets are not "hottest"
+    r.hottest.push_back(entry(order[k]));
+  }
+
+  size_t nd = std::min(topDeepest, order.size());
+  std::partial_sort(order.begin(), order.begin() + nd, order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return g_.netLevel[a] != g_.netLevel[b]
+                                 ? g_.netLevel[a] > g_.netLevel[b]
+                                 : a < b;
+                    });
+  for (size_t k = 0; k < nd; ++k) r.deepest.push_back(entry(order[k]));
+  return r;
 }
 
 }  // namespace zeus

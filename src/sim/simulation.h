@@ -19,6 +19,7 @@
 #include "src/sim/naive_evaluator.h"
 #include "src/support/diagnostics.h"
 #include "src/support/limits.h"
+#include "src/support/metrics.h"
 
 namespace zeus {
 
@@ -52,6 +53,10 @@ class Simulation {
     uint64_t maxSimMillis = 0;
     /// Optional usage sink (simCycles / simEvents / simFaults).
     ResourceUsage* usage = nullptr;
+    /// Per-net activity profiling (toggle counts, UNDEF/NOINFL dwell);
+    /// adds one O(nets) sweep per latched cycle, so it is off by default
+    /// and the only cost when off is a single branch per cycle.
+    bool profileActivity = false;
   };
 
   explicit Simulation(const SimGraph& graph,
@@ -102,6 +107,17 @@ class Simulation {
   [[nodiscard]] const EvalStats& stats() const;
   void resetStats();
 
+  /// Turns per-net activity profiling on/off mid-run (counters persist
+  /// until reset()); equivalent to Options::profileActivity at start.
+  void setActivityProfiling(bool on);
+  /// Per-net toggle counts and UNDEF/NOINFL dwell keyed to netlist
+  /// names: hottest nets by toggles, deepest cones by graph level.
+  /// Empty (ran=false) unless profiling was enabled.
+  [[nodiscard]] metrics::ActivityReport activityReport(
+      size_t topHottest = 10, size_t topDeepest = 5) const;
+  /// Counter snapshot of this run for the metrics JSON / --stats table.
+  [[nodiscard]] metrics::SimCounters metricsCounters() const;
+
   [[nodiscard]] const SimGraph& graph() const { return g_; }
   [[nodiscard]] const Design& design() const { return *g_.design; }
 
@@ -109,6 +125,7 @@ class Simulation {
   const Port* findPortOrThrow(const std::string& name) const;
   void applyPortValue(const Port& port, const std::vector<Logic>& bits);
   void runCycle(bool latch);
+  void profileCycle();
 
   const SimGraph& g_;
   Options opts_;
@@ -125,6 +142,15 @@ class Simulation {
   uint64_t rngState_ = kDefaultRngSeed;
   std::vector<SimError> errors_;
   bool evaluated_ = false;
+
+  // Activity profiler (allocated lazily when profiling turns on).
+  bool profiling_ = false;
+  bool prevValid_ = false;  ///< prevValues_ holds the last profiled cycle
+  uint64_t profiledCycles_ = 0;
+  std::vector<Logic> prevValues_;      ///< per dense net
+  std::vector<uint64_t> toggles_;      ///< per dense net
+  std::vector<uint64_t> undefCycles_;  ///< per dense net
+  std::vector<uint64_t> noinflCycles_;
 };
 
 }  // namespace zeus

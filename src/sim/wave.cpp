@@ -107,8 +107,14 @@ std::string vcdReference(const std::string& label) {
 }  // namespace
 
 std::string WaveRecorder::renderVcd(const std::string& module) const {
-  std::string out = "$timescale 1ns $end\n$scope module " + module +
-                    " $end\n";
+  // Full VCD header (IEEE 1364 §18.2): $date / $version / $timescale.
+  // The date text is fixed so two runs of the same stimulus produce
+  // byte-identical files (golden tests diff the output).
+  std::string out =
+      "$date\n  (deterministic run)\n$end\n"
+      "$version\n  Zeus WaveRecorder\n$end\n"
+      "$timescale\n  1ns\n$end\n"
+      "$scope module " + module + " $end\n";
   for (size_t i = 0; i < tracks_.size(); ++i) {
     out += "$var wire 1 s" + std::to_string(i) + " " +
            vcdReference(tracks_[i].label) + " $end\n";

@@ -1,0 +1,118 @@
+#include "src/support/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace zeus::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-thread event buffer.  Recording appends without any lock; the
+/// registry mutex is taken only on a thread's first event and when the
+/// buffers are read or cleared.
+struct ThreadBuffer {
+  std::vector<Event> events;
+  uint32_t tid = 0;
+};
+
+std::mutex g_registryMutex;
+std::vector<ThreadBuffer*>& registry() {
+  // Heap-allocated and never freed: thread buffers are reachable only
+  // through this vector, which must survive static destruction for
+  // LeakSanitizer's post-exit scan.
+  static auto* r = new std::vector<ThreadBuffer*>;
+  return *r;
+}
+
+ThreadBuffer& localBuffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto* b = new ThreadBuffer;  // leaked on purpose: outlives the thread
+    std::lock_guard<std::mutex> lock(g_registryMutex);
+    b->tid = static_cast<uint32_t>(registry().size() + 1);
+    registry().push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+void setEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_registryMutex);
+  for (ThreadBuffer* b : registry()) b->events.clear();
+}
+
+size_t eventCount() {
+  std::lock_guard<std::mutex> lock(g_registryMutex);
+  size_t n = 0;
+  for (ThreadBuffer* b : registry()) n += b->events.size();
+  return n;
+}
+
+std::vector<Event> snapshot() {
+  std::vector<Event> all;
+  {
+    std::lock_guard<std::mutex> lock(g_registryMutex);
+    for (ThreadBuffer* b : registry()) {
+      all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.startUs < b.startUs;
+  });
+  return all;
+}
+
+std::string renderChromeJson() {
+  std::vector<Event> all = snapshot();
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Event& e = all[i];
+    if (i) out += ",";
+    out += "\n  {\"name\":\"";
+    out += e.name;
+    out += "\",\"cat\":\"";
+    out += e.category;
+    out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(e.startUs) +
+           ",\"dur\":" + std::to_string(e.durUs) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + "}";
+  }
+  out += all.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+Span::Span(const char* name, const char* category)
+    : name_(name), category_(category), startUs_(0) {
+  if (enabled()) {
+    startUs_ = nowUs();
+    if (startUs_ == 0) startUs_ = 1;  // 0 means "off"; never record it
+  }
+}
+
+Span::~Span() {
+  if (startUs_ == 0) return;
+  uint64_t end = nowUs();
+  ThreadBuffer& buf = localBuffer();
+  buf.events.push_back(
+      {name_, category_, startUs_, end > startUs_ ? end - startUs_ : 0,
+       buf.tid});
+}
+
+}  // namespace zeus::trace

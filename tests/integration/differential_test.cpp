@@ -179,5 +179,71 @@ TEST(Differential, BlackjackFsmAllEvaluatorsAllLanes) {
   rig.checkErrors();
 }
 
+// The batch engine fires every node and resolves every net once per
+// evaluated cycle with one word-parallel operation covering all lanes, so
+// its counter totals must equal a scalar levelized run of the same cycle
+// count — and contention checks count the static multi-driven property,
+// not per-lane value accidents, so they cannot drift between engines.
+void checkCounterTotals(const std::string& src, const std::string& top,
+                        uint64_t cycles, bool pulseRset) {
+  Built b = buildOk(src, top);
+  SimGraph graph = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(graph.hasCycle);
+  Simulation scalar(graph, EvaluatorKind::Levelized);
+  BatchSimulation batch(graph, BatchSimulation::kMaxLanes);
+
+  std::mt19937_64 rng(23);
+  auto drive = [&]() {
+    for (const Port& p : b.design->ports) {
+      if (p.mode != ast::ParamMode::In) continue;
+      uint64_t v = rng();
+      scalar.setInputUint(p.name, v);
+      for (size_t l = 0; l < batch.lanes(); ++l) {
+        batch.setInputUint(l, p.name, rng());  // lanes diverge on purpose
+      }
+    }
+  };
+  if (pulseRset) {
+    drive();
+    scalar.setRset(true);
+    batch.setRset(true);
+    scalar.step();
+    batch.step();
+    scalar.setRset(false);
+    batch.setRset(false);
+  }
+  for (uint64_t c = 0; c < cycles; ++c) {
+    drive();
+    scalar.step();
+    batch.step();
+  }
+
+  metrics::SimCounters sc = scalar.metricsCounters();
+  metrics::SimCounters bc = batch.metricsCounters();
+  EXPECT_EQ(sc.evaluator, "levelized");
+  EXPECT_EQ(bc.evaluator, "batch");
+  EXPECT_EQ(sc.cycles, bc.cycles);
+  EXPECT_EQ(bc.lanes, BatchSimulation::kMaxLanes);
+  EXPECT_EQ(bc.laneCycles, bc.cycles * bc.lanes);
+  // The per-lane totals: firing, resolution, contention-check and
+  // epoch-reset counts must be identical across the two engines.
+  EXPECT_EQ(sc.nodeFirings, bc.nodeFirings);
+  EXPECT_EQ(sc.netResolutions, bc.netResolutions);
+  EXPECT_EQ(sc.contentionChecks, bc.contentionChecks);
+  EXPECT_EQ(sc.epochResets, bc.epochResets);
+  EXPECT_GT(sc.nodeFirings, 0u);
+  EXPECT_GT(sc.netResolutions, 0u);
+}
+
+TEST(Differential, AdderScalarAndBatchCounterTotalsAgree) {
+  checkCounterTotals(
+      std::string(kAdders) + "SIGNAL adder: rippleCarry(12);\n", "adder",
+      /*cycles=*/16, /*pulseRset=*/false);
+}
+
+TEST(Differential, BlackjackScalarAndBatchCounterTotalsAgree) {
+  checkCounterTotals(kBlackjack, "bj", /*cycles=*/32, /*pulseRset=*/true);
+}
+
 }  // namespace
 }  // namespace zeus::test

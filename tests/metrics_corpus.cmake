@@ -1,0 +1,159 @@
+# ctest driver: run `zeusc --sim 8 --metrics` over every built-in corpus
+# entry and validate the machine-readable output against the
+# zeus-metrics-v1 schema (docs/observability.md).
+#
+#   cmake -DZEUSC=<path-to-zeusc> -DWORKDIR=<scratch dir> -P metrics_corpus.cmake
+#
+# Checks, per entry:
+#   * zeusc exits 0 — the paper's own programs compile, elaborate and
+#     simulate 8 cycles without crashing;
+#   * the metrics file is valid JSON with version 1, a design name, the
+#     compile/resources/sim/activity sections and sane counters
+#     (validated with CMake's string(JSON ...) parser);
+#   * the simulation ran: node_firings, net_resolutions and epoch_resets
+#     are nonzero, and the activity profiler saw every net.
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ZEUSC)
+  message(FATAL_ERROR "pass -DZEUSC=<path to the zeusc binary>")
+endif()
+if(NOT DEFINED WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+execute_process(COMMAND ${ZEUSC} --list-examples
+                OUTPUT_VARIABLE listing
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "zeusc --list-examples failed (rc=${rc})")
+endif()
+
+# First whitespace-separated token of each line is the entry name.
+string(REPLACE "\n" ";" lines "${listing}")
+set(entries "")
+foreach(line IN LISTS lines)
+  if(line MATCHES "^([a-z0-9-]+)[ \t]")
+    list(APPEND entries "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+list(LENGTH entries count)
+if(count LESS 10)
+  message(FATAL_ERROR "expected at least 10 corpus entries, got ${count}: ${entries}")
+endif()
+
+foreach(entry IN LISTS entries)
+  set(mfile "${WORKDIR}/metrics_${entry}.json")
+  execute_process(COMMAND ${ZEUSC} --example ${entry} --sim 8
+                          --metrics ${mfile}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${entry}: zeusc --sim 8 --metrics exited ${rc}\n${out}\n${err}")
+  endif()
+  if(NOT EXISTS ${mfile})
+    message(FATAL_ERROR "${entry}: ${mfile} was not written")
+  endif()
+  file(READ ${mfile} json)
+
+  # Schema validation.  string(JSON ...) hard-errors on malformed JSON,
+  # absent keys and type mismatches.
+  string(JSON version GET "${json}" "zeus-metrics")
+  if(NOT version EQUAL 1)
+    message(FATAL_ERROR "${entry}: zeus-metrics version ${version}, expected 1")
+  endif()
+  string(JSON design GET "${json}" "design")
+  if(design STREQUAL "")
+    message(FATAL_ERROR "${entry}: empty design name")
+  endif()
+
+  # compile.phases: an array of {name, category, micros, count} objects.
+  string(JSON nphases LENGTH "${json}" "compile" "phases")
+  if(nphases GREATER 0)
+    math(EXPR last "${nphases} - 1")
+    foreach(i RANGE 0 ${last})
+      string(JSON pname GET "${json}" "compile" "phases" ${i} "name")
+      string(JSON pmicros GET "${json}" "compile" "phases" ${i} "micros")
+      string(JSON pcount GET "${json}" "compile" "phases" ${i} "count")
+      if(pname STREQUAL "" OR pmicros LESS 0 OR pcount LESS 1)
+        message(FATAL_ERROR "${entry}: bad phase entry ${i}\n${json}")
+      endif()
+    endforeach()
+  endif()
+
+  # resources: consumption counters recorded by the limits layer.
+  foreach(field source_bytes tokens nets nodes sim_cycles)
+    string(JSON v GET "${json}" "resources" ${field})
+    if(v LESS 0)
+      message(FATAL_ERROR "${entry}: resources.${field} = ${v}")
+    endif()
+  endforeach()
+  string(JSON srcbytes GET "${json}" "resources" "source_bytes")
+  if(srcbytes EQUAL 0)
+    message(FATAL_ERROR "${entry}: resources.source_bytes is zero")
+  endif()
+
+  # sim: the run happened and did real per-cycle work.
+  string(JSON ran GET "${json}" "sim" "ran")
+  if(NOT ran STREQUAL "ON")
+    message(FATAL_ERROR "${entry}: sim.ran = ${ran}")
+  endif()
+  string(JSON evaluator GET "${json}" "sim" "evaluator")
+  if(evaluator STREQUAL "")
+    message(FATAL_ERROR "${entry}: empty sim.evaluator")
+  endif()
+  string(JSON ncycles GET "${json}" "sim" "cycles")
+  if(NOT ncycles EQUAL 8)
+    message(FATAL_ERROR "${entry}: sim.cycles = ${ncycles}, expected 8")
+  endif()
+  foreach(field node_firings net_resolutions epoch_resets)
+    string(JSON v GET "${json}" "sim" ${field})
+    if(v LESS_EQUAL 0)
+      message(FATAL_ERROR "${entry}: sim.${field} = ${v} (expected > 0)")
+    endif()
+  endforeach()
+  foreach(field lanes lane_cycles input_events sweeps short_circuit_skips
+                contention_checks watchdog_margin_min faults
+                contention_faults)
+    string(JSON v ERROR_VARIABLE jerr GET "${json}" "sim" ${field})
+    if(jerr)
+      message(FATAL_ERROR "${entry}: sim missing '${field}': ${jerr}")
+    endif()
+  endforeach()
+
+  # activity: profiling is implied by --metrics; every net is profiled.
+  string(JSON aran GET "${json}" "activity" "ran")
+  if(NOT aran STREQUAL "ON")
+    message(FATAL_ERROR "${entry}: activity.ran = ${aran}")
+  endif()
+  string(JSON acycles GET "${json}" "activity" "cycles")
+  if(NOT acycles EQUAL 8)
+    message(FATAL_ERROR "${entry}: activity.cycles = ${acycles}, expected 8")
+  endif()
+  string(JSON nprofiled GET "${json}" "activity" "nets_profiled")
+  string(JSON nnets GET "${json}" "resources" "nets")
+  if(nprofiled EQUAL 0)
+    message(FATAL_ERROR "${entry}: activity.nets_profiled is zero")
+  endif()
+  string(JSON nhot LENGTH "${json}" "activity" "hottest")
+  if(nhot GREATER 0)
+    math(EXPR last "${nhot} - 1")
+    foreach(i RANGE 0 ${last})
+      string(JSON hnet GET "${json}" "activity" "hottest" ${i} "net")
+      string(JSON htoggles GET "${json}" "activity" "hottest" ${i} "toggles")
+      string(JSON hdepth GET "${json}" "activity" "hottest" ${i} "depth")
+      if(hnet STREQUAL "" OR htoggles LESS_EQUAL 0 OR hdepth LESS 0)
+        message(FATAL_ERROR "${entry}: bad hottest entry ${i}\n${json}")
+      endif()
+    endforeach()
+  endif()
+  string(JSON ndeep LENGTH "${json}" "activity" "deepest")
+  if(ndeep EQUAL 0)
+    message(FATAL_ERROR "${entry}: deepest-cone list is empty")
+  endif()
+
+  message(STATUS "${entry}: ok (${nphases} phase(s), ${nprofiled} net(s) profiled)")
+endforeach()
+
+message(STATUS "metrics_corpus: ${count} corpus entries validated")

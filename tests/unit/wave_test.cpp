@@ -174,6 +174,42 @@ TEST(WaveVcd, WatchNetDefaultsToNetlistName) {
   EXPECT_NE(vcd.find("fixed"), std::string::npos) << vcd;
 }
 
+TEST(WaveVcd, HeaderCarriesDateVersionTimescale) {
+  // Regression: the old renderer started straight at "$timescale 1ns
+  // $end" with no $date/$version sections, which strict VCD readers
+  // reject.  The header must now open with all three, before $scope, and
+  // the date text must be deterministic (no wall-clock) so identical runs
+  // produce byte-identical dumps.
+  WaveFixture f = makeFixture();
+  WaveRecorder wave(*f.sim);
+  wave.watchPort("fixed");
+  f.sim->step();
+  wave.sample();
+  std::string vcd = wave.renderVcd();
+
+  size_t date = vcd.find("$date\n");
+  size_t version = vcd.find("$version\n");
+  size_t timescale = vcd.find("$timescale\n");
+  size_t scope = vcd.find("$scope module");
+  ASSERT_NE(date, std::string::npos) << vcd;
+  ASSERT_NE(version, std::string::npos) << vcd;
+  ASSERT_NE(timescale, std::string::npos) << vcd;
+  ASSERT_NE(scope, std::string::npos) << vcd;
+  EXPECT_EQ(date, 0u) << vcd;
+  EXPECT_LT(date, version);
+  EXPECT_LT(version, timescale);
+  EXPECT_LT(timescale, scope);
+  EXPECT_NE(vcd.find("$timescale\n  1ns\n$end\n"), std::string::npos) << vcd;
+
+  // Determinism: a second identical run renders the same bytes.
+  WaveFixture g = makeFixture();
+  WaveRecorder wave2(*g.sim);
+  wave2.watchPort("fixed");
+  g.sim->step();
+  wave2.sample();
+  EXPECT_EQ(vcd, wave2.renderVcd());
+}
+
 TEST(WaveVcd, EmptySamplesStillRenderHeader) {
   WaveFixture f = makeFixture();
   WaveRecorder wave(*f.sim);

@@ -23,6 +23,8 @@
 
 #include "src/core/zeus.h"
 #include "src/sim/graph.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace {
 
@@ -47,6 +49,12 @@ zeus::Limits fuzzLimits() {
 /// Returns true iff the pipeline behaved: success, or structured
 /// diagnostics — never an exception or a crash.
 bool runOne(const uint8_t* data, size_t size) {
+  // Fuzz with the observability layer live: span recording and per-net
+  // activity profiling run on every input, so the instrumentation paths
+  // (including the JSON renderers) get the same crash-free guarantee as
+  // the pipeline itself.  The buffer is cleared per input to bound memory.
+  zeus::trace::clear();
+  zeus::trace::setEnabled(true);
   std::string text(reinterpret_cast<const char*>(data), size);
   auto comp = zeus::Compilation::fromSource("fuzz.zeus", std::move(text),
                                             fuzzLimits());
@@ -68,10 +76,22 @@ bool runOne(const uint8_t* data, size_t size) {
       sopts.maxEventsPerCycle = 1u << 22;
       sopts.maxSimMillis = 2000;
       sopts.usage = comp->usage();
+      sopts.profileActivity = true;
       zeus::Simulation sim(graph, sopts);
       sim.setRandomSeed(0x5eedull);
       sim.step(4);  // runtime faults land in sim.errors(), not here
       comp->recordSimulation(sim);
+      // Render every observability sink and discard the output: the
+      // metrics/trace serializers must behave on arbitrary designs too.
+      zeus::metrics::MetricsReport mr;
+      mr.design = top;
+      mr.phases = zeus::metrics::phaseTimings();
+      mr.resources = comp->resourceReport();
+      mr.sim = sim.metricsCounters();
+      mr.activity = sim.activityReport();
+      (void)mr.renderJson();
+      (void)mr.renderText();
+      (void)zeus::trace::renderChromeJson();
     }
   }
   return true;
