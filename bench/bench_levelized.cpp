@@ -109,8 +109,48 @@ RunResult runBatch(const zeus::SimGraph& g, int width, uint64_t cycles) {
   return r;
 }
 
+/// Parallel fault simulation throughput: sweep the full stuck-at universe
+/// of the adder and report classified faults per second plus how full the
+/// 63 fault lanes of each batch actually were.
+struct CampaignResult {
+  uint64_t faults = 0;
+  uint64_t cycles = 0;
+  uint64_t batches = 0;
+  double seconds = 0;
+  double laneUtilization = 0;  ///< faults / (batches * (lanes-1))
+  uint64_t detected = 0;
+  uint64_t masked = 0;
+  uint64_t undetected = 0;
+  double coverage = 0;
+
+  [[nodiscard]] double faultsPerSec() const {
+    return seconds > 0 ? static_cast<double>(faults) / seconds : 0;
+  }
+};
+
+CampaignResult runCampaign(const zeus::SimGraph& g, uint64_t cycles) {
+  zeus::FaultCampaignOptions opts;
+  opts.cycles = cycles;
+  CampaignResult r;
+  const Clock::time_point t0 = Clock::now();
+  zeus::FaultCampaignReport rep = zeus::runFaultCampaign(g, opts);
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.faults = rep.faults.size();
+  r.cycles = rep.cycles;
+  r.batches = rep.totalBatches;
+  const uint64_t laneSlots = rep.totalBatches * (rep.lanes - 1);
+  r.laneUtilization =
+      laneSlots ? static_cast<double>(r.faults) / laneSlots : 0;
+  r.detected = rep.countOf(zeus::FaultOutcome::Status::Detected);
+  r.masked = rep.countOf(zeus::FaultOutcome::Status::Masked);
+  r.undetected = rep.countOf(zeus::FaultOutcome::Status::Undetected);
+  r.coverage = rep.coverage();
+  return r;
+}
+
 void emitJson(const std::string& path, int width, uint64_t cycles,
-              const std::vector<RunResult>& runs, double speedupBatch,
+              const std::vector<RunResult>& runs,
+              const CampaignResult& campaign, double speedupBatch,
               double speedupLevelized) {
   std::ofstream out(path);
   out << "{\n"
@@ -131,6 +171,16 @@ void emitJson(const std::string& path, int width, uint64_t cycles,
         << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"fault_campaign\": {\"faults\": " << campaign.faults
+      << ", \"cycles\": " << campaign.cycles
+      << ", \"batches\": " << campaign.batches
+      << ", \"seconds\": " << campaign.seconds
+      << ", \"faults_per_sec\": " << campaign.faultsPerSec()
+      << ", \"lane_utilization\": " << campaign.laneUtilization
+      << ", \"detected\": " << campaign.detected
+      << ", \"masked\": " << campaign.masked
+      << ", \"undetected\": " << campaign.undetected
+      << ", \"coverage\": " << campaign.coverage << "},\n"
       << "  \"speedup_levelized_vs_firing\": " << speedupLevelized << ",\n"
       << "  \"speedup_batch_vs_firing\": " << speedupBatch << "\n"
       << "}\n";
@@ -286,12 +336,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fault-campaign throughput on the same design: 16 stimulus cycles per
+  // fault keeps the smoke run fast while exercising full batches.
+  CampaignResult campaign = runCampaign(g, /*cycles=*/16);
+
   const double firing = runs[1].cyclesPerSec();
   const double speedupLevelized =
       firing > 0 ? runs[2].cyclesPerSec() / firing : 0;
   const double speedupBatch =
       firing > 0 ? runs[3].cyclesPerSec() / firing : 0;
-  emitJson(outPath, width, cycles, runs, speedupBatch, speedupLevelized);
+  emitJson(outPath, width, cycles, runs, campaign, speedupBatch,
+           speedupLevelized);
 
   for (const RunResult& r : runs) {
     std::printf("%-18s %12.0f cycles/s  (%llu lane-cycles in %.3fs)\n",
@@ -300,6 +355,12 @@ int main(int argc, char** argv) {
   }
   std::printf("levelized vs firing: %.2fx\n", speedupLevelized);
   std::printf("batch-64  vs firing: %.2fx\n", speedupBatch);
+  std::printf(
+      "fault campaign     %12.0f faults/s  (%llu faults, %.0f%% lanes "
+      "used, %.1f%% coverage)\n",
+      campaign.faultsPerSec(),
+      static_cast<unsigned long long>(campaign.faults),
+      100.0 * campaign.laneUtilization, 100.0 * campaign.coverage);
   std::printf("wrote %s\n", outPath.c_str());
   return 0;
 }

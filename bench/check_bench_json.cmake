@@ -84,4 +84,34 @@ foreach(field speedup_levelized_vs_firing speedup_batch_vs_firing)
   endif()
 endforeach()
 
-message(STATUS "BENCH_sim.json schema OK (${nevals} evaluators)")
+# fault_campaign: the parallel fault-simulation throughput block.
+foreach(field faults cycles batches seconds faults_per_sec lane_utilization
+              detected masked undetected coverage)
+  string(JSON v ERROR_VARIABLE jerr GET "${content}" fault_campaign ${field})
+  if(jerr)
+    message(FATAL_ERROR "fault_campaign missing '${field}': ${jerr}")
+  endif()
+endforeach()
+string(JSON nfaults GET "${content}" fault_campaign faults)
+string(JSON fdet GET "${content}" fault_campaign detected)
+string(JSON fmask GET "${content}" fault_campaign masked)
+string(JSON fundet GET "${content}" fault_campaign undetected)
+math(EXPR fsum "${fdet} + ${fmask} + ${fundet}")
+if(NOT fsum EQUAL nfaults OR nfaults LESS_EQUAL 0)
+  message(FATAL_ERROR
+          "fault_campaign counts inconsistent: ${fdet}+${fmask}+${fundet} != ${nfaults}")
+endif()
+string(JSON fps GET "${content}" fault_campaign faults_per_sec)
+if(fps LESS_EQUAL 0)
+  message(FATAL_ERROR "fault_campaign.faults_per_sec = ${fps}")
+endif()
+string(JSON futil GET "${content}" fault_campaign lane_utilization)
+if(futil LESS_EQUAL 0 OR futil GREATER 1)
+  message(FATAL_ERROR "fault_campaign.lane_utilization = ${futil}")
+endif()
+string(JSON fcov GET "${content}" fault_campaign coverage)
+if(fcov LESS 0 OR fcov GREATER 1)
+  message(FATAL_ERROR "fault_campaign.coverage = ${fcov}")
+endif()
+
+message(STATUS "BENCH_sim.json schema OK (${nevals} evaluators + fault campaign)")

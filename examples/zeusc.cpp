@@ -25,7 +25,24 @@
 //   --lint-json          print lint findings as JSON (implies --lint)
 //   --lint-depth <n>     combinational-depth lint threshold (default 256)
 //   --lint-fanout <n>    fanout hot-spot lint threshold (default 64)
+//   --fault-campaign     run a parallel stuck-at fault campaign over the
+//                        design (--sim N sets cycles per fault, default 32)
+//   --fault-out <file>   write the zeus-faults-v1 JSON report (else stdout)
+//   --fault-seed <n>     stimulus seed for the fault campaign
+//   --checkpoint <file>  write a resumable checkpoint (ZSNP binary); with
+//                        --sim, saved at the end and on budget trips; with
+//                        --fault-campaign, saved at batch boundaries
+//   --checkpoint-every <n>  checkpoint cadence: every n cycles (--sim) or
+//                        every n fault batches (--fault-campaign)
+//   --resume <file>      resume from a checkpoint (kind auto-detected)
+//   --sim-budget-ms <n>  wall-clock budget; a trip writes the checkpoint
+//                        and partial metrics, then exits with code 12
+//                        (11 = evaluator watchdog, docs/fault-injection.md)
+//   --die-at-cycle <n>   raise SIGKILL after n evaluated cycles (crash-
+//                        recovery testing)
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +56,7 @@
 #include "src/core/report.h"
 #include "src/core/script.h"
 #include "src/layout/render.h"
+#include "src/sim/snapshot.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 
@@ -50,7 +68,9 @@ int usage() {
                "[--dump-netlist] [--layout] [--svg out.svg] [--sim N] "
                "[--naive] [--levelized] [--stats] [--lint] [--lint-json] "
                "[--lint-depth N] [--lint-fanout N] [--trace out.json] "
-               "[--metrics out.json]\n"
+               "[--metrics out.json] [--fault-campaign] [--fault-out f.json] "
+               "[--fault-seed N] [--checkpoint f.snap] [--checkpoint-every N] "
+               "[--resume f.snap] [--sim-budget-ms N] [--die-at-cycle N]\n"
                "       zeusc --example <name> [options]\n"
                "       zeusc --list-examples\n");
   return 2;
@@ -98,6 +118,10 @@ int main(int argc, char** argv) {
   std::string dotOut, scriptFile, traceOut, metricsOut;
   long simCycles = -1;
   long lintDepth = -1, lintFanout = -1;
+  bool faultCampaign = false;
+  std::string faultOut, checkpointFile, resumeFile;
+  long faultSeed = -1, checkpointEvery = -1, simBudgetMs = -1;
+  long dieAtCycle = -1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -167,6 +191,32 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       metricsOut = v;
+    } else if (arg == "--fault-campaign") {
+      faultCampaign = true;
+    } else if (arg == "--fault-out") {
+      const char* v = next();
+      if (!v) return usage();
+      faultOut = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (!parseCount("--fault-seed", v, faultSeed)) return 2;
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (!v) return usage();
+      checkpointFile = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (!parseCount("--checkpoint-every", v, checkpointEvery)) return 2;
+    } else if (arg == "--resume") {
+      const char* v = next();
+      if (!v) return usage();
+      resumeFile = v;
+    } else if (arg == "--sim-budget-ms") {
+      const char* v = next();
+      if (!parseCount("--sim-budget-ms", v, simBudgetMs)) return 2;
+    } else if (arg == "--die-at-cycle") {
+      const char* v = next();
+      if (!parseCount("--die-at-cycle", v, dieAtCycle)) return 2;
     } else if (!arg.empty() && arg[0] != '-') {
       file = arg;
     } else {
@@ -368,6 +418,94 @@ int main(int argc, char** argv) {
     if (!sr.ok) return fail(1);
   }
 
+  // Parallel fault-simulation campaign (docs/fault-injection.md): lane 0
+  // golden, every other lane one stuck-at fault, classified against the
+  // primary outputs.  --sim N sets the cycles per fault batch.
+  if (faultCampaign) {
+    zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
+    if (graph.hasCycle) {
+      std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+      return fail(1);
+    }
+    zeus::FaultCampaignOptions fopts;
+    if (simCycles > 0) fopts.cycles = static_cast<uint64_t>(simCycles);
+    if (faultSeed >= 0) fopts.seed = static_cast<uint64_t>(faultSeed);
+    if (simBudgetMs >= 0) fopts.maxMillis = static_cast<uint64_t>(simBudgetMs);
+    fopts.checkpointEveryBatches =
+        checkpointEvery > 0 ? static_cast<uint64_t>(checkpointEvery)
+        : !checkpointFile.empty() ? 1
+                                  : 0;
+    if (!checkpointFile.empty()) {
+      fopts.onCheckpoint = [&](const zeus::CampaignProgress& progress) {
+        std::string err;
+        if (!zeus::saveCampaignFile(checkpointFile, progress, err)) {
+          std::fprintf(stderr, "zeusc: checkpoint write failed: %s\n",
+                       err.c_str());
+        }
+      };
+    }
+    if (dieAtCycle >= 0) {
+      // Crash-injection hook for the recovery tests: the process vanishes
+      // mid-campaign exactly as a power cut would, after the last
+      // batch-boundary checkpoint landed atomically.
+      fopts.onCycle = [&](uint64_t evaluated) {
+        if (evaluated >= static_cast<uint64_t>(dieAtCycle)) {
+          std::fflush(nullptr);
+          raise(SIGKILL);
+        }
+      };
+    }
+    zeus::CampaignProgress progress;
+    bool haveResume = false;
+    if (!resumeFile.empty()) {
+      std::string err;
+      if (!zeus::loadCampaignFile(resumeFile, progress, err)) {
+        std::fprintf(stderr, "zeusc: cannot resume from %s: %s\n",
+                     resumeFile.c_str(), err.c_str());
+        return fail(1);
+      }
+      haveResume = true;
+    }
+    zeus::FaultCampaignReport fr;
+    try {
+      fr = zeus::runFaultCampaign(graph, fopts,
+                                  haveResume ? &progress : nullptr);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "zeusc: %s\n", e.what());
+      return fail(1);
+    }
+    std::string json = fr.renderJson();
+    if (!faultOut.empty()) {
+      if (!writeFile(faultOut, json)) return fail(1);
+      std::printf("wrote %s\n", faultOut.c_str());
+    } else {
+      std::printf("%s", json.c_str());
+    }
+    std::printf(
+        "fault campaign: %llu faults, %llu detected, %llu masked, "
+        "%llu undetected, coverage %.1f%%%s\n",
+        static_cast<unsigned long long>(fr.faults.size()),
+        static_cast<unsigned long long>(
+            fr.countOf(zeus::FaultOutcome::Status::Detected)),
+        static_cast<unsigned long long>(
+            fr.countOf(zeus::FaultOutcome::Status::Masked)),
+        static_cast<unsigned long long>(
+            fr.countOf(zeus::FaultOutcome::Status::Undetected)),
+        100.0 * fr.coverage(), fr.interrupted ? " (interrupted)" : "");
+    emitSinks();
+    if (fr.interrupted) {
+      // Exit 12 = wall-clock budget trip (checkpoint + partial metrics
+      // were already flushed above; 11 is the evaluator watchdog).
+      std::fprintf(stderr,
+                   "zeusc: campaign stopped by --sim-budget-ms; resume "
+                   "with --resume %s\n",
+                   checkpointFile.empty() ? "<checkpoint>"
+                                          : checkpointFile.c_str());
+      return 12;
+    }
+    return 0;
+  }
+
   if (simCycles >= 0) {
     zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
     if (graph.hasCycle) {
@@ -377,17 +515,83 @@ int main(int argc, char** argv) {
     zeus::Simulation::Options sopts;
     sopts.evaluator = evalKind;
     sopts.profileActivity = wantActivity;
+    if (simBudgetMs >= 0) sopts.maxSimMillis = static_cast<uint64_t>(simBudgetMs);
     zeus::Simulation sim(graph, sopts);
-    for (const zeus::Port& p : design->ports) {
-      if (p.mode == zeus::ast::ParamMode::In) {
-        sim.setInput(p.name, std::vector<zeus::Logic>(p.nets.size(),
-                                                      zeus::Logic::Zero));
+    // Checkpoint/resume/budget/crash flags switch the run from one big
+    // step() into cycle-by-cycle stepping so state can be saved (and the
+    // wall clock checked) at every cycle boundary.
+    const bool chunked = !checkpointFile.empty() || checkpointEvery > 0 ||
+                         !resumeFile.empty() || simBudgetMs >= 0 ||
+                         dieAtCycle >= 0;
+    int simRc = 0;
+    if (!resumeFile.empty()) {
+      zeus::SimSnapshot snap;
+      std::string err;
+      if (!zeus::loadSnapshotFile(resumeFile, snap, err)) {
+        std::fprintf(stderr, "zeusc: cannot resume from %s: %s\n",
+                     resumeFile.c_str(), err.c_str());
+        return fail(1);
       }
+      try {
+        sim.restoreSnapshot(snap);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "zeusc: cannot resume from %s: %s\n",
+                     resumeFile.c_str(), e.what());
+        return fail(1);
+      }
+      std::printf("resumed %s at cycle %llu\n", resumeFile.c_str(),
+                  static_cast<unsigned long long>(sim.cycle()));
+    } else {
+      for (const zeus::Port& p : design->ports) {
+        if (p.mode == zeus::ast::ParamMode::In) {
+          sim.setInput(p.name, std::vector<zeus::Logic>(p.nets.size(),
+                                                        zeus::Logic::Zero));
+        }
+      }
+      sim.setRset(true);
+      sim.step();
+      sim.setRset(false);
     }
-    sim.setRset(true);
-    sim.step();
-    sim.setRset(false);
-    if (simCycles > 1) sim.step(static_cast<uint64_t>(simCycles - 1));
+    if (!chunked) {
+      if (simCycles > 1) sim.step(static_cast<uint64_t>(simCycles - 1));
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto writeCheckpoint = [&]() {
+        if (checkpointFile.empty()) return;
+        std::string err;
+        if (!zeus::saveSnapshotFile(checkpointFile, sim.saveSnapshot(),
+                                    err)) {
+          std::fprintf(stderr, "zeusc: checkpoint write failed: %s\n",
+                       err.c_str());
+        }
+      };
+      const uint64_t total = static_cast<uint64_t>(simCycles);
+      while (sim.cycle() < total) {
+        sim.step(1);
+        if (checkpointEvery > 0 &&
+            sim.cycle() % static_cast<uint64_t>(checkpointEvery) == 0) {
+          writeCheckpoint();
+        }
+        if (dieAtCycle >= 0 &&
+            sim.cycle() >= static_cast<uint64_t>(dieAtCycle)) {
+          std::fflush(nullptr);
+          raise(SIGKILL);
+        }
+        // Simulation::step's own guard only trips between cycles of one
+        // multi-cycle call, so the chunked loop keeps its own clock.
+        if (simBudgetMs >= 0) {
+          const auto ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+          if (ms > simBudgetMs) {
+            simRc = 12;
+            break;
+          }
+        }
+      }
+      writeCheckpoint();  // final (or budget-trip) resumable state
+    }
     for (const zeus::Port& p : design->ports) {
       std::string bits;
       for (zeus::Logic v : sim.outputBits(p.name)) {
@@ -412,12 +616,34 @@ int main(int argc, char** argv) {
           e.code == zeus::Diag::SimWallClock) {
         budgetFault = true;
       }
+      // Distinct exit codes per budget-fault class, but only when the run
+      // opted into checkpoint/budget handling — plain `--sim N` keeps
+      // exit 0 for recoverable runtime faults (the corpus sweeps rely on
+      // that).  Watchdog (11) outranks wall-clock (12).
+      if (chunked) {
+        if (e.code == zeus::Diag::SimWatchdog) {
+          simRc = 11;
+        } else if (e.code == zeus::Diag::SimWallClock && simRc == 0) {
+          simRc = 12;
+        }
+      }
     }
     // A watchdog or wall-clock fault means the run hit a budget: show the
     // consumption-vs-budget report so the user can see which one and by
     // how much, without rerunning under --stats.
-    if (budgetFault) {
+    if (budgetFault || simRc != 0) {
       std::fprintf(stderr, "%s", comp->resourceReport().render().c_str());
+    }
+    if (simRc != 0) {
+      std::fprintf(stderr,
+                   "zeusc: simulation stopped by %s budget (exit %d); "
+                   "checkpoint %s\n",
+                   simRc == 11 ? "the evaluator watchdog" : "the wall-clock",
+                   simRc,
+                   checkpointFile.empty() ? "not requested (--checkpoint)"
+                                          : checkpointFile.c_str());
+      emitSinks();
+      return simRc;
     }
   }
 

@@ -1,6 +1,9 @@
 #include "src/core/batch_sim.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "src/sim/snapshot.h"
 
 namespace zeus {
 
@@ -120,6 +123,107 @@ void BatchSimulation::setRandomSeed(size_t lane, uint64_t seed) {
   rngStates_[lane] = seed ? seed : 1;
 }
 
+void BatchSimulation::injectFault(size_t lane, const FaultSpec& fault) {
+  checkLane(lane);
+  if (fault.denseNet >= g_.denseCount) {
+    throw std::invalid_argument("fault targets a net outside this design");
+  }
+  faults_.emplace_back(static_cast<uint32_t>(lane), fault);
+}
+
+void BatchSimulation::buildFaultPlan() {
+  faultPlan_.resize(g_.denseCount);  // assign() clears previous cycle too
+  faultPlan_.any = false;
+  for (const auto& [lane, f] : faults_) {
+    if (!f.activeAt(cycle_)) continue;
+    uint64_t bit = uint64_t{1} << lane;
+    switch (faultModeOf(f.kind)) {
+      case FaultMode::Force0: faultPlan_.force0[f.denseNet] |= bit; break;
+      case FaultMode::Force1: faultPlan_.force1[f.denseNet] |= bit; break;
+      case FaultMode::ForceUndef:
+        faultPlan_.forceUndef[f.denseNet] |= bit;
+        break;
+      case FaultMode::Flip: faultPlan_.flip[f.denseNet] |= bit; break;
+      case FaultMode::Contend: faultPlan_.contend[f.denseNet] |= bit; break;
+      case FaultMode::None: continue;
+    }
+    faultPlan_.any = true;
+  }
+}
+
+uint64_t BatchSimulation::laneDiffMask(NetId net) const {
+  if (!evaluated_) return 0;
+  const LanePlanes& p = result_.netValues[g_.dense(net)];
+  uint64_t g0 = (p.p0 & 1) ? ~uint64_t{0} : 0;
+  uint64_t g1 = (p.p1 & 1) ? ~uint64_t{0} : 0;
+  return ((p.p0 ^ g0) | (p.p1 ^ g1)) & laneMask_ & ~uint64_t{1};
+}
+
+uint64_t BatchSimulation::divergedLanes() const {
+  if (!evaluated_) return 0;
+  uint64_t diff = 0;
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    const LanePlanes& p = result_.netValues[i];
+    uint64_t g0 = (p.p0 & 1) ? ~uint64_t{0} : 0;
+    uint64_t g1 = (p.p1 & 1) ? ~uint64_t{0} : 0;
+    diff |= (p.p0 ^ g0) | (p.p1 ^ g1);
+  }
+  return diff & laneMask_ & ~uint64_t{1};
+}
+
+SimSnapshot BatchSimulation::saveSnapshot(size_t lane) const {
+  checkLane(lane);
+  SimSnapshot s;
+  s.designHash = designContentHash(*g_.design);
+  s.cycle = cycle_;
+  s.rngState = rngStates_[lane];
+  s.regValues = saveRegisters(lane);
+  s.inputValues.assign(g_.denseCount, Logic::Undef);
+  s.inputSet.assign(g_.denseCount, 0);
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    Logic v = laneValue(inputValues_[i], static_cast<uint32_t>(lane));
+    if (v != Logic::NoInfl) {
+      s.inputValues[i] = v;
+      s.inputSet[i] = 1;
+    }
+  }
+  for (const SimError& e : errors_) {
+    if (e.lane != static_cast<int32_t>(lane)) continue;
+    SimError scalar = e;
+    scalar.lane = -1;  // scalar convention, so it restores anywhere
+    s.errors.push_back(std::move(scalar));
+  }
+  return s;
+}
+
+void BatchSimulation::restoreSnapshot(size_t lane, const SimSnapshot& snap) {
+  checkLane(lane);
+  if (snap.designHash != 0 &&
+      snap.designHash != designContentHash(*g_.design)) {
+    throw std::invalid_argument(
+        "snapshot was taken on a different design (content hash mismatch)");
+  }
+  if (snap.regValues.size() != regValues_.size() ||
+      snap.inputValues.size() != g_.denseCount ||
+      snap.inputSet.size() != g_.denseCount) {
+    throw std::invalid_argument(
+        "snapshot state sizes do not match this design");
+  }
+  restoreRegisters(lane, snap.regValues);
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    laneSet(inputValues_[i], static_cast<uint32_t>(lane),
+            snap.inputSet[i] ? snap.inputValues[i] : Logic::NoInfl);
+  }
+  rngStates_[lane] = snap.rngState;
+  cycle_ = snap.cycle;  // shared across lanes (documented)
+  for (const SimError& e : snap.errors) {
+    SimError tagged = e;
+    tagged.lane = static_cast<int32_t>(lane);
+    errors_.push_back(std::move(tagged));
+  }
+  evaluated_ = false;
+}
+
 std::vector<Logic> BatchSimulation::saveRegisters(size_t lane) const {
   checkLane(lane);
   std::vector<Logic> out(regValues_.size());
@@ -147,10 +251,15 @@ void BatchSimulation::runCycle(bool latch) {
   seeds.regValues = &regValues_;
   seeds.rngStates = &rngStates_;
   seeds.laneMask = laneMask_;
+  if (!faults_.empty()) {
+    buildFaultPlan();
+    if (faultPlan_.any) seeds.faults = &faultPlan_;
+  }
   eval_.evaluate(seeds, result_);
   evaluated_ = true;
 
   const Netlist& nl = g_.design->netlist;
+  const size_t firstError = errors_.size();
   for (uint32_t dn : result_.collisions) {
     uint64_t mask = result_.activeMulti[dn] & laneMask_;
     for (uint32_t lane = 0; lane < lanes_; ++lane) {
@@ -161,6 +270,15 @@ void BatchSimulation::runCycle(bool latch) {
            static_cast<int32_t>(lane)});
     }
   }
+  // Deterministic surfacing order: collisions arrive in schedule order
+  // with lanes nested inside, so re-sort this cycle's records by
+  // (lane, net).  Cycles are appended monotonically, which makes the
+  // whole errors() vector ordered by (cycle, lane, net).
+  std::sort(errors_.begin() + static_cast<ptrdiff_t>(firstError),
+            errors_.end(), [](const SimError& a, const SimError& b) {
+              return a.lane != b.lane ? a.lane < b.lane
+                                      : a.netName < b.netName;
+            });
 
   if (!latch) return;
   // Per-lane two-phase latch (§5.1): a lane's register keeps its value

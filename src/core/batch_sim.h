@@ -47,9 +47,41 @@ class BatchSimulation {
   /// sequence as a scalar Simulation with setRandomSeed(seed).
   void setRandomSeed(size_t lane, uint64_t seed);
 
+  // -- fault injection (parallel fault simulation) --
+  /// Injects a hardware fault (src/sim/fault.h) into one lane: that lane
+  /// then simulates the faulty machine while other lanes are unaffected —
+  /// the classic golden-lane-0 parallel fault simulation setup used by
+  /// runFaultCampaign().  Faults persist across reset(); clearFaults()
+  /// removes them.
+  void injectFault(size_t lane, const FaultSpec& fault);
+  void clearFaults() { faults_.clear(); }
+
+  // -- divergence probes (vs the golden lane 0) --
+  /// Lanes (excluding lane 0) whose raw planes differ from lane 0 on this
+  /// net in the last evaluated cycle.
+  [[nodiscard]] uint64_t laneDiffMask(NetId net) const;
+  /// Union of laneDiffMask over every net: all lanes that diverged from
+  /// lane 0 anywhere this cycle.
+  [[nodiscard]] uint64_t divergedLanes() const;
+
   // -- checkpointing --
+  /// Registers of one lane only — see the Simulation::saveRegisters
+  /// contract: partial state, no RNG/cycle/inputs/errors.
   [[nodiscard]] std::vector<Logic> saveRegisters(size_t lane) const;
   void restoreRegisters(size_t lane, const std::vector<Logic>& state);
+
+  /// Full resumable state of one lane, interchangeable with a scalar
+  /// Simulation snapshot of the same design: registers, pending inputs
+  /// (NOINFL lanes read as unset), the lane's RANDOM stream, the shared
+  /// cycle count and the lane's SimErrors (with lane reset to -1 so they
+  /// restore cleanly into a scalar run).  Evaluator counters are batch-
+  /// wide, not per lane, so the snapshot's stats field is left zero.
+  [[nodiscard]] SimSnapshot saveSnapshot(size_t lane) const;
+  /// Restores a (scalar or per-lane) snapshot into one lane.  Sets the
+  /// batch's SHARED cycle counter to the snapshot's cycle and appends the
+  /// snapshot's errors tagged with this lane.  Throws
+  /// std::invalid_argument on design-hash or size mismatch.
+  void restoreSnapshot(size_t lane, const SimSnapshot& snap);
 
   /// Evaluates `n` clock cycles (evaluate + latch each) on every lane.
   void step(uint64_t n = 1);
@@ -67,7 +99,8 @@ class BatchSimulation {
                                      const std::string& name) const;
 
   [[nodiscard]] uint64_t cycle() const { return cycle_; }
-  /// Runtime faults across all lanes; SimError::lane identifies the lane.
+  /// Runtime faults across all lanes, deterministically ordered by
+  /// (cycle, lane, net name); SimError::lane identifies the lane.
   [[nodiscard]] const std::vector<SimError>& errors() const {
     return errors_;
   }
@@ -88,6 +121,7 @@ class BatchSimulation {
   void checkLane(size_t lane) const;
   void runCycle(bool latch);
   void seedDefaults();
+  void buildFaultPlan();
 
   const SimGraph& g_;
   size_t lanes_;
@@ -101,6 +135,8 @@ class BatchSimulation {
   uint64_t cycle_ = 0;
   std::vector<SimError> errors_;
   bool evaluated_ = false;
+  std::vector<std::pair<uint32_t, FaultSpec>> faults_;  ///< (lane, fault)
+  BatchFaultPlan faultPlan_;  ///< rebuilt per cycle while faults_ exists
 };
 
 }  // namespace zeus

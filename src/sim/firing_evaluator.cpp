@@ -79,6 +79,13 @@ void FiringEvaluator::fireNet(uint32_t net, Logic value) {
   ++firedCount_;
   ++stats_.netResolutions;
   if (g_.nets[net].multiDriven) ++stats_.contentionChecks;
+  // Every net passes through here exactly once per cycle (reg-only-driven
+  // nets via the undrivenNets_ loop), so this is the single injection
+  // point: the faulty value propagates to all consumers and the latch.
+  if (faults_) {
+    FaultMode m = faults_->mode[net];
+    if (m != FaultMode::None) value = applyScalarFault(m, value, active_[net]);
+  }
   value_[net] = value;
   if (active_[net] > 1 && collisions_) collisions_->push_back(net);
   worklist_.push_back(net);
@@ -101,6 +108,7 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   out.collisions.clear();
   out.watchdogTripped = false;
   collisions_ = &out.collisions;
+  faults_ = seeds.faults && seeds.faults->any ? seeds.faults : nullptr;
   // Watchdog: every consumer edge delivers at most one arrival event per
   // cycle, so anything past a small multiple of the edge count means the
   // evaluator is wedged — abort the cycle instead of hanging.
@@ -300,6 +308,7 @@ void FiringEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
 
   out.rngState = rng;
   collisions_ = nullptr;
+  faults_ = nullptr;
   value_ = nullptr;
   active_ = nullptr;
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sim/fault.h"
 #include "src/sim/graph.h"
 #include "src/support/logic.h"
 
@@ -27,6 +28,8 @@ struct EvalStats {
   /// Smallest remaining event budget at the end of any cycle (firing
   /// evaluator only); ~0 until a cycle completes, 0 after a trip.
   uint64_t watchdogMarginMin = ~uint64_t{0};
+
+  friend bool operator==(const EvalStats&, const EvalStats&) = default;
 };
 
 /// Seed of the RANDOM stream when none is set explicitly; shared by every
@@ -47,6 +50,10 @@ struct CycleSeeds {
   /// consistent DAG every node fires exactly once, so tripping it means
   /// the evaluator — not the design — is wedged).
   uint64_t eventBudget = 0;
+  /// Fault-injection overlay for this cycle (src/sim/fault.h); null or
+  /// !any = fault-free.  Applied at net-resolution time by every
+  /// evaluator, after the §8 strength rule and before consumers read.
+  const FaultPlan* faults = nullptr;
 };
 
 /// Results of one cycle.
@@ -65,6 +72,9 @@ class FiringEvaluator {
   void evaluate(const CycleSeeds& seeds, CycleResult& out);
   [[nodiscard]] const EvalStats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
+  /// Restores a previously captured counter state (snapshot resume), so a
+  /// resumed run's cumulative stats match an uninterrupted one.
+  void setStats(const EvalStats& s) { stats_ = s; }
 
  private:
   void fireNet(uint32_t net, Logic value);
@@ -101,6 +111,7 @@ class FiringEvaluator {
   std::vector<uint32_t> worklist_;
   size_t firedCount_ = 0;
   std::vector<uint32_t>* collisions_ = nullptr;
+  const FaultPlan* faults_ = nullptr;  ///< active only while evaluating
 };
 
 }  // namespace zeus

@@ -84,6 +84,8 @@ void LevelizedEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   }
   out.collisions.clear();
   out.watchdogTripped = false;  // the static schedule cannot wedge
+  const FaultPlan* faults =
+      seeds.faults && seeds.faults->any ? seeds.faults : nullptr;
 
   for (const Op& op : schedule_) {
     if (!op.isNode) {
@@ -102,9 +104,15 @@ void LevelizedEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
                             : (nodeStamp_[d] == epoch_ ? nodeOut_[d]
                                                        : Logic::Undef));
       }
-      out.netValues[i] = r.value;
-      out.activeCounts[i] = static_cast<uint32_t>(r.activeCount);
-      if (r.collision()) out.collisions.push_back(i);
+      Logic v = r.value;
+      uint32_t act = static_cast<uint32_t>(r.activeCount);
+      if (faults) {
+        FaultMode m = faults->mode[i];
+        if (m != FaultMode::None) v = applyScalarFault(m, v, act);
+      }
+      out.netValues[i] = v;
+      out.activeCounts[i] = act;
+      if (act > 1) out.collisions.push_back(i);
       continue;
     }
 
@@ -252,6 +260,26 @@ void LevelizedBatchEvaluator::evaluate(const BatchSeeds& seeds,
       }
       res.p0 |= multi;  // colliding lanes resolve to UNDEF
       res.p1 |= multi;
+      // Fault overlay, mirroring applyScalarFault() per lane: force modes
+      // override the resolved value and count as an active driver; Flip
+      // inverts only defined lanes; Contend collides to UNDEF.  A real
+      // collision on a forced lane keeps its multi bit — the fault
+      // overrides the value, not the contention report.
+      if (seeds.faults && seeds.faults->any) {
+        const BatchFaultPlan& fp = *seeds.faults;
+        uint64_t f0 = fp.force0[i], f1 = fp.force1[i], fu = fp.forceUndef[i];
+        uint64_t ff = fp.flip[i], fc = fp.contend[i];
+        if (f0 | f1 | fu | ff | fc) {
+          uint64_t forced = f0 | f1 | fu | fc;
+          res.p0 = (res.p0 & ~forced) | f0 | fu | fc;
+          res.p1 = (res.p1 & ~forced) | f1 | fu | fc;
+          uint64_t def = (res.p0 ^ res.p1) & ff;
+          res.p0 ^= def;
+          res.p1 ^= def;
+          seen |= forced;
+          multi |= fc;
+        }
+      }
       out.netValues[i] = res;
       out.activeAny[i] = seen;
       out.activeMulti[i] = multi;

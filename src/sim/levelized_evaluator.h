@@ -32,6 +32,8 @@ class LevelizedEvaluator {
   void evaluate(const CycleSeeds& seeds, CycleResult& out);
   [[nodiscard]] const EvalStats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
+  /// Restores a previously captured counter state (snapshot resume).
+  void setStats(const EvalStats& s) { stats_ = s; }
 
  private:
   friend class LevelizedBatchEvaluator;
@@ -89,6 +91,10 @@ struct BatchSeeds {
   std::array<uint64_t, 64>* rngStates = nullptr;
   /// Lanes in use; contention is only reported for these.
   uint64_t laneMask = ~uint64_t{0};
+  /// Per-lane fault-injection overlay (src/sim/fault.h); null or !any =
+  /// fault-free.  Lane L of each mask mirrors what a scalar run with the
+  /// same FaultMode on that net would compute.
+  const BatchFaultPlan* faults = nullptr;
 };
 
 struct BatchCycleResult {
@@ -105,6 +111,8 @@ class LevelizedBatchEvaluator {
   void evaluate(const BatchSeeds& seeds, BatchCycleResult& out);
   [[nodiscard]] const EvalStats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
+  /// Restores a previously captured counter state (snapshot resume).
+  void setStats(const EvalStats& s) { stats_ = s; }
 
  private:
   const SimGraph& g_;

@@ -51,14 +51,24 @@ void NaiveEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {
   }
   std::fill(netVal_.begin(), netVal_.end(), Logic::Undef);
 
+  const FaultPlan* faults =
+      seeds.faults && seeds.faults->any ? seeds.faults : nullptr;
   auto resolveNet = [&](size_t i) -> Logic {
     Resolution r;
     if (seedSet_[i]) r.add(seedVal_[i]);
     for (uint32_t e = g_.driverStart[i]; e < g_.driverStart[i + 1]; ++e) {
       r.add(nodeOut_[g_.driverNodes[e]]);
     }
-    active_[i] = static_cast<uint32_t>(r.activeCount);
-    return r.value;
+    Logic v = r.value;
+    uint32_t act = static_cast<uint32_t>(r.activeCount);
+    // Fault injection applies inside the sweeps too, so the faulty value
+    // reaches the fixpoint exactly as it propagates in the firing rules.
+    if (faults) {
+      FaultMode m = faults->mode[i];
+      if (m != FaultMode::None) v = applyScalarFault(m, v, act);
+    }
+    active_[i] = act;
+    return v;
   };
 
   out.watchdogTripped = false;

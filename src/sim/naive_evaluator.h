@@ -22,6 +22,8 @@ class NaiveEvaluator {
   void evaluate(const CycleSeeds& seeds, CycleResult& out);
   [[nodiscard]] const EvalStats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
+  /// Restores a previously captured counter state (snapshot resume).
+  void setStats(const EvalStats& s) { stats_ = s; }
 
  private:
   const SimGraph& g_;

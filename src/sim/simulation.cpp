@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/sim/snapshot.h"
 #include "src/support/trace.h"
 
 namespace zeus {
@@ -149,6 +150,74 @@ void Simulation::restoreRegisters(const std::vector<Logic>& state) {
   regValues_ = state;
 }
 
+void Simulation::injectFault(const FaultSpec& fault) {
+  if (fault.denseNet >= g_.denseCount) {
+    throw std::invalid_argument("fault targets a net outside this design");
+  }
+  faults_.push_back(fault);
+}
+
+void Simulation::buildFaultPlan() {
+  if (faultPlan_.mode.size() != g_.denseCount) {
+    faultPlan_.mode.assign(g_.denseCount, FaultMode::None);
+  } else {
+    std::fill(faultPlan_.mode.begin(), faultPlan_.mode.end(),
+              FaultMode::None);
+  }
+  faultPlan_.any = false;
+  for (const FaultSpec& f : faults_) {
+    if (!f.activeAt(cycle_)) continue;
+    faultPlan_.mode[f.denseNet] = faultModeOf(f.kind);
+    faultPlan_.any = true;
+  }
+}
+
+void Simulation::setStatsInternal(const EvalStats& s) {
+  if (firing_) firing_->setStats(s);
+  else if (naive_) naive_->setStats(s);
+  else levelized_->setStats(s);
+}
+
+SimSnapshot Simulation::saveSnapshot() const {
+  ZEUS_TRACE_SPAN("checkpoint-save", "sim");
+  SimSnapshot s;
+  s.designHash = designContentHash(*g_.design);
+  s.cycle = cycle_;
+  s.rngState = rngState_;
+  s.stats = stats();
+  s.regValues = regValues_;
+  s.inputValues = inputValues_;
+  s.inputSet = inputSet_;
+  s.errors = errors_;
+  return s;
+}
+
+void Simulation::restoreSnapshot(const SimSnapshot& snap) {
+  ZEUS_TRACE_SPAN("checkpoint-load", "sim");
+  if (snap.designHash != 0 &&
+      snap.designHash != designContentHash(*g_.design)) {
+    throw std::invalid_argument(
+        "snapshot was taken on a different design (content hash mismatch)");
+  }
+  if (snap.regValues.size() != regValues_.size() ||
+      snap.inputValues.size() != g_.denseCount ||
+      snap.inputSet.size() != g_.denseCount) {
+    throw std::invalid_argument(
+        "snapshot state sizes do not match this design");
+  }
+  regValues_ = snap.regValues;
+  inputValues_ = snap.inputValues;
+  inputSet_.assign(snap.inputSet.begin(), snap.inputSet.end());
+  cycle_ = snap.cycle;
+  rngState_ = snap.rngState;
+  errors_ = snap.errors;
+  setStatsInternal(snap.stats);
+  evaluated_ = false;
+  // The activity profiler intentionally restarts: profiling counters are
+  // not snapshot state (documented on saveSnapshot).
+  prevValid_ = false;
+}
+
 void Simulation::runCycle(bool latch) {
   CycleSeeds seeds;
   seeds.inputValues = &inputValues_;
@@ -156,6 +225,10 @@ void Simulation::runCycle(bool latch) {
   seeds.regValues = &regValues_;
   seeds.rngState = rngState_;
   seeds.eventBudget = opts_.maxEventsPerCycle;
+  if (!faults_.empty()) {
+    buildFaultPlan();
+    if (faultPlan_.any) seeds.faults = &faultPlan_;
+  }
   if (firing_) firing_->evaluate(seeds, result_);
   else if (naive_) naive_->evaluate(seeds, result_);
   else levelized_->evaluate(seeds, result_);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/fault.h"
 #include "src/sim/firing_evaluator.h"
 #include "src/sim/levelized_evaluator.h"
 #include "src/sim/naive_evaluator.h"
@@ -39,6 +40,25 @@ struct SimError {
   std::string netName;  ///< empty for faults not tied to one net
   std::string message;
   int32_t lane = -1;  ///< stimulus lane (BatchSimulation); -1 = scalar
+
+  friend bool operator==(const SimError&, const SimError&) = default;
+};
+
+/// Complete simulation state at a cycle boundary: everything needed to
+/// resume a run bit-identically — registers, pending inputs, the RANDOM
+/// stream, the cycle count, accumulated SimErrors, cumulative evaluator
+/// counters, and a content hash of the design the state belongs to.
+/// Binary (de)serialization with versioning lives in src/sim/snapshot.h;
+/// this struct is the in-memory form.
+struct SimSnapshot {
+  uint64_t designHash = 0;  ///< designContentHash() of the source design
+  uint64_t cycle = 0;
+  uint64_t rngState = 0;
+  EvalStats stats;                ///< cumulative counters at save time
+  std::vector<Logic> regValues;   ///< per graph.regNodes index
+  std::vector<Logic> inputValues; ///< per dense net (pending inputs)
+  std::vector<char> inputSet;
+  std::vector<SimError> errors;   ///< accumulated up to the snapshot
 };
 
 class Simulation {
@@ -76,13 +96,45 @@ class Simulation {
   /// Seed for RANDOM components (deterministic runs).
   void setRandomSeed(uint64_t seed);
 
+  // -- fault injection --
+  /// Injects a hardware fault (src/sim/fault.h).  The fault applies on
+  /// every cycle in its [fromCycle, toCycle] window, in whichever
+  /// evaluator this simulation uses; forced-contention faults surface as
+  /// SimContention errors like real collisions.  Injected faults persist
+  /// across reset() — clearFaults() removes them.
+  void injectFault(const FaultSpec& fault);
+  void clearFaults() { faults_.clear(); }
+  [[nodiscard]] const std::vector<FaultSpec>& faults() const {
+    return faults_;
+  }
+
   // -- checkpointing --
   /// Captures the register state (one value per REG, in graph order).
+  /// CONTRACT: this is a *partial* checkpoint.  It captures registers
+  /// only — not the RANDOM stream (`rngState_`), not the cycle count, not
+  /// pending inputs, not accumulated errors — so restoring it resumes a
+  /// run bit-identically only for designs without RANDOM components and
+  /// stimulus that does not depend on the cycle number.  For exact resume
+  /// semantics use saveSnapshot()/restoreSnapshot().
   [[nodiscard]] std::vector<Logic> saveRegisters() const {
     return regValues_;
   }
-  /// Restores a previously saved register state.
+  /// Restores a previously saved register state (see the saveRegisters
+  /// contract: rngState_, cycle count, pending inputs and errors keep
+  /// their current values and go stale relative to the saved run).
   void restoreRegisters(const std::vector<Logic>& state);
+
+  /// Captures the complete resumable state: registers, pending inputs,
+  /// RANDOM stream, cycle count, accumulated errors, evaluator counters
+  /// and the design content hash.  A run restored from this snapshot is
+  /// bit-identical to one that never stopped — including RANDOM draws,
+  /// error accumulation and metrics counters.  (Activity-profiling state
+  /// is not part of the snapshot.)
+  [[nodiscard]] SimSnapshot saveSnapshot() const;
+  /// Restores a snapshot taken on a Simulation of the same design (any
+  /// evaluator).  Throws std::invalid_argument when the snapshot's design
+  /// hash or state sizes do not match this design.
+  void restoreSnapshot(const SimSnapshot& snap);
 
   /// Evaluates `n` clock cycles (evaluate + latch each).  Stops early —
   /// recording a SimWallClock fault — when the wall-clock budget runs out.
@@ -126,6 +178,8 @@ class Simulation {
   void applyPortValue(const Port& port, const std::vector<Logic>& bits);
   void runCycle(bool latch);
   void profileCycle();
+  void buildFaultPlan();
+  void setStatsInternal(const EvalStats& s);
 
   const SimGraph& g_;
   Options opts_;
@@ -142,6 +196,8 @@ class Simulation {
   uint64_t rngState_ = kDefaultRngSeed;
   std::vector<SimError> errors_;
   bool evaluated_ = false;
+  std::vector<FaultSpec> faults_;
+  FaultPlan faultPlan_;  ///< rebuilt per cycle while faults_ is non-empty
 
   // Activity profiler (allocated lazily when profiling turns on).
   bool profiling_ = false;

@@ -1,0 +1,69 @@
+// Versioned binary checkpoints for crash-safe simulation and fault
+// campaigns (docs/fault-injection.md).
+//
+// File layout (little-endian):
+//   u32 magic   "ZSNP" (0x504E535A)
+//   u32 version (kSnapshotVersion)
+//   u8  kind    (SnapshotKind: full sim state or campaign progress)
+//   u64 design content hash
+//   ... kind-specific payload ...
+//
+// Loading is defensive: every count is validated against the remaining
+// byte budget before any allocation, so truncated, corrupt or adversarial
+// files produce a structured error string — never a crash or an OOM.
+// That contract is enforced by the fuzz corpus (tools/zeus_fuzz.cpp
+// replays the loaders on every input).  Saving is atomic: the bytes land
+// in "<path>.tmp" and std::rename() moves them into place, so a crash
+// mid-write never leaves a half checkpoint at the target path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/elab/design.h"
+#include "src/sim/fault.h"
+#include "src/sim/simulation.h"
+
+namespace zeus {
+
+inline constexpr uint32_t kSnapshotMagic = 0x504E535Au;  // "ZSNP"
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+enum class SnapshotKind : uint8_t {
+  SimState = 0,          ///< full Simulation / per-lane BatchSimulation state
+  CampaignProgress = 1,  ///< fault-campaign sweep position + outcomes
+};
+
+/// Order-insensitive-free structural hash of an elaborated design: nets
+/// (names, kinds) and nodes (ops, connectivity, constants) in netlist
+/// order, plus the top name.  Two designs share a hash iff they would
+/// simulate identically, so snapshots refuse to load into the wrong
+/// hardware.
+[[nodiscard]] uint64_t designContentHash(const Design& design);
+
+/// Probes the header only: magic, version and kind.  Lets callers (the
+/// zeusc --resume path) dispatch on the checkpoint kind before decoding.
+bool snapshotKindOfBytes(const uint8_t* data, size_t size, SnapshotKind& out,
+                         std::string& error);
+
+// -- full simulation state --
+[[nodiscard]] std::vector<uint8_t> snapshotToBytes(const SimSnapshot& snap);
+bool snapshotFromBytes(const uint8_t* data, size_t size, SimSnapshot& out,
+                       std::string& error);
+bool saveSnapshotFile(const std::string& path, const SimSnapshot& snap,
+                      std::string& error);
+bool loadSnapshotFile(const std::string& path, SimSnapshot& out,
+                      std::string& error);
+
+// -- fault-campaign progress --
+[[nodiscard]] std::vector<uint8_t> campaignToBytes(
+    const CampaignProgress& progress);
+bool campaignFromBytes(const uint8_t* data, size_t size,
+                       CampaignProgress& out, std::string& error);
+bool saveCampaignFile(const std::string& path,
+                      const CampaignProgress& progress, std::string& error);
+bool loadCampaignFile(const std::string& path, CampaignProgress& out,
+                      std::string& error);
+
+}  // namespace zeus

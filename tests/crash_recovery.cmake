@@ -1,0 +1,86 @@
+# ctest driver: SIGKILL a fault campaign mid-sweep, resume it from the
+# last batch-boundary checkpoint, and require the recovered coverage
+# report to be byte-identical to a run that was never interrupted
+# (docs/fault-injection.md).
+#
+#   cmake -DZEUSC=<path-to-zeusc> -DWORKDIR=<scratch dir> -P crash_recovery.cmake
+#
+# The adders entry at 8 cycles/fault sweeps 344 stuck-ats in 6 batches of
+# 63 lanes (48 batch cycles total); --die-at-cycle 20 kills the process
+# inside batch 3, after the batch-2 checkpoint has been renamed into
+# place atomically.
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED ZEUSC)
+  message(FATAL_ERROR "pass -DZEUSC=<path to the zeusc binary>")
+endif()
+if(NOT DEFINED WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+set(straight "${WORKDIR}/crash_recovery_straight.json")
+set(recovered "${WORKDIR}/crash_recovery_recovered.json")
+set(ckpt "${WORKDIR}/crash_recovery.snap")
+file(REMOVE ${straight} ${recovered} ${ckpt})
+
+# 1. The uninterrupted reference run.
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8 --fault-campaign
+                        --fault-seed 7 --fault-out ${straight}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "straight campaign exited ${rc}\n${out}\n${err}")
+endif()
+
+# 2. The same campaign, checkpointing every batch and crashing (SIGKILL,
+#    so no destructor or atexit path can help) mid-sweep.
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8 --fault-campaign
+                        --fault-seed 7 --checkpoint ${ckpt}
+                        --checkpoint-every 1 --die-at-cycle 20
+                        --fault-out ${recovered}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--die-at-cycle 20 run exited 0; it was supposed to crash")
+endif()
+if(EXISTS ${recovered})
+  message(FATAL_ERROR "crashed run wrote ${recovered}; the kill came too late")
+endif()
+if(NOT EXISTS ${ckpt})
+  message(FATAL_ERROR "no checkpoint survived the crash at ${ckpt}")
+endif()
+
+# 3. Resume from the surviving checkpoint and finish the sweep.
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8 --fault-campaign
+                        --fault-seed 7 --resume ${ckpt}
+                        --fault-out ${recovered}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed campaign exited ${rc}\n${out}\n${err}")
+endif()
+
+# 4. Bit-exact recovery: the recovered report matches the straight run.
+file(READ ${straight} want)
+file(READ ${recovered} got)
+if(NOT want STREQUAL got)
+  message(FATAL_ERROR
+          "recovered coverage report differs from the straight run\n"
+          "--- straight ---\n${want}\n--- recovered ---\n${got}")
+endif()
+
+# 5. A corrupt checkpoint must be rejected with a structured error, and
+#    the failed resume must not clobber the good report.  (The loader's
+#    full truncation sweep lives in unit tests and the fuzz corpus; here
+#    we check the CLI surface end-to-end.)
+set(badckpt "${WORKDIR}/crash_recovery_corrupt.snap")
+file(WRITE ${badckpt} "this is not a ZSNP checkpoint")
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8 --fault-campaign
+                        --fault-seed 7 --resume ${badckpt}
+                        --fault-out ${WORKDIR}/crash_recovery_bad.json
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "resume from a truncated checkpoint exited 0\n${out}")
+endif()
+if(NOT err MATCHES "cannot resume")
+  message(FATAL_ERROR "truncated-checkpoint error is unstructured:\n${err}")
+endif()
+
+message(STATUS "crash_recovery: SIGKILL + resume reproduced the straight run byte-for-byte")

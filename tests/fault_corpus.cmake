@@ -1,0 +1,166 @@
+# ctest driver: run `zeusc --fault-campaign` over every built-in corpus
+# entry and validate the zeus-faults-v1 coverage report
+# (docs/fault-injection.md).
+#
+#   cmake -DZEUSC=<path-to-zeusc> -DWORKDIR=<scratch dir> -P fault_corpus.cmake
+#
+# Checks, per entry:
+#   * zeusc exits 0 — every paper program survives a full parallel
+#     stuck-at campaign;
+#   * the report is valid JSON with version 1, detected + masked +
+#     undetected == total_faults, coverage in [0,1], and per-fault
+#     records whose status/detector fields are mutually consistent;
+#   * across the whole corpus at least one fault was detected and at
+#     least one was undetected (the acceptance bar for the campaign
+#     machinery itself).
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ZEUSC)
+  message(FATAL_ERROR "pass -DZEUSC=<path to the zeusc binary>")
+endif()
+if(NOT DEFINED WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+execute_process(COMMAND ${ZEUSC} --list-examples
+                OUTPUT_VARIABLE listing
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "zeusc --list-examples failed (rc=${rc})")
+endif()
+
+string(REPLACE "\n" ";" lines "${listing}")
+set(entries "")
+foreach(line IN LISTS lines)
+  if(line MATCHES "^([a-z0-9-]+)[ \t]")
+    list(APPEND entries "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+list(LENGTH entries count)
+if(count LESS 10)
+  message(FATAL_ERROR "expected at least 10 corpus entries, got ${count}: ${entries}")
+endif()
+
+set(total_detected 0)
+set(total_undetected 0)
+foreach(entry IN LISTS entries)
+  set(ffile "${WORKDIR}/faults_${entry}.json")
+  execute_process(COMMAND ${ZEUSC} --example ${entry} --sim 8
+                          --fault-campaign --fault-out ${ffile}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${entry}: zeusc --fault-campaign exited ${rc}\n${out}\n${err}")
+  endif()
+  if(NOT EXISTS ${ffile})
+    message(FATAL_ERROR "${entry}: ${ffile} was not written")
+  endif()
+  file(READ ${ffile} json)
+
+  string(JSON version GET "${json}" "zeus-faults")
+  if(NOT version EQUAL 1)
+    message(FATAL_ERROR "${entry}: zeus-faults version ${version}, expected 1")
+  endif()
+  string(JSON design GET "${json}" "design")
+  if(design STREQUAL "")
+    message(FATAL_ERROR "${entry}: empty design name")
+  endif()
+  string(JSON cycles GET "${json}" "cycles")
+  if(NOT cycles EQUAL 8)
+    message(FATAL_ERROR "${entry}: cycles = ${cycles}, expected 8")
+  endif()
+  string(JSON interrupted GET "${json}" "interrupted")
+  if(NOT interrupted STREQUAL "OFF")
+    message(FATAL_ERROR "${entry}: campaign reported interrupted")
+  endif()
+
+  # The three classifications partition the fault universe.
+  string(JSON total GET "${json}" "total_faults")
+  string(JSON detected GET "${json}" "detected")
+  string(JSON masked GET "${json}" "masked")
+  string(JSON undetected GET "${json}" "undetected")
+  math(EXPR sum "${detected} + ${masked} + ${undetected}")
+  if(NOT sum EQUAL total)
+    message(FATAL_ERROR
+            "${entry}: ${detected}+${masked}+${undetected} != ${total}")
+  endif()
+  if(total EQUAL 0)
+    message(FATAL_ERROR "${entry}: empty fault universe")
+  endif()
+
+  string(JSON coverage GET "${json}" "coverage")
+  if(coverage LESS 0 OR coverage GREATER 1)
+    message(FATAL_ERROR "${entry}: coverage ${coverage} outside [0,1]")
+  endif()
+
+  # Per-fault records: status vocabulary and detector consistency.
+  # string(JSON) re-parses the whole document on every access, so deep
+  # validation of multi-thousand-fault arrays is quadratic; spot-check the
+  # first 20 records per entry (the aggregate counts above cover the rest).
+  string(JSON nfaults LENGTH "${json}" "faults")
+  if(NOT nfaults EQUAL total)
+    message(FATAL_ERROR "${entry}: faults array ${nfaults} != total ${total}")
+  endif()
+  set(last 19)
+  if(nfaults LESS 20)
+    math(EXPR last "${nfaults} - 1")
+  endif()
+  foreach(i RANGE 0 ${last})
+    string(JSON fnet GET "${json}" "faults" ${i} "net")
+    string(JSON fkind GET "${json}" "faults" ${i} "kind")
+    string(JSON fstatus GET "${json}" "faults" ${i} "status")
+    string(JSON fdetector GET "${json}" "faults" ${i} "detector")
+    if(fnet STREQUAL "")
+      message(FATAL_ERROR "${entry}: fault ${i} has no net")
+    endif()
+    if(NOT fkind MATCHES "^stuck-at-[01]$")
+      message(FATAL_ERROR "${entry}: fault ${i} kind '${fkind}'")
+    endif()
+    if(fstatus STREQUAL "detected")
+      if(fdetector STREQUAL "")
+        message(FATAL_ERROR "${entry}: detected fault ${i} has no detector")
+      endif()
+    elseif(fstatus STREQUAL "masked" OR fstatus STREQUAL "undetected")
+      if(NOT fdetector STREQUAL "")
+        message(FATAL_ERROR
+                "${entry}: ${fstatus} fault ${i} names detector '${fdetector}'")
+      endif()
+    else()
+      message(FATAL_ERROR "${entry}: fault ${i} status '${fstatus}'")
+    endif()
+  endforeach()
+
+  # detectors: first-detection tallies must account for every detection.
+  string(JSON ndet LENGTH "${json}" "detectors")
+  set(detsum 0)
+  if(ndet GREATER 0)
+    math(EXPR dlast "${ndet} - 1")
+    foreach(i RANGE 0 ${dlast})
+      string(JSON doutput GET "${json}" "detectors" ${i} "output")
+      string(JSON dfaults GET "${json}" "detectors" ${i} "faults")
+      if(doutput STREQUAL "" OR dfaults LESS_EQUAL 0)
+        message(FATAL_ERROR "${entry}: bad detector entry ${i}")
+      endif()
+      math(EXPR detsum "${detsum} + ${dfaults}")
+    endforeach()
+  endif()
+  if(NOT detsum EQUAL detected)
+    message(FATAL_ERROR
+            "${entry}: detector tallies ${detsum} != detected ${detected}")
+  endif()
+
+  math(EXPR total_detected "${total_detected} + ${detected}")
+  math(EXPR total_undetected "${total_undetected} + ${undetected}")
+  message(STATUS
+          "${entry}: ok (${total} faults, ${detected} detected, coverage ${coverage})")
+endforeach()
+
+if(total_detected EQUAL 0)
+  message(FATAL_ERROR "no fault anywhere in the corpus was detected")
+endif()
+if(total_undetected EQUAL 0)
+  message(FATAL_ERROR "no fault anywhere in the corpus was undetected")
+endif()
+message(STATUS "fault_corpus: ${count} corpus entries validated")

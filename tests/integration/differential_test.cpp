@@ -245,5 +245,149 @@ TEST(Differential, BlackjackScalarAndBatchCounterTotalsAgree) {
   checkCounterTotals(kBlackjack, "bj", /*cycles=*/32, /*pulseRset=*/true);
 }
 
+// A design exercising everything a checkpoint must capture: RANDOM draws,
+// a REG trajectory, and input-dependent multiplex contention (SimErrors).
+const char* kResumable = R"(
+TYPE t = COMPONENT (IN en, a, b: boolean; OUT o, q: boolean) IS
+  SIGNAL r: REG;
+  SIGNAL m: multiplex;
+BEGIN
+  IF en THEN r.in := RANDOM() END;
+  IF a THEN m := 1 END;
+  IF b THEN m := 0 END;
+  o := r.out;
+  q := m
+END;
+SIGNAL top: t;
+)";
+
+struct Stimulus {
+  Logic en, a, b;
+};
+
+std::vector<Stimulus> randomStimulus(int cycles, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Stimulus> s(cycles);
+  for (Stimulus& x : s) {
+    x.en = logicFromBool(rng() & 1);
+    x.a = logicFromBool(rng() & 1);
+    x.b = logicFromBool(rng() & 1);
+  }
+  return s;
+}
+
+void drive(Simulation& sim, const Stimulus& s) {
+  sim.setInput("en", s.en);
+  sim.setInput("a", s.a);
+  sim.setInput("b", s.b);
+  sim.step();
+}
+
+/// Interrupt-at-cycle-k resume must be bit-identical to the straight run:
+/// net values, registers, RANDOM draws, SimErrors, the cycle count and
+/// every evaluator counter.  That is exactly what saveRegisters() alone
+/// cannot provide (its documented partial-state contract), so this test
+/// routes through the full SimSnapshot.
+TEST(Differential, SnapshotResumeIsBitIdenticalOnEveryEvaluator) {
+  constexpr int kCycles = 24;
+  constexpr int kStopAt = 10;
+  std::vector<Stimulus> stim = randomStimulus(kCycles, 99);
+  for (EvaluatorKind k : {EvaluatorKind::Firing, EvaluatorKind::Naive,
+                          EvaluatorKind::Levelized}) {
+    Built b = buildOk(kResumable, "top");
+    SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+    ASSERT_FALSE(g.hasCycle);
+
+    Simulation straight(g, k);
+    for (int c = 0; c < kCycles; ++c) drive(straight, stim[c]);
+    ASSERT_FALSE(straight.errors().empty()) << "stimulus never contended";
+
+    Simulation first(g, k);
+    for (int c = 0; c < kStopAt; ++c) drive(first, stim[c]);
+    SimSnapshot snap = first.saveSnapshot();
+    Simulation resumed(g, k);
+    resumed.restoreSnapshot(snap);
+    for (int c = kStopAt; c < kCycles; ++c) drive(resumed, stim[c]);
+
+    EXPECT_EQ(resumed.cycle(), straight.cycle());
+    EXPECT_EQ(resumed.errors(), straight.errors());
+    EXPECT_TRUE(resumed.stats() == straight.stats())
+        << "evaluator counters diverged, kind " << static_cast<int>(k);
+    EXPECT_EQ(resumed.saveRegisters(), straight.saveRegisters());
+    const Netlist& nl = b.design->netlist;
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+      ASSERT_EQ(resumed.netValue(n), straight.netValue(n))
+          << nl.net(n).name << " kind " << static_cast<int>(k);
+    }
+    metrics::SimCounters rc = resumed.metricsCounters();
+    metrics::SimCounters sc = straight.metricsCounters();
+    EXPECT_EQ(rc.cycles, sc.cycles);
+    EXPECT_EQ(rc.nodeFirings, sc.nodeFirings);
+    EXPECT_EQ(rc.netResolutions, sc.netResolutions);
+    EXPECT_EQ(rc.faults, sc.faults);
+    EXPECT_EQ(rc.contentionFaults, sc.contentionFaults);
+  }
+}
+
+/// Scalar snapshots restore into batch lanes and vice versa: the same
+/// interrupted run continues bit-identically in the other engine.
+TEST(Differential, SnapshotsInterchangeBetweenScalarAndBatchLanes) {
+  constexpr int kCycles = 20;
+  constexpr int kStopAt = 8;
+  std::vector<Stimulus> stim = randomStimulus(kCycles, 123);
+  Built b = buildOk(kResumable, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+
+  Simulation straight(g, EvaluatorKind::Levelized);
+  for (int c = 0; c < kCycles; ++c) drive(straight, stim[c]);
+
+  // Scalar -> batch lane 2.
+  Simulation first(g, EvaluatorKind::Levelized);
+  for (int c = 0; c < kStopAt; ++c) drive(first, stim[c]);
+  BatchSimulation batch(g, 4);
+  batch.restoreSnapshot(2, first.saveSnapshot());
+  EXPECT_EQ(batch.cycle(), static_cast<uint64_t>(kStopAt));
+  for (int c = kStopAt; c < kCycles; ++c) {
+    batch.setInput(2, "en", stim[c].en);
+    batch.setInput(2, "a", stim[c].a);
+    batch.setInput(2, "b", stim[c].b);
+    batch.step();
+  }
+  const Netlist& nl = b.design->netlist;
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    ASSERT_EQ(batch.netValue(2, n), straight.netValue(n)) << nl.net(n).name;
+  }
+  // The lane's errors match the straight scalar run as (cycle, net) pairs.
+  auto laneKeys = [](const std::vector<SimError>& errs, int32_t lane) {
+    std::vector<std::pair<uint64_t, std::string>> keys;
+    for (const SimError& e : errs) {
+      if (lane >= 0 && e.lane != lane) continue;
+      keys.emplace_back(e.cycle, e.netName);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(laneKeys(batch.errors(), 2), laneKeys(straight.errors(), -1));
+
+  // Batch lane -> scalar.
+  BatchSimulation bfirst(g, 4);
+  for (int c = 0; c < kStopAt; ++c) {
+    for (size_t l = 0; l < bfirst.lanes(); ++l) {
+      bfirst.setInput(l, "en", stim[c].en);
+      bfirst.setInput(l, "a", stim[c].a);
+      bfirst.setInput(l, "b", stim[c].b);
+    }
+    bfirst.step();
+  }
+  Simulation cont(g, EvaluatorKind::Levelized);
+  cont.restoreSnapshot(bfirst.saveSnapshot(1));
+  for (int c = kStopAt; c < kCycles; ++c) drive(cont, stim[c]);
+  for (NetId n = 0; n < nl.netCount(); ++n) {
+    ASSERT_EQ(cont.netValue(n), straight.netValue(n)) << nl.net(n).name;
+  }
+  EXPECT_EQ(laneKeys(cont.errors(), -1), laneKeys(straight.errors(), -1));
+}
+
 }  // namespace
 }  // namespace zeus::test

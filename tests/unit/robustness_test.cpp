@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <tuple>
 
 #include "src/parser/parser.h"
 #include "tests/support/test_util.h"
@@ -180,6 +181,50 @@ SIGNAL top: chain(100);
   EXPECT_EQ(sim.output("b"), Logic::Undef);
   sim.step();
   EXPECT_EQ(sim.output("b"), Logic::One);
+}
+
+TEST(Robustness, BatchSimErrorsAreDeterministicallyOrdered) {
+  // Contract on BatchSimulation::errors(): records are sorted by
+  // (cycle, lane, net name), independent of evaluation order — consumers
+  // diff error logs across runs and engines.
+  const char* src = R"(
+TYPE t = COMPONENT (IN a, b: boolean; OUT o, p: boolean) IS
+  SIGNAL m: multiplex;
+  SIGNAL n: multiplex;
+BEGIN
+  IF a THEN m := 1 END;
+  IF b THEN m := 0 END;
+  IF a THEN n := 0 END;
+  IF b THEN n := 1 END;
+  o := m;
+  p := n
+END;
+SIGNAL top: t;
+)";
+  Built b = buildOk(src, "top");
+  ASSERT_NE(b.design, nullptr);
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  BatchSimulation batch(g, 8);
+  // Odd lanes contend on both nets every cycle; even lanes stay clean.
+  for (size_t l = 0; l < batch.lanes(); ++l) {
+    batch.setInput(l, "a", logicFromBool(l % 2));
+    batch.setInput(l, "b", logicFromBool(l % 2));
+  }
+  batch.step(3);
+  const std::vector<SimError>& errs = batch.errors();
+  // 3 cycles x 4 contending lanes x 2 nets.
+  ASSERT_EQ(errs.size(), 24u);
+  for (size_t i = 1; i < errs.size(); ++i) {
+    auto key = [](const SimError& e) {
+      return std::tuple(e.cycle, e.lane, e.netName);
+    };
+    EXPECT_LT(key(errs[i - 1]), key(errs[i]))
+        << "errors out of order at index " << i;
+  }
+  for (const SimError& e : errs) {
+    EXPECT_EQ(e.lane % 2, 1) << "clean lane reported an error";
+  }
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 
 #include "src/core/zeus.h"
 #include "src/sim/graph.h"
+#include "src/sim/snapshot.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 
@@ -55,6 +56,18 @@ bool runOne(const uint8_t* data, size_t size) {
   // the pipeline itself.  The buffer is cleared per input to bound memory.
   zeus::trace::clear();
   zeus::trace::setEnabled(true);
+  // Every input also replays the binary checkpoint loaders
+  // (src/sim/snapshot.h): truncated, corrupt or adversarial ZSNP bytes
+  // must produce a structured error string, never a crash or an OOM.
+  {
+    std::string err;
+    zeus::SnapshotKind kind;
+    (void)zeus::snapshotKindOfBytes(data, size, kind, err);
+    zeus::SimSnapshot snap;
+    (void)zeus::snapshotFromBytes(data, size, snap, err);
+    zeus::CampaignProgress progress;
+    (void)zeus::campaignFromBytes(data, size, progress, err);
+  }
   std::string text(reinterpret_cast<const char*>(data), size);
   auto comp = zeus::Compilation::fromSource("fuzz.zeus", std::move(text),
                                             fuzzLimits());
