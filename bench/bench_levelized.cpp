@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -128,6 +129,110 @@ struct CampaignResult {
   }
 };
 
+// ---------------------------------------------------------------------
+// Optimizer benefit: the same stimulus through the levelized evaluator
+// with the pass pipeline off and on.  The bench design wraps rippleCarry
+// in a top that also instantiates a second, unread adder — exactly the
+// kind of dead cone -O1 deletes — so the node-count delta (and the
+// cycles/sec win that follows from it) is structural, not noise.
+// Checksums must match across the two builds: this is the optimizer's
+// differential test at bench scale.
+// ---------------------------------------------------------------------
+
+struct OptBenchResult {
+  uint64_t nodesBefore = 0, nodesAfter = 0;
+  uint64_t netsBefore = 0, netsAfter = 0;
+  uint64_t folded = 0, removed = 0, dropped = 0;
+  RunResult off;  ///< levelized scalar, -O0 build
+  RunResult on;   ///< levelized scalar, -O1 build
+
+  [[nodiscard]] double speedup() const {
+    return off.cyclesPerSec() > 0 ? on.cyclesPerSec() / off.cyclesPerSec()
+                                  : 0;
+  }
+};
+
+/// benchtop = the live adder the outputs observe, plus a structurally
+/// identical adder nothing reads.  DCE removes the spare's whole cone.
+std::string optBenchSource(int width) {
+  return std::string(zeus::corpus::kAdders) + R"(
+benchtop(length) = COMPONENT (
+    IN a,b: ARRAY[1..length] OF boolean; IN cin: boolean;
+    OUT cout: boolean; OUT s: ARRAY[1..length] OF boolean) IS
+  SIGNAL live, spare: rippleCarry(length);
+BEGIN
+  live(a,b,cin,cout,s);
+  spare(a,b,0,*,*)
+END;
+SIGNAL bench: benchtop()" +
+         std::to_string(width) + ");\n";
+}
+
+/// One build of the bench design at a given -O level.  The SimGraph
+/// borrows the Design (g.design), so both live here together.
+struct OptBuild {
+  std::unique_ptr<zeus::Compilation> comp;
+  std::unique_ptr<zeus::Design> design;
+  zeus::OptReport rep;
+  zeus::SimGraph g;
+};
+
+bool buildAtLevel(const std::string& src, int level, OptBuild& b) {
+  b.comp = zeus::Compilation::fromSource("benchopt.zeus", src);
+  if (!b.comp->ok()) {
+    std::fprintf(stderr, "%s", b.comp->diagnosticsText().c_str());
+    return false;
+  }
+  b.design = b.comp->elaborate("bench");
+  if (!b.design) return false;
+  zeus::OptOptions opts;
+  opts.level = level;
+  b.rep = b.comp->optimize(*b.design, opts);
+  if (!b.rep.verified) {
+    std::fprintf(stderr, "opt verifier failed at -O%d: %s\n", level,
+                 b.rep.verifyError.c_str());
+    return false;
+  }
+  b.g = zeus::buildSimGraph(*b.design, b.comp->diags());
+  return !b.g.hasCycle;
+}
+
+bool runOptBench(int width, uint64_t cycles, OptBenchResult& r) {
+  const std::string src = optBenchSource(width);
+  OptBuild off, on;
+  if (!buildAtLevel(src, 0, off) || !buildAtLevel(src, 1, on)) return false;
+  const zeus::SimGraph& gOff = off.g;
+  const zeus::SimGraph& gOn = on.g;
+  const zeus::OptReport& repOn = on.rep;
+
+  r.nodesBefore = repOn.nodesBefore;
+  r.nodesAfter = repOn.nodesAfter;
+  r.netsBefore = repOn.denseBefore;
+  r.netsAfter = repOn.denseAfter;
+  r.folded = repOn.totalFolded();
+  r.removed = repOn.totalRemoved();
+  r.dropped = repOn.totalDropped();
+  r.off = runScalar(gOff, zeus::EvaluatorKind::Levelized, "opt-off", width,
+                    cycles);
+  r.on = runScalar(gOn, zeus::EvaluatorKind::Levelized, "opt-on", width,
+                   cycles);
+  if (r.off.checksum != r.on.checksum) {
+    std::fprintf(stderr, "optimizer changed behaviour: checksum %llu != %llu\n",
+                 static_cast<unsigned long long>(r.off.checksum),
+                 static_cast<unsigned long long>(r.on.checksum));
+    return false;
+  }
+  if (r.nodesAfter >= r.nodesBefore) {
+    std::fprintf(stderr,
+                 "optimizer removed nothing from the bench design "
+                 "(%llu -> %llu nodes); the dead cone was not dead\n",
+                 static_cast<unsigned long long>(r.nodesBefore),
+                 static_cast<unsigned long long>(r.nodesAfter));
+    return false;
+  }
+  return true;
+}
+
 CampaignResult runCampaign(const zeus::SimGraph& g, uint64_t cycles) {
   zeus::FaultCampaignOptions opts;
   opts.cycles = cycles;
@@ -150,8 +255,8 @@ CampaignResult runCampaign(const zeus::SimGraph& g, uint64_t cycles) {
 
 void emitJson(const std::string& path, int width, uint64_t cycles,
               const std::vector<RunResult>& runs,
-              const CampaignResult& campaign, double speedupBatch,
-              double speedupLevelized) {
+              const CampaignResult& campaign, const OptBenchResult& opt,
+              double speedupBatch, double speedupLevelized) {
   std::ofstream out(path);
   out << "{\n"
       << "  \"schema\": \"zeus-bench-sim-v1\",\n"
@@ -181,6 +286,23 @@ void emitJson(const std::string& path, int width, uint64_t cycles,
       << ", \"masked\": " << campaign.masked
       << ", \"undetected\": " << campaign.undetected
       << ", \"coverage\": " << campaign.coverage << "},\n"
+      << "  \"optimization\": {\n"
+      << "    \"design\": \"benchtop\",\n"
+      << "    \"nodes\": {\"before\": " << opt.nodesBefore
+      << ", \"after\": " << opt.nodesAfter << "},\n"
+      << "    \"nets\": {\"before\": " << opt.netsBefore
+      << ", \"after\": " << opt.netsAfter << "},\n"
+      << "    \"folded\": " << opt.folded
+      << ", \"removed\": " << opt.removed
+      << ", \"dropped\": " << opt.dropped << ",\n"
+      << "    \"off\": {\"seconds\": " << opt.off.seconds
+      << ", \"cycles_per_sec\": " << opt.off.cyclesPerSec()
+      << ", \"checksum\": " << opt.off.checksum << "},\n"
+      << "    \"on\": {\"seconds\": " << opt.on.seconds
+      << ", \"cycles_per_sec\": " << opt.on.cyclesPerSec()
+      << ", \"checksum\": " << opt.on.checksum << "},\n"
+      << "    \"speedup_on_vs_off\": " << opt.speedup() << "\n"
+      << "  },\n"
       << "  \"speedup_levelized_vs_firing\": " << speedupLevelized << ",\n"
       << "  \"speedup_batch_vs_firing\": " << speedupBatch << "\n"
       << "}\n";
@@ -340,12 +462,17 @@ int main(int argc, char** argv) {
   // fault keeps the smoke run fast while exercising full batches.
   CampaignResult campaign = runCampaign(g, /*cycles=*/16);
 
+  // Optimizer benefit: levelized cycles/sec with the pass pipeline off
+  // and on, over a design carrying a provably dead adder cone.
+  OptBenchResult opt;
+  if (!runOptBench(width, cycles, opt)) return 1;
+
   const double firing = runs[1].cyclesPerSec();
   const double speedupLevelized =
       firing > 0 ? runs[2].cyclesPerSec() / firing : 0;
   const double speedupBatch =
       firing > 0 ? runs[3].cyclesPerSec() / firing : 0;
-  emitJson(outPath, width, cycles, runs, campaign, speedupBatch,
+  emitJson(outPath, width, cycles, runs, campaign, opt, speedupBatch,
            speedupLevelized);
 
   for (const RunResult& r : runs) {
@@ -361,6 +488,15 @@ int main(int argc, char** argv) {
       campaign.faultsPerSec(),
       static_cast<unsigned long long>(campaign.faults),
       100.0 * campaign.laneUtilization, 100.0 * campaign.coverage);
+  std::printf(
+      "optimizer          %12.0f -> %.0f cycles/s (%.2fx; %llu -> %llu "
+      "nodes, %llu folded, %llu removed, %llu nets dropped)\n",
+      opt.off.cyclesPerSec(), opt.on.cyclesPerSec(), opt.speedup(),
+      static_cast<unsigned long long>(opt.nodesBefore),
+      static_cast<unsigned long long>(opt.nodesAfter),
+      static_cast<unsigned long long>(opt.folded),
+      static_cast<unsigned long long>(opt.removed),
+      static_cast<unsigned long long>(opt.dropped));
   std::printf("wrote %s\n", outPath.c_str());
   return 0;
 }

@@ -114,4 +114,43 @@ if(fcov LESS 0 OR fcov GREATER 1)
   message(FATAL_ERROR "fault_campaign.coverage = ${fcov}")
 endif()
 
-message(STATUS "BENCH_sim.json schema OK (${nevals} evaluators + fault campaign)")
+# optimization: the pass-pipeline benefit block (docs/optimizer.md).
+# Structural claims are asserted hard (the dead cone must actually be
+# removed and behaviour preserved); the wall-clock speedup only has to be
+# positive — a 128-cycle smoke run is too short to bound timing noise.
+foreach(field design folded removed dropped speedup_on_vs_off)
+  string(JSON v ERROR_VARIABLE jerr GET "${content}" optimization ${field})
+  if(jerr)
+    message(FATAL_ERROR "optimization missing '${field}': ${jerr}")
+  endif()
+endforeach()
+string(JSON onodes_before GET "${content}" optimization nodes before)
+string(JSON onodes_after GET "${content}" optimization nodes after)
+if(NOT onodes_after LESS onodes_before)
+  message(FATAL_ERROR
+          "optimization removed nothing (${onodes_before} -> ${onodes_after} nodes)")
+endif()
+string(JSON onets_before GET "${content}" optimization nets before)
+string(JSON onets_after GET "${content}" optimization nets after)
+if(onets_after GREATER onets_before)
+  message(FATAL_ERROR
+          "optimization grew the dense net count (${onets_before} -> ${onets_after})")
+endif()
+string(JSON ock_off GET "${content}" optimization off checksum)
+string(JSON ock_on GET "${content}" optimization on checksum)
+if(NOT ock_off EQUAL ock_on)
+  message(FATAL_ERROR
+          "optimized checksum ${ock_on} != unoptimized ${ock_off}")
+endif()
+foreach(side off on)
+  string(JSON cps GET "${content}" optimization ${side} cycles_per_sec)
+  if(cps LESS_EQUAL 0)
+    message(FATAL_ERROR "optimization.${side}.cycles_per_sec = ${cps}")
+  endif()
+endforeach()
+string(JSON ospeed GET "${content}" optimization speedup_on_vs_off)
+if(ospeed LESS_EQUAL 0)
+  message(FATAL_ERROR "optimization.speedup_on_vs_off = ${ospeed}")
+endif()
+
+message(STATUS "BENCH_sim.json schema OK (${nevals} evaluators + fault campaign + optimization; opt ${onodes_before} -> ${onodes_after} nodes)")

@@ -25,6 +25,11 @@
 //   --lint-json          print lint findings as JSON (implies --lint)
 //   --lint-depth <n>     combinational-depth lint threshold (default 256)
 //   --lint-fanout <n>    fanout hot-spot lint threshold (default 64)
+//   -O0 / -O1            optimization level (default -O1: const-fold, DCE,
+//                        alias collapse; docs/optimizer.md).  The post-pass
+//                        verifier runs at every level.
+//   --opt-stats          print the zeus-opt-v1 JSON report (pure JSON on
+//                        stdout, like --lint-json)
 //   --fault-campaign     run a parallel stuck-at fault campaign over the
 //                        design (--sim N sets cycles per fault, default 32)
 //   --fault-out <file>   write the zeus-faults-v1 JSON report (else stdout)
@@ -47,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -67,7 +73,8 @@ int usage() {
                "usage: zeusc <file.zeus> --top <signal> [--dump-ast] "
                "[--dump-netlist] [--layout] [--svg out.svg] [--sim N] "
                "[--naive] [--levelized] [--stats] [--lint] [--lint-json] "
-               "[--lint-depth N] [--lint-fanout N] [--trace out.json] "
+               "[--lint-depth N] [--lint-fanout N] [-O0|-O1] [--opt-stats] "
+               "[--trace out.json] "
                "[--metrics out.json] [--fault-campaign] [--fault-out f.json] "
                "[--fault-seed N] [--checkpoint f.snap] [--checkpoint-every N] "
                "[--resume f.snap] [--sim-budget-ms N] [--die-at-cycle N]\n"
@@ -76,10 +83,19 @@ int usage() {
   return 2;
 }
 
+/// Upper bounds for numeric flags.  Several call sites narrow the parsed
+/// long into uint32_t or int downstream; an explicit per-flag ceiling
+/// turns what used to be a silent wrap into a parse error.
+constexpr long kMaxU32 = 0xFFFFFFFFL;            ///< narrowed to uint32_t
+constexpr long kMaxCycles = 1'000'000'000'000L;  ///< cycle/cadence counts
+constexpr long kMaxMillis = 1'000'000'000L;      ///< wall-clock budgets
+
 /// Strict decimal parse for numeric flags: rejects empty, non-numeric,
-/// trailing-junk and negative arguments instead of silently reading 0
-/// (std::atol would turn "--sim abc" into zero cycles).
-bool parseCount(const char* flag, const char* text, long& out) {
+/// trailing-junk, negative and out-of-range arguments instead of silently
+/// reading 0 (std::atol would turn "--sim abc" into zero cycles) or
+/// wrapping at a later narrowing cast.
+bool parseCount(const char* flag, const char* text, long& out,
+                long maxValue = std::numeric_limits<long>::max()) {
   if (!text || !*text) {
     std::fprintf(stderr, "zeusc: %s expects a non-negative integer\n", flag);
     return false;
@@ -92,6 +108,11 @@ bool parseCount(const char* flag, const char* text, long& out) {
                  "zeusc: invalid argument '%s' to %s (expected a "
                  "non-negative integer)\n",
                  text, flag);
+    return false;
+  }
+  if (v > maxValue) {
+    std::fprintf(stderr, "zeusc: %s value %ld is out of range (max %ld)\n",
+                 flag, v, maxValue);
     return false;
   }
   out = v;
@@ -115,6 +136,8 @@ int main(int argc, char** argv) {
   bool dumpAst = false, dumpNetlist = false, layout = false, naive = false;
   bool levelized = false, stats = false, report = false;
   bool lint = false, lintJson = false;
+  int optLevel = 1;
+  bool optStats = false;
   std::string dotOut, scriptFile, traceOut, metricsOut;
   long simCycles = -1;
   long lintDepth = -1, lintFanout = -1;
@@ -153,7 +176,13 @@ int main(int argc, char** argv) {
       svgOut = v;
     } else if (arg == "--sim") {
       const char* v = next();
-      if (!parseCount("--sim", v, simCycles)) return 2;
+      if (!parseCount("--sim", v, simCycles, kMaxCycles)) return 2;
+    } else if (arg == "-O0") {
+      optLevel = 0;
+    } else if (arg == "-O1") {
+      optLevel = 1;
+    } else if (arg == "--opt-stats") {
+      optStats = true;
     } else if (arg == "--lint") {
       lint = true;
     } else if (arg == "--lint-json") {
@@ -161,11 +190,11 @@ int main(int argc, char** argv) {
       lintJson = true;
     } else if (arg == "--lint-depth") {
       const char* v = next();
-      if (!parseCount("--lint-depth", v, lintDepth)) return 2;
+      if (!parseCount("--lint-depth", v, lintDepth, kMaxU32)) return 2;
       lint = true;
     } else if (arg == "--lint-fanout") {
       const char* v = next();
-      if (!parseCount("--lint-fanout", v, lintFanout)) return 2;
+      if (!parseCount("--lint-fanout", v, lintFanout, kMaxU32)) return 2;
       lint = true;
     } else if (arg == "--naive") {
       naive = true;
@@ -199,6 +228,7 @@ int main(int argc, char** argv) {
       faultOut = v;
     } else if (arg == "--fault-seed") {
       const char* v = next();
+      // The seed widens to uint64_t: any non-negative long is in range.
       if (!parseCount("--fault-seed", v, faultSeed)) return 2;
     } else if (arg == "--checkpoint") {
       const char* v = next();
@@ -206,17 +236,19 @@ int main(int argc, char** argv) {
       checkpointFile = v;
     } else if (arg == "--checkpoint-every") {
       const char* v = next();
-      if (!parseCount("--checkpoint-every", v, checkpointEvery)) return 2;
+      if (!parseCount("--checkpoint-every", v, checkpointEvery, kMaxCycles)) {
+        return 2;
+      }
     } else if (arg == "--resume") {
       const char* v = next();
       if (!v) return usage();
       resumeFile = v;
     } else if (arg == "--sim-budget-ms") {
       const char* v = next();
-      if (!parseCount("--sim-budget-ms", v, simBudgetMs)) return 2;
+      if (!parseCount("--sim-budget-ms", v, simBudgetMs, kMaxMillis)) return 2;
     } else if (arg == "--die-at-cycle") {
       const char* v = next();
-      if (!parseCount("--die-at-cycle", v, dieAtCycle)) return 2;
+      if (!parseCount("--die-at-cycle", v, dieAtCycle, kMaxCycles)) return 2;
     } else if (!arg.empty() && arg[0] != '-') {
       file = arg;
     } else {
@@ -322,7 +354,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
   if (!design) return fail(1);
 
-  if (!lintJson) {
+  // --lint-json and --opt-stats promise pure JSON on stdout.
+  if (!lintJson && !optStats) {
     std::printf("design '%s': %zu nets, %zu nodes, %zu ports\n", top.c_str(),
                 design->netlist.netCount(), design->netlist.nodeCount(),
                 design->ports.size());
@@ -339,6 +372,20 @@ int main(int argc, char** argv) {
       std::printf("%s", lr.renderText(comp->sources()).c_str());
     }
     if (lr.hasErrors()) return fail(1);
+  }
+
+  // Optimization pipeline + post-pass verifier (docs/optimizer.md).  Runs
+  // after lint (findings refer to pre-optimization structure) and before
+  // any graph the later stages build or simulate.  -O0 still verifies.
+  {
+    zeus::OptOptions oopts;
+    oopts.level = optLevel;
+    zeus::OptReport optReport = comp->optimize(*design, oopts);
+    if (optStats) std::printf("%s", optReport.renderJson(top).c_str());
+    if (!comp->ok()) {
+      std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+      return fail(1);
+    }
   }
 
   if (dumpNetlist) {
@@ -472,6 +519,13 @@ int main(int argc, char** argv) {
                                   haveResume ? &progress : nullptr);
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "zeusc: %s\n", e.what());
+      if (std::string(e.what()).find("does not match this campaign") !=
+          std::string::npos) {
+        std::fprintf(stderr,
+                     "zeusc: note: campaign checkpoints depend on the "
+                     "optimization level; rerun with the -O flag the "
+                     "checkpoint was written with (docs/optimizer.md)\n");
+      }
       return fail(1);
     }
     std::string json = fr.renderJson();
@@ -537,6 +591,12 @@ int main(int argc, char** argv) {
       } catch (const std::invalid_argument& e) {
         std::fprintf(stderr, "zeusc: cannot resume from %s: %s\n",
                      resumeFile.c_str(), e.what());
+        if (std::string(e.what()).find("content hash") != std::string::npos) {
+          std::fprintf(stderr,
+                       "zeusc: note: checkpoints depend on the optimization "
+                       "level; rerun with the -O flag the checkpoint was "
+                       "written with (docs/optimizer.md)\n");
+        }
         return fail(1);
       }
       std::printf("resumed %s at cycle %llu\n", resumeFile.c_str(),

@@ -6,15 +6,16 @@
 
 #include "src/core/report.h"
 #include "src/sim/value.h"
+#include "src/transform/fold_oracle.h"
 
 namespace zeus {
 
 namespace {
 
 /// Constant lattice per net/node: kUnknown, or a Logic value.
-constexpr int8_t kUnknown = -1;
+constexpr int8_t kUnknown = FoldOracle::kUnknown;
 
-inline int8_t known(Logic v) { return static_cast<int8_t>(v); }
+inline int8_t known(Logic v) { return FoldOracle::known(v); }
 
 const char* severityName(Severity s) {
   switch (s) {
@@ -48,32 +49,32 @@ std::string jsonEscape(std::string_view s) {
   return out;
 }
 
-/// Everything the rules share: per-class representative names, the
-/// constant-folding result and the driver-activity result.
-///
-/// *Activity* answers "does this driver contribute an active (0/1/UNDEF)
-/// value on every cycle, whatever the inputs do?" — the §8 resolution rule
-/// only collides *active* contributions, so two always-active drivers on
-/// one class are a contention on every simulated cycle.  Primary IN ports
-/// (and CLK/RSET) count as always-active sources: a testbench drives them.
+/// Everything the rules share: per-class representative names plus the
+/// constant-folding / driver-activity oracle.  The fold and liveness
+/// analyses themselves live in FoldOracle (src/transform/fold_oracle.h),
+/// shared with the optimizer's const-fold and DCE passes so lint and the
+/// optimizer can never disagree about what is constant, active or dead.
 struct Pass {
   const Design& design;
   const SimGraph& g;
   const Netlist& nl;
+  FoldOracle oracle;
 
   std::vector<std::string> repName;  ///< per class: most readable name
   std::vector<SourceLoc> repLoc;
   std::vector<char> repUser;  ///< class has a non-synthetic member
-  std::vector<char> inputAlways;  ///< In-mode port bit or CLK/RSET
-  std::vector<char> externallyDrivable;  ///< any port bit or CLK/RSET
 
-  std::vector<int8_t> netConst, nodeConst;
-  std::vector<char> netAlways, nodeAlways;
-  std::vector<char> netDone;
-  std::vector<char> live;
+  // Aliases so the rule code reads the same as the oracle internals.
+  std::vector<char>& inputAlways = oracle.inputAlways;
+  std::vector<char>& externallyDrivable = oracle.externallyDrivable;
+  std::vector<int8_t>& netConst = oracle.netConst;
+  std::vector<int8_t>& nodeConst = oracle.nodeConst;
+  std::vector<char>& netAlways = oracle.netAlways;
+  std::vector<char>& nodeAlways = oracle.nodeAlways;
+  std::vector<char>& live = oracle.live;
 
   explicit Pass(const Design& d, const SimGraph& graph)
-      : design(d), g(graph), nl(d.netlist) {
+      : design(d), g(graph), nl(d.netlist), oracle(d, graph) {
     const size_t nNets = g.denseCount;
     repName.resize(nNets);
     repLoc.resize(nNets);
@@ -85,203 +86,20 @@ struct Pass {
     for (NetId i = 0; i < nl.netCount(); ++i) {
       const Net& n = nl.net(i);
       uint32_t dn = g.denseOf[i];
+      if (dn == SimGraph::kNoDense) continue;  // class dropped by -O1
       if (!n.synthetic && !repUser[dn]) {
         repUser[dn] = 1;
         repName[dn] = n.name;
         repLoc[dn] = n.loc;
       }
     }
-
-    inputAlways.assign(nNets, 0);
-    externallyDrivable.assign(nNets, 0);
-    for (const Port& p : design.ports) {
-      for (size_t i = 0; i < p.nets.size(); ++i) {
-        uint32_t dn = g.dense(p.nets[i]);
-        externallyDrivable[dn] = 1;
-        if (p.modes[i] == ast::ParamMode::In) inputAlways[dn] = 1;
-      }
-    }
-    for (NetId special : {design.clk, design.rset}) {
-      if (special != kNoNet) {
-        uint32_t dn = g.dense(special);
-        inputAlways[dn] = 1;
-        externallyDrivable[dn] = 1;
-      }
-    }
-
-    fold();
-    computeLiveness();
   }
 
   [[nodiscard]] uint32_t driverCount(uint32_t dn) const {
-    return g.driverStart[dn + 1] - g.driverStart[dn];
+    return oracle.driverCount(dn);
   }
   [[nodiscard]] uint32_t consumerCount(uint32_t dn) const {
-    return g.consumerStart[dn + 1] - g.consumerStart[dn];
-  }
-
-  /// Folds the class's drivers once all of them have a nodeConst /
-  /// nodeAlways entry (guaranteed by topological order for non-REG
-  /// drivers; REG drivers are pre-seeded).
-  void finalizeNet(uint32_t dn) {
-    if (netDone[dn]) return;
-    netDone[dn] = 1;
-    if (inputAlways[dn]) netAlways[dn] = 1;
-    bool isInput = g.nets[dn].isInput || externallyDrivable[dn];
-    uint32_t nDrivers = driverCount(dn);
-    if (nDrivers == 0) {
-      // An undriven net reads NOINFL every cycle (unless the testbench
-      // seeds it through a port).
-      if (!isInput) netConst[dn] = known(Logic::NoInfl);
-      return;
-    }
-    Resolution r;
-    bool allKnown = true;
-    for (uint32_t e = g.driverStart[dn]; e < g.driverStart[dn + 1]; ++e) {
-      NodeId d = g.driverNodes[e];
-      if (nodeAlways[d]) netAlways[dn] = 1;
-      if (nodeConst[d] == kUnknown) allKnown = false;
-      else r.add(static_cast<Logic>(nodeConst[d]));
-    }
-    if (allKnown && !isInput) netConst[dn] = known(r.value);
-  }
-
-  /// One topological sweep computing nodeConst/nodeAlways (and net
-  /// results on the fly).  Mirrors the firing evaluator's semantics:
-  /// value.h is the shared source of truth for gate behaviour.
-  void fold() {
-    netConst.assign(g.denseCount, kUnknown);
-    netAlways.assign(g.denseCount, 0);
-    netDone.assign(g.denseCount, 0);
-    nodeConst.assign(nl.nodeCount(), kUnknown);
-    nodeAlways.assign(nl.nodeCount(), 0);
-    // REG drivers contribute their stored value, which is never NOINFL
-    // (the latch maps NOINFL to UNDEF) — always active, never constant.
-    for (NodeId ni : g.regNodes) nodeAlways[ni] = 1;
-
-    std::vector<Logic> vals;
-    for (NodeId ni : g.topoOrder) {
-      const Node& node = nl.node(ni);
-      for (NetId in : node.inputs) finalizeNet(g.dense(in));
-      switch (node.op) {
-        case NodeOp::Const:
-          nodeConst[ni] = known(node.constVal);
-          nodeAlways[ni] = node.constVal != Logic::NoInfl;
-          break;
-        case NodeOp::Random:
-          nodeAlways[ni] = 1;
-          break;
-        case NodeOp::Buf: {
-          uint32_t in = g.dense(node.inputs[0]);
-          bool outBool = g.nets[g.dense(node.output)].isBool;
-          if (netConst[in] != kUnknown) {
-            Logic c = static_cast<Logic>(netConst[in]);
-            if (outBool && c == Logic::NoInfl) c = Logic::Undef;
-            nodeConst[ni] = known(c);
-          }
-          // A boolean assignee converts NOINFL to UNDEF (§3.2), so the
-          // buffer's contribution is active whatever arrives.
-          nodeAlways[ni] = outBool || netAlways[in];
-          break;
-        }
-        case NodeOp::And:
-        case NodeOp::Or:
-        case NodeOp::Nand:
-        case NodeOp::Nor: {
-          // Short-circuit folding: a constant controlling input (e.g. a 0
-          // into AND) fixes the output even with unknown co-inputs.
-          nodeAlways[ni] = 1;  // gates output 0/1/UNDEF, never NOINFL
-          GateCounters c;
-          for (NetId in : node.inputs) {
-            int8_t v = netConst[g.dense(in)];
-            if (v != kUnknown) c.add(static_cast<Logic>(v));
-          }
-          Logic out;
-          if (gateCanFire(node.op, c,
-                          static_cast<uint32_t>(node.inputs.size()), out)) {
-            nodeConst[ni] = known(out);
-          }
-          break;
-        }
-        case NodeOp::Not:
-        case NodeOp::Xor: {
-          nodeAlways[ni] = 1;
-          vals.clear();
-          bool all = true;
-          for (NetId in : node.inputs) {
-            int8_t c = netConst[g.dense(in)];
-            if (c == kUnknown) { all = false; break; }
-            vals.push_back(static_cast<Logic>(c));
-          }
-          if (all) nodeConst[ni] = known(evalGate(node.op, vals));
-          break;
-        }
-        case NodeOp::Equal: {
-          nodeAlways[ni] = 1;
-          vals.clear();
-          bool all = true;
-          for (NetId in : node.inputs) {
-            int8_t c = netConst[g.dense(in)];
-            if (c == kUnknown) { all = false; break; }
-            vals.push_back(static_cast<Logic>(c));
-          }
-          if (all) {
-            size_t m = vals.size() / 2;
-            nodeConst[ni] = known(
-                evalEqual({vals.data(), m}, {vals.data() + m, m}));
-          }
-          break;
-        }
-        case NodeOp::Switch: {
-          uint32_t guard = g.dense(node.inputs[0]);
-          uint32_t data = g.dense(node.inputs[1]);
-          int8_t gc = netConst[guard];
-          if (gc == known(Logic::Zero)) {
-            nodeConst[ni] = known(Logic::NoInfl);  // branch never enabled
-          } else if (gc == known(Logic::Undef) ||
-                     gc == known(Logic::NoInfl)) {
-            nodeConst[ni] = known(Logic::Undef);  // §8: undefined cond
-            nodeAlways[ni] = 1;
-          } else if (gc == known(Logic::One)) {
-            nodeConst[ni] = netConst[data];
-            nodeAlways[ni] = netAlways[data];
-          }
-          break;
-        }
-        case NodeOp::Reg:
-          break;  // pre-seeded, not in topoOrder
-      }
-    }
-    // Nets no non-REG node reads (REG inputs, outputs): fold them too.
-    for (uint32_t dn = 0; dn < g.denseCount; ++dn) finalizeNet(dn);
-  }
-
-  /// Backward reachability from the observable frontier: OUT/INOUT port
-  /// classes.  A register is only observable through its consumers, so a
-  /// REG whose output cone is dead keeps its whole input cone dead.
-  void computeLiveness() {
-    live.assign(g.denseCount, 0);
-    std::vector<uint32_t> work;
-    auto mark = [&](uint32_t dn) {
-      if (!live[dn]) {
-        live[dn] = 1;
-        work.push_back(dn);
-      }
-    };
-    for (const Port& p : design.ports) {
-      for (size_t i = 0; i < p.nets.size(); ++i) {
-        if (p.modes[i] != ast::ParamMode::In) mark(g.dense(p.nets[i]));
-      }
-    }
-    while (!work.empty()) {
-      uint32_t dn = work.back();
-      work.pop_back();
-      for (uint32_t e = g.driverStart[dn]; e < g.driverStart[dn + 1]; ++e) {
-        for (NetId in : nl.node(g.driverNodes[e]).inputs) {
-          mark(g.dense(in));
-        }
-      }
-    }
+    return oracle.consumerCount(dn);
   }
 };
 

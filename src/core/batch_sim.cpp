@@ -85,7 +85,9 @@ void BatchSimulation::setInputUint(size_t lane, const std::string& port,
   const Port* p = findPortOrThrow(port);
   std::vector<Logic> bits(p->nets.size());
   for (size_t i = 0; i < bits.size(); ++i) {
-    bits[i] = logicFromBool((value >> i) & 1);
+    // Ports wider than 64 bits get zeros above bit 63 (shifting by >= 64
+    // is undefined, not zero).
+    bits[i] = logicFromBool(i < 64 && ((value >> i) & 1));
   }
   setInput(lane, port, bits);
 }
@@ -153,7 +155,9 @@ void BatchSimulation::buildFaultPlan() {
 
 uint64_t BatchSimulation::laneDiffMask(NetId net) const {
   if (!evaluated_) return 0;
-  const LanePlanes& p = result_.netValues[g_.dense(net)];
+  uint32_t dn = g_.dense(net);
+  if (dn == SimGraph::kNoDense) return 0;  // dropped class: NOINFL everywhere
+  const LanePlanes& p = result_.netValues[dn];
   uint64_t g0 = (p.p0 & 1) ? ~uint64_t{0} : 0;
   uint64_t g1 = (p.p1 & 1) ? ~uint64_t{0} : 0;
   return ((p.p0 ^ g0) | (p.p1 ^ g1)) & laneMask_ & ~uint64_t{1};
@@ -304,8 +308,9 @@ void BatchSimulation::evaluateOnly() { runCycle(/*latch=*/false); }
 Logic BatchSimulation::netValue(size_t lane, NetId net) const {
   checkLane(lane);
   if (!evaluated_) return Logic::Undef;
-  return laneValue(result_.netValues[g_.dense(net)],
-                   static_cast<uint32_t>(lane));
+  uint32_t dn = g_.dense(net);
+  if (dn == SimGraph::kNoDense) return Logic::NoInfl;  // dropped class
+  return laneValue(result_.netValues[dn], static_cast<uint32_t>(lane));
 }
 
 Logic BatchSimulation::netValueByName(size_t lane,
@@ -366,7 +371,10 @@ std::optional<uint64_t> BatchSimulation::outputUint(
   uint64_t value = 0;
   for (size_t i = 0; i < bits.size(); ++i) {
     if (!isDefined(bits[i])) return std::nullopt;
-    if (bits[i] == Logic::One) value |= uint64_t{1} << i;
+    if (bits[i] == Logic::One) {
+      if (i >= 64) return std::nullopt;  // doesn't fit a uint64_t
+      value |= uint64_t{1} << i;
+    }
   }
   return value;
 }

@@ -58,6 +58,10 @@ LintReport Compilation::lint(const Design& design, const LintOptions& opts) {
   return runLint(design, graph, *diags_, opts);
 }
 
+OptReport Compilation::optimize(Design& design, const OptOptions& opts) {
+  return optimizeDesign(design, *diags_, opts);
+}
+
 void Compilation::recordSimulation(const Simulation& sim) {
   usage_.simCycles = sim.cycle();
   usage_.simEvents = sim.stats().inputEvents;

@@ -16,6 +16,7 @@
 #include "src/sema/checker.h"
 #include "src/sema/type_table.h"
 #include "src/support/diagnostics.h"
+#include "src/transform/pipeline.h"
 #include "src/support/limits.h"
 #include "src/support/source.h"
 
@@ -56,6 +57,13 @@ class Compilation {
   /// this compilation's diagnostics (lint errors make ok() false) and are
   /// returned as a LintReport for text/JSON rendering.
   LintReport lint(const Design& design, const LintOptions& opts = {});
+
+  /// Runs the optimization pipeline (src/transform/pipeline.h) in place
+  /// on an elaborated design and verifies the result.  Call after lint
+  /// (lint findings refer to pre-optimization structure) and before
+  /// building the graph that will be simulated.  A verifier failure makes
+  /// ok() false.
+  OptReport optimize(Design& design, const OptOptions& opts = {});
 
   /// The limits this compilation runs under.
   [[nodiscard]] const Limits& limits() const { return limits_; }

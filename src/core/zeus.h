@@ -21,3 +21,4 @@
 #include "src/layout/solver.h"
 #include "src/sim/simulation.h"
 #include "src/sim/wave.h"
+#include "src/transform/pipeline.h"

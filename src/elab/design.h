@@ -94,6 +94,12 @@ struct Design {
   NetId rset = kNoNet;
   std::vector<SeqGroups> sequentials;
 
+  /// Nonzero once the optimization pipeline (src/transform) has run:
+  /// a hash of the pass configuration and its effect, folded into
+  /// designContentHash so ZSNP snapshots taken at different -O levels
+  /// (different dense-net numbering) can never be cross-restored.
+  uint64_t optFingerprint = 0;
+
   [[nodiscard]] const Port* findPort(const std::string& name) const {
     for (const Port& p : ports)
       if (p.name == name) return &p;

@@ -95,4 +95,19 @@ void Netlist::canonicalise() {
   }
 }
 
+void Netlist::removeNodes(const std::vector<char>& keep) {
+  assert(keep.size() == nodes_.size());
+  size_t out = 0;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!keep[i]) continue;
+    if (out != i) nodes_[out] = std::move(nodes_[i]);
+    ++out;
+  }
+  nodes_.resize(out);
+  for (auto& d : drivers_) d.clear();
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].output != kNoNet) drivers_[find(nodes_[i].output)].push_back(i);
+  }
+}
+
 }  // namespace zeus

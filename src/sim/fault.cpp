@@ -101,6 +101,11 @@ std::optional<FaultSpec> makeFault(const SimGraph& graph, FaultKind kind,
                                    uint64_t fromCycle, uint64_t toCycle) {
   NetId id = graph.design->netlist.findByName(netName);
   if (id == kNoNet) return std::nullopt;
+  if (graph.dense(id) == SimGraph::kNoDense) {
+    // The optimizer removed the whole class: there is no simulated state
+    // to fault.  Treat like an unknown net so callers report it cleanly.
+    return std::nullopt;
+  }
   FaultSpec f;
   f.kind = kind;
   f.denseNet = graph.dense(id);

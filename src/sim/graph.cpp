@@ -14,11 +14,28 @@ SimGraph buildSimGraph(const Design& design, DiagnosticEngine& diags) {
   g.design = &design;
   const Netlist& nl = design.netlist;
 
-  // Dense numbering of class roots.
-  g.denseOf.assign(nl.netCount(), 0);
+  // Classes referenced by any node, port, CLK or RSET keep a dense slot
+  // even when flagged simDropped — dropping is only ever an optimization,
+  // never a semantic change the evaluators could observe.
+  std::vector<char> referenced(nl.netCount(), 0);
+  for (NodeId ni = 0; ni < nl.nodeCount(); ++ni) {
+    const Node& node = nl.node(ni);
+    if (node.output != kNoNet) referenced[nl.find(node.output)] = 1;
+    for (NetId in : node.inputs) referenced[nl.find(in)] = 1;
+  }
+  for (const Port& p : design.ports) {
+    for (NetId n : p.nets) referenced[nl.find(n)] = 1;
+  }
+  for (NetId special : {design.clk, design.rset}) {
+    if (special != kNoNet) referenced[nl.find(special)] = 1;
+  }
+
+  // Dense numbering of class roots (dropped, unreferenced classes get the
+  // kNoDense sentinel and no per-cycle state anywhere downstream).
+  g.denseOf.assign(nl.netCount(), SimGraph::kNoDense);
   for (NetId i = 0; i < nl.netCount(); ++i) {
     NetId root = nl.find(i);
-    if (root == i) {
+    if (root == i && (referenced[i] || !nl.net(i).simDropped)) {
       g.denseOf[i] = static_cast<uint32_t>(g.rootOf.size());
       g.rootOf.push_back(i);
     }
@@ -32,7 +49,9 @@ SimGraph buildSimGraph(const Design& design, DiagnosticEngine& diags) {
   g.nets.assign(g.denseCount, {});
   for (NetId i = 0; i < nl.netCount(); ++i) {
     const Net& n = nl.net(i);
-    SimGraph::NetInfo& info = g.nets[g.denseOf[i]];
+    uint32_t dn = g.denseOf[i];
+    if (dn == SimGraph::kNoDense) continue;
+    SimGraph::NetInfo& info = g.nets[dn];
     if (n.kind == BasicKind::Boolean) info.isBool = true;
     if (n.isPrimaryInput) info.isInput = true;
   }
@@ -176,6 +195,7 @@ void checkSequentialOrder(const Design& design, const SimGraph& graph,
     for (size_t gi = 0; gi < groups.size(); ++gi) {
       for (NetId n : groups[gi]) {
         uint32_t dn = graph.dense(n);
+        if (dn == SimGraph::kNoDense) continue;
         if (groupOf[dn] < 0) groupOf[dn] = static_cast<int32_t>(gi);
       }
     }
@@ -186,6 +206,7 @@ void checkSequentialOrder(const Design& design, const SimGraph& graph,
       std::deque<uint32_t> work;
       for (NetId n : groups[gj]) {
         uint32_t dn = graph.dense(n);
+        if (dn == SimGraph::kNoDense) continue;
         if (!seen[dn]) {
           seen[dn] = 1;
           work.push_back(dn);

@@ -15,6 +15,11 @@ namespace zeus {
 struct SimGraph {
   const Design* design = nullptr;
 
+  /// Dense slot for an alias class the optimizer dropped (Net::simDropped
+  /// and unreferenced): the class has no state in any evaluator and reads
+  /// NOINFL.  Callers of dense() on arbitrary NetIds must check for it.
+  static constexpr uint32_t kNoDense = 0xFFFFFFFFu;
+
   // Dense numbering of alias-class roots.
   std::vector<uint32_t> denseOf;   ///< NetId -> dense index (via class root)
   std::vector<NetId> rootOf;       ///< dense index -> representative NetId

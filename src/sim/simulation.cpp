@@ -118,7 +118,9 @@ void Simulation::setInputUint(const std::string& port, uint64_t value) {
   const Port* p = findPortOrThrow(port);
   std::vector<Logic> bits(p->nets.size());
   for (size_t i = 0; i < bits.size(); ++i) {
-    bits[i] = logicFromBool((value >> i) & 1);
+    // Ports wider than 64 bits get zeros above bit 63 (shifting by >= 64
+    // is undefined, not zero).
+    bits[i] = logicFromBool(i < 64 && ((value >> i) & 1));
   }
   applyPortValue(*p, bits);
 }
@@ -305,8 +307,11 @@ void Simulation::evaluateOnly() { runCycle(/*latch=*/false); }
 
 Logic Simulation::netValue(NetId net) const {
   if (!evaluated_) return Logic::Undef;
-  Logic v = result_.netValues[g_.dense(net)];
-  return v;
+  uint32_t dn = g_.dense(net);
+  // A class the optimizer dropped has no per-cycle state: it is neither
+  // driven nor read, so it reads NOINFL like any other undriven net.
+  if (dn == SimGraph::kNoDense) return Logic::NoInfl;
+  return result_.netValues[dn];
 }
 
 Logic Simulation::netValueByName(const std::string& name) const {
@@ -343,7 +348,10 @@ std::optional<uint64_t> Simulation::outputUint(
   uint64_t value = 0;
   for (size_t i = 0; i < bits.size(); ++i) {
     if (!isDefined(bits[i])) return std::nullopt;
-    if (bits[i] == Logic::One) value |= uint64_t{1} << i;
+    if (bits[i] == Logic::One) {
+      if (i >= 64) return std::nullopt;  // doesn't fit a uint64_t
+      value |= uint64_t{1} << i;
+    }
   }
   return value;
 }

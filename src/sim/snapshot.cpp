@@ -262,6 +262,11 @@ uint64_t designContentHash(const Design& design) {
     fnv(h, node.inputs.size());
     for (NetId in : node.inputs) fnv(h, in);
   }
+  // Optimized designs use different dense-net numbering, so a checkpoint
+  // written at one -O level must never restore at another: fold the pass
+  // pipeline's fingerprint in.  Zero (unoptimized) keeps the hash
+  // backward compatible with pre-optimizer snapshots.
+  if (design.optFingerprint) fnv(h, design.optFingerprint);
   return h ? h : 1;  // 0 means "don't check" in restoreSnapshot
 }
 

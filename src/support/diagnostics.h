@@ -89,6 +89,9 @@ enum class Diag {
   SimContention,
   SimWatchdog,
   SimWallClock,
+  // Optimizer (src/transform): the post-pass verifier found a malformed
+  // graph — always an internal error in a pass, never a user error.
+  OptimizerVerifyFailed,
   // Layout
   LayoutUnknownDirection,
   LayoutUnknownOrientation,

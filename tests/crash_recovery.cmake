@@ -83,4 +83,56 @@ if(NOT err MATCHES "cannot resume")
   message(FATAL_ERROR "truncated-checkpoint error is unstructured:\n${err}")
 endif()
 
-message(STATUS "crash_recovery: SIGKILL + resume reproduced the straight run byte-for-byte")
+# 6. Checkpoints depend on the optimization level: a snapshot written at
+#    the default -O1 must not resume at -O0 (the dense state layouts
+#    differ), and the error must say so.
+set(o1snap "${WORKDIR}/crash_recovery_o1.snap")
+file(REMOVE ${o1snap})
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8
+                        --checkpoint ${o1snap}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "-O1 checkpointed sim exited ${rc}\n${out}\n${err}")
+endif()
+if(NOT EXISTS ${o1snap})
+  message(FATAL_ERROR "no final checkpoint written at ${o1snap}")
+endif()
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8 -O0
+                        --resume ${o1snap}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "-O0 resume of a -O1 checkpoint exited 0\n${out}")
+endif()
+if(NOT err MATCHES "cannot resume")
+  message(FATAL_ERROR "cross-opt-level resume error is unstructured:\n${err}")
+endif()
+if(NOT err MATCHES "optimization level")
+  message(FATAL_ERROR
+          "cross-opt-level resume error lacks the -O hint:\n${err}")
+endif()
+# Matching level: the same checkpoint resumes cleanly.
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8
+                        --resume ${o1snap}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "-O1 resume of a -O1 checkpoint exited ${rc}\n${err}")
+endif()
+
+# 7. The same guard on fault-campaign checkpoints, via the campaign that
+#    step 3 left on disk.
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8 --fault-campaign
+                        --fault-seed 7 -O0 --resume ${ckpt}
+                        --fault-out ${WORKDIR}/crash_recovery_o0.json
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "-O0 resume of a -O1 campaign checkpoint exited 0\n${out}")
+endif()
+if(NOT err MATCHES "does not match this campaign")
+  message(FATAL_ERROR "cross-opt-level campaign error is unstructured:\n${err}")
+endif()
+if(NOT err MATCHES "optimization level")
+  message(FATAL_ERROR
+          "cross-opt-level campaign error lacks the -O hint:\n${err}")
+endif()
+
+message(STATUS "crash_recovery: SIGKILL + resume reproduced the straight run byte-for-byte; cross-opt-level resumes rejected")

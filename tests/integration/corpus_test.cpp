@@ -10,33 +10,7 @@ namespace zeus::test {
 namespace {
 
 std::string instantiated(const corpus::CorpusEntry& e, std::string* top) {
-  std::string source = e.source;
-  *top = e.top;
-  if (top->empty()) {
-    if (std::string(e.name) == "adders") {
-      source += "SIGNAL t: rippleCarry(8);\n";
-    } else if (std::string(e.name).rfind("tree", 0) == 0) {
-      source += "SIGNAL t: tree(8);\n";
-    } else if (std::string(e.name) == "htree") {
-      source += "SIGNAL t: htree(16);\n";
-    } else if (std::string(e.name) == "routing") {
-      source += "SIGNAL t: routingnetwork(8);\n";
-    } else if (std::string(e.name) == "systolic-stack") {
-      source += "SIGNAL t: systolicstack(8);\n";
-    } else if (std::string(e.name) == "dictionary") {
-      source += "SIGNAL t: dicttree(8);\n";
-    } else if (std::string(e.name) == "snake") {
-      source += "SIGNAL t: snake(3,4);\n";
-    } else if (std::string(e.name) == "sorter") {
-      source += "SIGNAL t: sorter(4);\n";
-    } else if (std::string(e.name) == "matvec") {
-      source += "SIGNAL t: matvec(4);\n";
-    } else {
-      ADD_FAILURE() << "no instantiation rule for " << e.name;
-    }
-    *top = "t";
-  }
-  return source;
+  return corpusSource(e, top);  // shared with the transform tests
 }
 
 class CorpusSmoke : public ::testing::TestWithParam<corpus::CorpusEntry> {};

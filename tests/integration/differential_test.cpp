@@ -185,8 +185,18 @@ TEST(Differential, BlackjackFsmAllEvaluatorsAllLanes) {
 // count — and contention checks count the static multi-driven property,
 // not per-lane value accidents, so they cannot drift between engines.
 void checkCounterTotals(const std::string& src, const std::string& top,
-                        uint64_t cycles, bool pulseRset) {
+                        uint64_t cycles, bool pulseRset,
+                        bool optimize = false) {
   Built b = buildOk(src, top);
+  if (optimize) {
+    // Counter invariance must survive -O1: the pipeline recomputes
+    // NetInfo (multiDriven in particular) on the rebuilt graph, and the
+    // contentionChecks counter is derived from that static flag — a
+    // stale bit would make scalar and batch totals drift apart.
+    OptReport rep = b.comp->optimize(*b.design);
+    ASSERT_TRUE(rep.ran);
+    ASSERT_TRUE(rep.verified) << rep.verifyError;
+  }
   SimGraph graph = buildSimGraph(*b.design, b.comp->diags());
   ASSERT_FALSE(graph.hasCycle);
   Simulation scalar(graph, EvaluatorKind::Levelized);
@@ -243,6 +253,17 @@ TEST(Differential, AdderScalarAndBatchCounterTotalsAgree) {
 
 TEST(Differential, BlackjackScalarAndBatchCounterTotalsAgree) {
   checkCounterTotals(kBlackjack, "bj", /*cycles=*/32, /*pulseRset=*/true);
+}
+
+TEST(Differential, AdderCounterTotalsAgreeAtO1) {
+  checkCounterTotals(
+      std::string(kAdders) + "SIGNAL adder: rippleCarry(12);\n", "adder",
+      /*cycles=*/16, /*pulseRset=*/false, /*optimize=*/true);
+}
+
+TEST(Differential, BlackjackCounterTotalsAgreeAtO1) {
+  checkCounterTotals(kBlackjack, "bj", /*cycles=*/32, /*pulseRset=*/true,
+                     /*optimize=*/true);
 }
 
 // A design exercising everything a checkpoint must capture: RANDOM draws,

@@ -7,8 +7,43 @@
 #include <string>
 
 #include "src/core/zeus.h"
+#include "src/corpus/corpus.h"
 
 namespace zeus::test {
+
+/// Returns a directly elaboratable source for a corpus entry, appending an
+/// instantiation line for the parameterized programs (whose `top` is "").
+/// `*top` receives the SIGNAL name to elaborate.
+inline std::string corpusSource(const corpus::CorpusEntry& e,
+                                std::string* top) {
+  std::string source = e.source;
+  *top = e.top;
+  if (top->empty()) {
+    if (std::string(e.name) == "adders") {
+      source += "SIGNAL t: rippleCarry(8);\n";
+    } else if (std::string(e.name).rfind("tree", 0) == 0) {
+      source += "SIGNAL t: tree(8);\n";
+    } else if (std::string(e.name) == "htree") {
+      source += "SIGNAL t: htree(16);\n";
+    } else if (std::string(e.name) == "routing") {
+      source += "SIGNAL t: routingnetwork(8);\n";
+    } else if (std::string(e.name) == "systolic-stack") {
+      source += "SIGNAL t: systolicstack(8);\n";
+    } else if (std::string(e.name) == "dictionary") {
+      source += "SIGNAL t: dicttree(8);\n";
+    } else if (std::string(e.name) == "snake") {
+      source += "SIGNAL t: snake(3,4);\n";
+    } else if (std::string(e.name) == "sorter") {
+      source += "SIGNAL t: sorter(4);\n";
+    } else if (std::string(e.name) == "matvec") {
+      source += "SIGNAL t: matvec(4);\n";
+    } else {
+      ADD_FAILURE() << "no instantiation rule for " << e.name;
+    }
+    *top = "t";
+  }
+  return source;
+}
 
 /// Compiles a source string and asserts there were no errors.
 inline std::unique_ptr<Compilation> compileOk(const std::string& src) {

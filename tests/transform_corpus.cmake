@@ -1,0 +1,157 @@
+# ctest driver: run `zeusc -O1 --opt-stats` over every built-in corpus
+# entry and validate the zeus-opt-v1 JSON report (docs/optimizer.md).
+#
+#   cmake -DZEUSC=<path-to-zeusc> -P transform_corpus.cmake
+#
+# Checks, per entry:
+#   * zeusc exits 0 — the pipeline and its post-pass verifier accept the
+#     paper's own programs;
+#   * stdout is valid JSON matching the zeus-opt-v1 schema (validated
+#     with CMake's string(JSON ...) parser);
+#   * the report says ran=true, verified=true, carries the three passes in
+#     order, and its totals are consistent (after = before - removed,
+#     nets after <= before);
+#   * -O0 also exits 0 and reports ran=false with an unchanged node count
+#     (the verifier still runs at level 0).
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ZEUSC)
+  message(FATAL_ERROR "pass -DZEUSC=<path to the zeusc binary>")
+endif()
+
+execute_process(COMMAND ${ZEUSC} --list-examples
+                OUTPUT_VARIABLE listing
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "zeusc --list-examples failed (rc=${rc})")
+endif()
+
+string(REPLACE "\n" ";" lines "${listing}")
+set(entries "")
+foreach(line IN LISTS lines)
+  if(line MATCHES "^([a-z0-9-]+)[ \t]")
+    list(APPEND entries "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+list(LENGTH entries count)
+if(count LESS 10)
+  message(FATAL_ERROR "expected at least 10 corpus entries, got ${count}: ${entries}")
+endif()
+
+set(total_folded 0)
+set(total_removed 0)
+set(total_dropped 0)
+
+foreach(entry IN LISTS entries)
+  execute_process(COMMAND ${ZEUSC} --example ${entry} -O1 --opt-stats
+                  OUTPUT_VARIABLE json
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${entry}: zeusc -O1 --opt-stats exited ${rc} "
+            "(verifier failure or crash)\n${json}\n${err}")
+  endif()
+
+  # Schema validation (docs/optimizer.md).  string(JSON ...) hard-errors
+  # on malformed JSON, absent keys and type mismatches.
+  string(JSON version GET "${json}" "zeus-opt")
+  if(NOT version EQUAL 1)
+    message(FATAL_ERROR "${entry}: zeus-opt version ${version}, expected 1")
+  endif()
+  string(JSON design GET "${json}" "design")
+  if(design STREQUAL "")
+    message(FATAL_ERROR "${entry}: empty design name")
+  endif()
+  string(JSON level GET "${json}" "level")
+  if(NOT level EQUAL 1)
+    message(FATAL_ERROR "${entry}: level ${level}, expected 1")
+  endif()
+  string(JSON ran GET "${json}" "ran")
+  string(JSON verified GET "${json}" "verified")
+  if(NOT ran STREQUAL "ON")
+    message(FATAL_ERROR "${entry}: ran=${ran}, expected true")
+  endif()
+  if(NOT verified STREQUAL "ON")
+    message(FATAL_ERROR "${entry}: verifier rejected the graph\n${json}")
+  endif()
+  string(JSON nodes_before GET "${json}" "nodes" "before")
+  string(JSON nodes_after GET "${json}" "nodes" "after")
+  string(JSON nets_before GET "${json}" "nets" "before")
+  string(JSON nets_after GET "${json}" "nets" "after")
+  if(nodes_after GREATER nodes_before)
+    message(FATAL_ERROR "${entry}: node count grew (${nodes_before} -> ${nodes_after})")
+  endif()
+  if(nets_after GREATER nets_before)
+    message(FATAL_ERROR "${entry}: dense net count grew (${nets_before} -> ${nets_after})")
+  endif()
+
+  string(JSON npasses LENGTH "${json}" "passes")
+  if(NOT npasses EQUAL 3)
+    message(FATAL_ERROR "${entry}: expected 3 passes, got ${npasses}")
+  endif()
+  set(want_passes "const-fold" "dce" "alias-collapse")
+  set(removed_sum 0)
+  foreach(i RANGE 0 2)
+    string(JSON pname GET "${json}" "passes" ${i} "pass")
+    list(GET want_passes ${i} want)
+    if(NOT pname STREQUAL want)
+      message(FATAL_ERROR "${entry}: pass ${i} is '${pname}', expected '${want}'")
+    endif()
+    string(JSON pfolded GET "${json}" "passes" ${i} "nodes_folded")
+    string(JSON premoved GET "${json}" "passes" ${i} "nodes_removed")
+    string(JSON pdropped GET "${json}" "passes" ${i} "nets_dropped")
+    if(pfolded LESS 0 OR premoved LESS 0 OR pdropped LESS 0)
+      message(FATAL_ERROR "${entry}: negative pass counter")
+    endif()
+    math(EXPR removed_sum "${removed_sum} + ${premoved}")
+    math(EXPR total_folded "${total_folded} + ${pfolded}")
+    math(EXPR total_removed "${total_removed} + ${premoved}")
+    math(EXPR total_dropped "${total_dropped} + ${pdropped}")
+  endforeach()
+  math(EXPR want_after "${nodes_before} - ${removed_sum}")
+  if(NOT nodes_after EQUAL want_after)
+    message(FATAL_ERROR
+            "${entry}: nodes.after=${nodes_after} but before - removed = ${want_after}")
+  endif()
+
+  # -O0 on the same entry: verify-only, nothing touched.
+  execute_process(COMMAND ${ZEUSC} --example ${entry} -O0 --opt-stats
+                  OUTPUT_VARIABLE json0
+                  ERROR_VARIABLE err0
+                  RESULT_VARIABLE rc0)
+  if(NOT rc0 EQUAL 0)
+    message(FATAL_ERROR "${entry}: zeusc -O0 --opt-stats exited ${rc0}\n${err0}")
+  endif()
+  string(JSON ran0 GET "${json0}" "ran")
+  string(JSON verified0 GET "${json0}" "verified")
+  string(JSON before0 GET "${json0}" "nodes" "before")
+  string(JSON after0 GET "${json0}" "nodes" "after")
+  if(ran0 STREQUAL "ON")
+    message(FATAL_ERROR "${entry}: -O0 reports ran=true")
+  endif()
+  if(NOT verified0 STREQUAL "ON")
+    message(FATAL_ERROR "${entry}: -O0 verifier rejected the graph\n${json0}")
+  endif()
+  if(NOT before0 EQUAL after0)
+    message(FATAL_ERROR "${entry}: -O0 changed the node count (${before0} -> ${after0})")
+  endif()
+  if(NOT before0 EQUAL nodes_before)
+    message(FATAL_ERROR
+            "${entry}: -O0 and -O1 disagree on the input design "
+            "(${before0} vs ${nodes_before} nodes)")
+  endif()
+
+  message(STATUS "${entry}: ok (${nodes_before} -> ${nodes_after} nodes, "
+                 "${nets_before} -> ${nets_after} nets)")
+endforeach()
+
+# The corpus as a whole must give the passes real work, or this test
+# would silently pass on a pipeline that does nothing.
+if(total_folded EQUAL 0 AND total_removed EQUAL 0 AND total_dropped EQUAL 0)
+  message(FATAL_ERROR
+          "pipeline had no effect on any of ${count} corpus entries")
+endif()
+
+message(STATUS "transform_corpus: ${count} corpus entries optimized and verified "
+               "(${total_folded} folded, ${total_removed} removed, ${total_dropped} dropped)")

@@ -238,5 +238,46 @@ TEST(Simulation, RegisterSnapshotRoundTrip) {
   EXPECT_THROW(sim.restoreRegisters({}), std::invalid_argument);
 }
 
+// The routing network's ports are 80 bits wide.  setInputUint must zero
+// bits above 63 (a shift by >= 64 is undefined behaviour, not zero — the
+// sanitize build catches regressions), and outputUint must refuse a
+// value that cannot fit a uint64_t instead of corrupting it.
+TEST(Simulation, WidePortUintAccessors) {
+  const corpus::CorpusEntry* routing = nullptr;
+  for (const auto& e : corpus::all()) {
+    if (std::string(e.name) == "routing") routing = &e;
+  }
+  ASSERT_NE(routing, nullptr);
+  std::string top;
+  Built b = buildOk(corpusSource(*routing, &top), top);
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+
+  Simulation sim(g);
+  sim.setInputUint("input", ~uint64_t{0});
+  sim.step();
+  std::vector<Logic> out = sim.outputBits("output");
+  ASSERT_GT(out.size(), 64u);
+  size_t ones = 0;
+  for (Logic v : out) ones += v == Logic::One;
+  EXPECT_EQ(ones, 64u);  // bits 64.. were seeded Zero, not garbage
+
+  // All 80 bits One: the value genuinely doesn't fit a uint64_t.
+  sim.setInput("input", std::vector<Logic>(out.size(), Logic::One));
+  sim.step();
+  EXPECT_EQ(sim.outputUint("output"), std::nullopt);
+
+  BatchSimulation batch(g, 2);
+  batch.setInputUint(0, "input", ~uint64_t{0});
+  batch.step();
+  std::vector<Logic> bout = batch.outputBits(0, "output");
+  ones = 0;
+  for (Logic v : bout) ones += v == Logic::One;
+  EXPECT_EQ(ones, 64u);
+  batch.setInput(0, "input", std::vector<Logic>(bout.size(), Logic::One));
+  batch.step();
+  EXPECT_EQ(batch.outputUint(0, "output"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace zeus::test

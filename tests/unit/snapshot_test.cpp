@@ -149,6 +149,38 @@ TEST(Snapshot, DesignHashGuardsRestore) {
   EXPECT_EQ(same.cycle(), snap.cycle);
 }
 
+// Checkpoints depend on the optimization level: Design::optFingerprint is
+// folded into the content hash at -O1, so a snapshot taken from an
+// unoptimized simulation must not restore into an optimized one (nor the
+// reverse) — the dense state layouts differ even for the same source.
+TEST(Snapshot, OptimizationLevelGuardsRestore) {
+  Built b0 = buildOk(kContender, "top");
+  SimGraph g0 = buildSimGraph(*b0.design, b0.comp->diags());
+  Built b1 = buildOk(kContender, "top");
+  OptReport rep = b1.comp->optimize(*b1.design);
+  ASSERT_TRUE(rep.verified) << rep.verifyError;
+  ASSERT_NE(b1.design->optFingerprint, 0u);
+  SimGraph g1 = buildSimGraph(*b1.design, b1.comp->diags());
+  EXPECT_NE(designContentHash(*b0.design), designContentHash(*b1.design));
+
+  // -O0 snapshot into -O1 simulation: rejected, scalar and batch alike.
+  SimSnapshot snap0 = sampleSnapshot(g0);
+  Simulation opt(g1);
+  EXPECT_THROW(opt.restoreSnapshot(snap0), std::invalid_argument);
+  BatchSimulation batch(g1, 2);
+  EXPECT_THROW(batch.restoreSnapshot(1, snap0), std::invalid_argument);
+
+  // -O1 snapshot into -O0 simulation: same rejection.
+  SimSnapshot snap1 = sampleSnapshot(g1);
+  Simulation plain(g0);
+  EXPECT_THROW(plain.restoreSnapshot(snap1), std::invalid_argument);
+
+  // Matching levels keep round-tripping.
+  Simulation same(g1);
+  same.restoreSnapshot(snap1);
+  EXPECT_EQ(same.cycle(), snap1.cycle);
+}
+
 TEST(Snapshot, CampaignProgressRoundtrip) {
   CampaignProgress p;
   p.designHash = 0xDEADBEEFu;

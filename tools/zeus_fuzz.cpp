@@ -85,6 +85,21 @@ bool runOne(const uint8_t* data, size_t size) {
       zeus::LintReport lr = zeus::runLint(*design, graph, comp->diags());
       (void)lr.renderText(comp->sources());
       (void)lr.renderJson(comp->sources(), top);
+      // The optimization pipeline + post-pass verifier must behave on
+      // every design that survives elaboration.  A verifier failure means
+      // a pass emitted a malformed graph — that IS the kind of bug this
+      // harness exists to catch, so treat it as a hard failure.
+      zeus::OptReport opt = zeus::optimizeDesign(*design, comp->diags());
+      (void)opt.renderJson(top);
+      if (opt.ran && !opt.verified) {
+        std::fprintf(stderr, "zeus_fuzz: optimizer verifier failed: %s\n",
+                     opt.verifyError.c_str());
+        return false;
+      }
+      // Simulate the *optimized* design: the evaluators must behave on
+      // post-pipeline graphs too.
+      graph = zeus::buildSimGraph(*design, comp->diags());
+      if (graph.hasCycle) continue;
       zeus::Simulation::Options sopts;
       sopts.maxEventsPerCycle = 1u << 22;
       sopts.maxSimMillis = 2000;
@@ -113,7 +128,10 @@ bool runOne(const uint8_t* data, size_t size) {
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
-  runOne(data, size);
+  // Structured failures (the optimizer verifier rejecting a pass's
+  // output) are findings just like crashes: trap so libFuzzer saves the
+  // input.
+  if (!runOne(data, size)) __builtin_trap();
   return 0;
 }
 
