@@ -24,8 +24,10 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/core/sim_farm.h"
 #include "src/core/zeus.h"
 #include "src/corpus/corpus.h"
 #include "src/support/metrics.h"
@@ -233,6 +235,71 @@ bool runOptBench(int width, uint64_t cycles, OptBenchResult& r) {
   return true;
 }
 
+// ---------------------------------------------------------------------
+// Multi-core farm scaling: the same design at 1/2/4 worker threads over
+// 4 blocks × 64 lanes.  The farm's determinism contract means every row
+// (and the scalar oracle) must produce the same merged checksum — the
+// thread sweep is also a differential test.  Scaling itself is only
+// meaningful when the host has the cores; BENCH_sim.json records
+// host_cores so the checker can gate the speedup assertion on it.
+// ---------------------------------------------------------------------
+
+struct FarmThreadRun {
+  size_t threads = 0;
+  double seconds = 0;
+  double laneCyclesPerSec = 0;
+  uint64_t checksum = 0;
+};
+
+struct FarmBenchResult {
+  size_t lanes = 0;
+  size_t lanesPerBlock = 0;
+  size_t blocks = 0;
+  uint64_t cyclesPerLane = 0;
+  unsigned hostCores = 0;
+  std::vector<FarmThreadRun> runs;  ///< threads = 1, 2, 4
+  uint64_t oracleChecksum = 0;
+
+  [[nodiscard]] double speedup4v1() const {
+    return !runs.empty() && runs.front().laneCyclesPerSec > 0
+               ? runs.back().laneCyclesPerSec / runs.front().laneCyclesPerSec
+               : 0;
+  }
+};
+
+bool runFarmBench(const zeus::SimGraph& g, uint64_t totalCycles,
+                  FarmBenchResult& r) {
+  r.lanes = 4 * zeus::BatchSimulation::kMaxLanes;
+  r.lanesPerBlock = zeus::BatchSimulation::kMaxLanes;
+  r.blocks = 4;
+  // Same lane-cycle volume as the 64-lane batch row, spread over 4 blocks.
+  r.cyclesPerLane = std::max<uint64_t>(1, totalCycles / r.lanes);
+  r.hostCores = std::thread::hardware_concurrency();
+  zeus::FarmOptions opts;
+  opts.lanes = r.lanes;
+  opts.cycles = r.cyclesPerLane;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    opts.threads = threads;
+    zeus::FarmReport rep = zeus::runFarm(g, opts);
+    r.runs.push_back({threads, rep.seconds, rep.laneCyclesPerSec(),
+                      rep.mergedChecksum()});
+  }
+  zeus::FarmReport oracle = zeus::runFarmScalarOracle(g, opts);
+  r.oracleChecksum = oracle.mergedChecksum();
+  for (const FarmThreadRun& run : r.runs) {
+    if (run.checksum != r.oracleChecksum) {
+      std::fprintf(stderr,
+                   "farm checksum mismatch at %zu thread(s): %llx != "
+                   "oracle %llx\n",
+                   run.threads,
+                   static_cast<unsigned long long>(run.checksum),
+                   static_cast<unsigned long long>(r.oracleChecksum));
+      return false;
+    }
+  }
+  return true;
+}
+
 CampaignResult runCampaign(const zeus::SimGraph& g, uint64_t cycles) {
   zeus::FaultCampaignOptions opts;
   opts.cycles = cycles;
@@ -256,6 +323,7 @@ CampaignResult runCampaign(const zeus::SimGraph& g, uint64_t cycles) {
 void emitJson(const std::string& path, int width, uint64_t cycles,
               const std::vector<RunResult>& runs,
               const CampaignResult& campaign, const OptBenchResult& opt,
+              const FarmBenchResult& farm, double farmVsBatch,
               double speedupBatch, double speedupLevelized) {
   std::ofstream out(path);
   out << "{\n"
@@ -302,6 +370,26 @@ void emitJson(const std::string& path, int width, uint64_t cycles,
       << ", \"cycles_per_sec\": " << opt.on.cyclesPerSec()
       << ", \"checksum\": " << opt.on.checksum << "},\n"
       << "    \"speedup_on_vs_off\": " << opt.speedup() << "\n"
+      << "  },\n"
+      << "  \"farm\": {\n"
+      << "    \"lanes\": " << farm.lanes
+      << ", \"lanes_per_block\": " << farm.lanesPerBlock
+      << ", \"blocks\": " << farm.blocks
+      << ", \"cycles_per_lane\": " << farm.cyclesPerLane
+      << ", \"host_cores\": " << farm.hostCores << ",\n"
+      << "    \"threads\": [\n";
+  for (size_t i = 0; i < farm.runs.size(); ++i) {
+    const FarmThreadRun& t = farm.runs[i];
+    out << "      {\"threads\": " << t.threads
+        << ", \"seconds\": " << t.seconds
+        << ", \"lane_cycles_per_sec\": " << t.laneCyclesPerSec
+        << ", \"checksum\": " << t.checksum << "}"
+        << (i + 1 < farm.runs.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n"
+      << "    \"oracle_checksum\": " << farm.oracleChecksum << ",\n"
+      << "    \"speedup_4_vs_1\": " << farm.speedup4v1() << ",\n"
+      << "    \"speedup_vs_batch64\": " << farmVsBatch << "\n"
       << "  },\n"
       << "  \"speedup_levelized_vs_firing\": " << speedupLevelized << ",\n"
       << "  \"speedup_batch_vs_firing\": " << speedupBatch << "\n"
@@ -467,13 +555,23 @@ int main(int argc, char** argv) {
   OptBenchResult opt;
   if (!runOptBench(width, cycles, opt)) return 1;
 
+  // Farm scaling sweep (1/2/4 threads, 4 blocks × 64 lanes) plus the
+  // scalar-oracle checksum cross-check.
+  FarmBenchResult farm;
+  if (!runFarmBench(g, cycles, farm)) return 1;
+
   const double firing = runs[1].cyclesPerSec();
   const double speedupLevelized =
       firing > 0 ? runs[2].cyclesPerSec() / firing : 0;
   const double speedupBatch =
       firing > 0 ? runs[3].cyclesPerSec() / firing : 0;
-  emitJson(outPath, width, cycles, runs, campaign, opt, speedupBatch,
-           speedupLevelized);
+  const double batch64 = runs[3].cyclesPerSec();
+  const double farmVsBatch =
+      batch64 > 0 && !farm.runs.empty()
+          ? farm.runs.back().laneCyclesPerSec / batch64
+          : 0;
+  emitJson(outPath, width, cycles, runs, campaign, opt, farm, farmVsBatch,
+           speedupBatch, speedupLevelized);
 
   for (const RunResult& r : runs) {
     std::printf("%-18s %12.0f cycles/s  (%llu lane-cycles in %.3fs)\n",
@@ -482,6 +580,13 @@ int main(int argc, char** argv) {
   }
   std::printf("levelized vs firing: %.2fx\n", speedupLevelized);
   std::printf("batch-64  vs firing: %.2fx\n", speedupBatch);
+  for (const FarmThreadRun& t : farm.runs) {
+    std::printf("farm %zut            %12.0f lane-cycles/s  (%zu lanes in "
+                "%.3fs)\n",
+                t.threads, t.laneCyclesPerSec, farm.lanes, t.seconds);
+  }
+  std::printf("farm 4t vs 1t:       %.2fx (%u host cores)\n",
+              farm.speedup4v1(), farm.hostCores);
   std::printf(
       "fault campaign     %12.0f faults/s  (%llu faults, %.0f%% lanes "
       "used, %.1f%% coverage)\n",

@@ -153,4 +153,57 @@ if(ospeed LESS_EQUAL 0)
   message(FATAL_ERROR "optimization.speedup_on_vs_off = ${ospeed}")
 endif()
 
-message(STATUS "BENCH_sim.json schema OK (${nevals} evaluators + fault campaign + optimization; opt ${onodes_before} -> ${onodes_after} nodes)")
+# farm: the multi-core scaling block (docs/simulator.md).  Checksum
+# equality across thread counts and against the scalar oracle is asserted
+# unconditionally — that is the determinism contract.  The 4-thread
+# speedup is only asserted on hosts with at least 4 cores; a 1-core CI
+# container cannot physically demonstrate scaling.
+foreach(field lanes lanes_per_block blocks cycles_per_lane host_cores
+              oracle_checksum speedup_4_vs_1 speedup_vs_batch64)
+  string(JSON v ERROR_VARIABLE jerr GET "${content}" farm ${field})
+  if(jerr)
+    message(FATAL_ERROR "farm missing '${field}': ${jerr}")
+  endif()
+endforeach()
+string(JSON flanes GET "${content}" farm lanes)
+string(JSON fper GET "${content}" farm lanes_per_block)
+string(JSON fblocks GET "${content}" farm blocks)
+if(NOT flanes EQUAL 256 OR NOT fper EQUAL 64 OR NOT fblocks EQUAL 4)
+  message(FATAL_ERROR
+          "farm geometry ${flanes}/${fper}/${fblocks} != 256/64/4")
+endif()
+string(JSON nthreads LENGTH "${content}" farm threads)
+if(NOT nthreads EQUAL 3)
+  message(FATAL_ERROR "expected 3 farm thread rows, got ${nthreads}")
+endif()
+string(JSON foracle GET "${content}" farm oracle_checksum)
+set(want_threads "1;2;4")
+math(EXPR tlast "${nthreads} - 1")
+foreach(i RANGE ${tlast})
+  string(JSON tthreads GET "${content}" farm threads ${i} threads)
+  list(GET want_threads ${i} want)
+  if(NOT tthreads EQUAL ${want})
+    message(FATAL_ERROR "farm row ${i} has threads=${tthreads}, want ${want}")
+  endif()
+  string(JSON tlcps GET "${content}" farm threads ${i} lane_cycles_per_sec)
+  if(tlcps LESS_EQUAL 0)
+    message(FATAL_ERROR "farm row ${i} lane_cycles_per_sec = ${tlcps}")
+  endif()
+  string(JSON tsum GET "${content}" farm threads ${i} checksum)
+  if(NOT tsum EQUAL ${foracle})
+    message(FATAL_ERROR
+            "farm checksum at ${tthreads} thread(s) = ${tsum} != scalar oracle ${foracle}")
+  endif()
+endforeach()
+string(JSON fcores GET "${content}" farm host_cores)
+string(JSON fspeed GET "${content}" farm speedup_vs_batch64)
+if(fcores GREATER_EQUAL 4)
+  if(fspeed LESS 2.5)
+    message(FATAL_ERROR
+            "farm 4-thread speedup over the 64-lane batch is ${fspeed} (< 2.5) on a ${fcores}-core host")
+  endif()
+else()
+  message(STATUS "farm speedup check skipped: only ${fcores} host core(s)")
+endif()
+
+message(STATUS "BENCH_sim.json schema OK (${nevals} evaluators + fault campaign + optimization + farm; opt ${onodes_before} -> ${onodes_after} nodes)")

@@ -45,6 +45,16 @@
 //                        (11 = evaluator watchdog, docs/fault-injection.md)
 //   --die-at-cycle <n>   raise SIGKILL after n evaluated cycles (crash-
 //                        recovery testing)
+//   --farm-threads <n>   run --sim through the multi-core simulation farm
+//                        with n worker threads (docs/simulator.md)
+//   --lanes <n>          total farm lanes (default 64; split into 64-lane
+//                        blocks that the worker threads claim)
+//   --farm-seed <n>      root seed for the farm's per-lane RANDOM streams
+//                        and stimulus (default 0xC0FFEE)
+//   --serve-batch <file> run a zeus-serve-request-v1 JSON request file:
+//                        compile each distinct design once, fan the
+//                        requests across the farm, emit zeus-serve-v1
+//   --serve-out <file>   write the serve-batch response there (else stdout)
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -59,8 +69,10 @@
 #include "src/ast/printer.h"
 #include "src/core/zeus.h"
 #include "src/corpus/corpus.h"
+#include "src/core/batch_serve.h"
 #include "src/core/report.h"
 #include "src/core/script.h"
+#include "src/core/sim_farm.h"
 #include "src/layout/render.h"
 #include "src/sim/snapshot.h"
 #include "src/support/metrics.h"
@@ -77,8 +89,10 @@ int usage() {
                "[--trace out.json] "
                "[--metrics out.json] [--fault-campaign] [--fault-out f.json] "
                "[--fault-seed N] [--checkpoint f.snap] [--checkpoint-every N] "
-               "[--resume f.snap] [--sim-budget-ms N] [--die-at-cycle N]\n"
+               "[--resume f.snap] [--sim-budget-ms N] [--die-at-cycle N] "
+               "[--farm-threads N] [--lanes N] [--farm-seed N]\n"
                "       zeusc --example <name> [options]\n"
+               "       zeusc --serve-batch requests.json [--serve-out r.json]\n"
                "       zeusc --list-examples\n");
   return 2;
 }
@@ -145,6 +159,8 @@ int main(int argc, char** argv) {
   std::string faultOut, checkpointFile, resumeFile;
   long faultSeed = -1, checkpointEvery = -1, simBudgetMs = -1;
   long dieAtCycle = -1;
+  long farmThreads = -1, farmLanes = -1, farmSeed = -1;
+  std::string serveBatchFile, serveOutFile;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -249,6 +265,32 @@ int main(int argc, char** argv) {
     } else if (arg == "--die-at-cycle") {
       const char* v = next();
       if (!parseCount("--die-at-cycle", v, dieAtCycle, kMaxCycles)) return 2;
+    } else if (arg == "--farm-threads") {
+      const char* v = next();
+      if (!parseCount("--farm-threads", v, farmThreads, 256)) return 2;
+      if (farmThreads == 0) {
+        std::fprintf(stderr, "zeusc: --farm-threads expects at least 1\n");
+        return 2;
+      }
+    } else if (arg == "--lanes") {
+      const char* v = next();
+      if (!parseCount("--lanes", v, farmLanes, 1 << 20)) return 2;
+      if (farmLanes == 0) {
+        std::fprintf(stderr, "zeusc: --lanes expects at least 1\n");
+        return 2;
+      }
+    } else if (arg == "--farm-seed") {
+      const char* v = next();
+      // The seed widens to uint64_t: any non-negative long is in range.
+      if (!parseCount("--farm-seed", v, farmSeed)) return 2;
+    } else if (arg == "--serve-batch") {
+      const char* v = next();
+      if (!v) return usage();
+      serveBatchFile = v;
+    } else if (arg == "--serve-out") {
+      const char* v = next();
+      if (!v) return usage();
+      serveOutFile = v;
     } else if (!arg.empty() && arg[0] != '-') {
       file = arg;
     } else {
@@ -256,47 +298,53 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Batch-request mode stands alone: it compiles and simulates per
+  // request, so the usual <file>/--top requirement does not apply.
+  if (!serveBatchFile.empty()) {
+    std::ifstream in(serveBatchFile);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", serveBatchFile.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    zeus::ServeOptions sopts;
+    if (farmThreads > 0) sopts.defaultThreads = static_cast<size_t>(farmThreads);
+    if (farmLanes > 0) sopts.defaultLanes = static_cast<size_t>(farmLanes);
+    if (simCycles >= 0) sopts.defaultCycles = static_cast<uint64_t>(simCycles);
+    if (farmSeed >= 0) sopts.defaultSeed = static_cast<uint64_t>(farmSeed);
+    sopts.defaultOptLevel = optLevel;
+    zeus::ServeStats sstats;
+    std::string response = zeus::runServeBatch(ss.str(), sopts, &sstats);
+    if (!serveOutFile.empty()) {
+      if (!writeFile(serveOutFile, response)) return 1;
+      std::printf("wrote %s\n", serveOutFile.c_str());
+    } else {
+      std::printf("%s", response.c_str());
+    }
+    std::fprintf(stderr,
+                 "serve-batch: %zu request(s), %zu compile(s), %zu cache "
+                 "hit(s), %zu failure(s)\n",
+                 sstats.requests, sstats.compiles, sstats.cacheHits,
+                 sstats.failures);
+    return sstats.failures == 0 ? 0 : 1;
+  }
+
   std::string source, name;
   if (!example.empty()) {
+    // Overriding --top opts out of the default instantiation line that
+    // corpus::instantiate appends for the parameterized families.
     const zeus::corpus::CorpusEntry* e = zeus::corpus::find(example);
     if (!e) {
       std::fprintf(stderr, "unknown example '%s' (try --list-examples)\n",
                    example.c_str());
       return 2;
     }
-    source = e->source;
     name = std::string(e->name) + ".zeus";
-    if (top.empty()) top = e->top;
-    if (top.empty()) {
-      // Parameterized families need an instantiation; give a default.
-      if (example == "adders") {
-        source += "SIGNAL adder: rippleCarry(8);\n";
-        top = "adder";
-      } else if (example.rfind("tree", 0) == 0) {
-        source += "SIGNAL a: tree(8);\n";
-        top = "a";
-      } else if (example == "htree") {
-        source += "SIGNAL a: htree(64);\n";
-        top = "a";
-      } else if (example == "routing") {
-        source += "SIGNAL net: routingnetwork(8);\n";
-        top = "net";
-      } else if (example == "systolic-stack") {
-        source += "SIGNAL st: systolicstack(8);\n";
-        top = "st";
-      } else if (example == "dictionary") {
-        source += "SIGNAL dict: dicttree(8);\n";
-        top = "dict";
-      } else if (example == "snake") {
-        source += "SIGNAL s: snake(4,6);\n";
-        top = "s";
-      } else if (example == "sorter") {
-        source += "SIGNAL s: sorter(8);\n";
-        top = "s";
-      } else if (example == "matvec") {
-        source += "SIGNAL m: matvec(4);\n";
-        top = "m";
-      }
+    if (!top.empty()) {
+      source = e->source;
+    } else {
+      zeus::corpus::instantiate(example, source, top);
     }
   } else {
     if (file.empty() || top.empty()) return usage();
@@ -557,6 +605,81 @@ int main(int argc, char** argv) {
                                           : checkpointFile.c_str());
       return 12;
     }
+    return 0;
+  }
+
+  // Multi-core simulation farm (docs/simulator.md): N worker threads ×
+  // 64-lane batch blocks, deterministic per-lane stimulus and RANDOM
+  // streams.  Replaces the scalar --sim loop below when requested.
+  if (farmThreads > 0) {
+    if (simCycles < 0) {
+      std::fprintf(stderr, "zeusc: --farm-threads requires --sim N\n");
+      return fail(2);
+    }
+    zeus::SimGraph graph = zeus::buildSimGraph(*design, comp->diags());
+    if (graph.hasCycle) {
+      std::fprintf(stderr, "%s", comp->diagnosticsText().c_str());
+      return fail(1);
+    }
+    zeus::FarmOptions fopts;
+    fopts.threads = static_cast<size_t>(farmThreads);
+    if (farmLanes > 0) fopts.lanes = static_cast<size_t>(farmLanes);
+    fopts.cycles = static_cast<uint64_t>(simCycles);
+    if (farmSeed >= 0) fopts.seed = static_cast<uint64_t>(farmSeed);
+    zeus::FarmSnapshot resume;
+    bool haveResume = false;
+    if (!resumeFile.empty()) {
+      std::string err;
+      if (!zeus::loadFarmFile(resumeFile, resume, err)) {
+        std::fprintf(stderr, "zeusc: cannot resume from %s: %s\n",
+                     resumeFile.c_str(), err.c_str());
+        return fail(1);
+      }
+      haveResume = true;
+    }
+    if (!checkpointFile.empty()) {
+      fopts.checkpointAtCycle = checkpointEvery > 0
+                                    ? static_cast<uint64_t>(checkpointEvery)
+                                    : fopts.cycles;
+      fopts.onCheckpoint = [&](const zeus::FarmSnapshot& snap) {
+        std::string err;
+        if (!zeus::saveFarmFile(checkpointFile, snap, err)) {
+          std::fprintf(stderr, "zeusc: checkpoint write failed: %s\n",
+                       err.c_str());
+        }
+      };
+    }
+    zeus::FarmReport fr;
+    try {
+      fr = zeus::runFarm(graph, fopts, haveResume ? &resume : nullptr);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "zeusc: %s\n", e.what());
+      if (std::string(e.what()).find("content hash") != std::string::npos) {
+        std::fprintf(stderr,
+                     "zeusc: note: checkpoints depend on the optimization "
+                     "level; rerun with the -O flag the checkpoint was "
+                     "written with (docs/optimizer.md)\n");
+      }
+      return fail(1);
+    }
+    for (const zeus::SimError& e : fr.errors) {
+      std::printf("  runtime error, cycle %llu, lane %d, %s: %s\n",
+                  static_cast<unsigned long long>(e.cycle), e.lane,
+                  e.netName.c_str(), e.message.c_str());
+    }
+    std::printf(
+        "farm: %llu cycle(s) x %zu lane(s), %zu block(s) on %zu "
+        "thread(s), checksum %016llx, %zu error(s), %.3g lane-cycles/s\n",
+        static_cast<unsigned long long>(fr.cycles), fr.lanes, fr.blocks,
+        fr.threads, static_cast<unsigned long long>(fr.mergedChecksum()),
+        fr.errors.size(), fr.laneCyclesPerSec());
+    mreport.sim = zeus::farmMetricsCounters(fr);
+    if (stats) {
+      mreport.resources = comp->resourceReport();
+      mreport.phases = zeus::metrics::phaseTimings();
+      std::printf("%s", mreport.renderText().c_str());
+    }
+    emitSinks();
     return 0;
   }
 

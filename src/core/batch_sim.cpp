@@ -125,6 +125,11 @@ void BatchSimulation::setRandomSeed(size_t lane, uint64_t seed) {
   rngStates_[lane] = seed ? seed : 1;
 }
 
+uint64_t BatchSimulation::randomState(size_t lane) const {
+  checkLane(lane);
+  return rngStates_[lane];
+}
+
 void BatchSimulation::injectFault(size_t lane, const FaultSpec& fault) {
   checkLane(lane);
   if (fault.denseNet >= g_.denseCount) {

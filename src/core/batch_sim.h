@@ -46,6 +46,9 @@ class BatchSimulation {
   /// Seed for lane `lane`'s RANDOM stream: the lane then draws the same
   /// sequence as a scalar Simulation with setRandomSeed(seed).
   void setRandomSeed(size_t lane, uint64_t seed);
+  /// Current position of lane `lane`'s RANDOM stream (the value a
+  /// snapshot of that lane would carry).
+  [[nodiscard]] uint64_t randomState(size_t lane) const;
 
   // -- fault injection (parallel fault simulation) --
   /// Injects a hardware fault (src/sim/fault.h) into one lane: that lane

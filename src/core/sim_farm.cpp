@@ -1,0 +1,380 @@
+#include "src/core/sim_farm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+
+namespace zeus {
+
+namespace {
+
+metrics::Counter farmRuns("farm-runs");
+metrics::Counter farmBlocks("farm-blocks");
+
+constexpr uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+constexpr uint64_t kFnvPrime = 0x100000001B3ull;
+
+uint64_t splitmix(uint64_t x) {
+  x += kGolden;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t xorshift(uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// One observable primary-output bit (same selection as runFaultCampaign:
+/// every non-IN port bit, in port declaration order).
+struct Observable {
+  NetId net;
+};
+
+std::vector<Observable> observableOutputs(const SimGraph& g) {
+  std::vector<Observable> out;
+  for (const Port& p : g.design->ports) {
+    for (size_t b = 0; b < p.nets.size(); ++b) {
+      if (p.modes[b] == ast::ParamMode::In) continue;
+      out.push_back({p.nets[b]});
+    }
+  }
+  return out;
+}
+
+std::vector<const Port*> stimulusInputs(const SimGraph& g) {
+  std::vector<const Port*> in;
+  for (const Port& p : g.design->ports) {
+    if (p.mode == ast::ParamMode::In) in.push_back(&p);
+  }
+  return in;
+}
+
+/// Fills `bits` (pre-sized to the port width) from the lane's stimulus
+/// stream; shared verbatim by the farm and the scalar oracle.
+void stimulusBits(uint64_t& stream, std::vector<Logic>& bits) {
+  uint64_t word = 0;
+  for (size_t b = 0; b < bits.size(); ++b) {
+    if (b % 64 == 0) word = xorshift(stream);
+    bits[b] = logicFromBool((word >> (b % 64)) & 1);
+  }
+}
+
+void foldChecksum(uint64_t& h, Logic v) {
+  h = (h ^ (static_cast<uint64_t>(v) + 1)) * kFnvPrime;
+}
+
+void mergeStats(EvalStats& into, const EvalStats& s) {
+  into.nodeFirings += s.nodeFirings;
+  into.inputEvents += s.inputEvents;
+  into.sweeps += s.sweeps;
+  into.netResolutions += s.netResolutions;
+  into.shortCircuitSkips += s.shortCircuitSkips;
+  into.contentionChecks += s.contentionChecks;
+  into.epochResets += s.epochResets;
+  into.watchdogMarginMin =
+      std::min(into.watchdogMarginMin, s.watchdogMarginMin);
+}
+
+/// Canonical farm error order: (cycle, lane, net), then code for the
+/// (unlikely) case of two distinct faults on one lane-net-cycle.
+void sortCanonical(std::vector<SimError>& errors) {
+  std::stable_sort(errors.begin(), errors.end(),
+                   [](const SimError& a, const SimError& b) {
+                     if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                     if (a.lane != b.lane) return a.lane < b.lane;
+                     if (a.netName != b.netName) return a.netName < b.netName;
+                     return a.code < b.code;
+                   });
+}
+
+void validateOptions(const FarmOptions& opts) {
+  if (opts.lanes == 0) {
+    throw std::invalid_argument("farm needs at least one lane");
+  }
+  if (opts.lanesPerBlock == 0 ||
+      opts.lanesPerBlock > BatchSimulation::kMaxLanes) {
+    throw std::invalid_argument("farm lanes-per-block must be 1..64");
+  }
+  if (opts.threads == 0) {
+    throw std::invalid_argument("farm needs at least one thread");
+  }
+}
+
+}  // namespace
+
+uint64_t farmLaneRngSeed(uint64_t rootSeed, uint64_t lane) {
+  uint64_t s = splitmix(rootSeed ^ ((lane + 1) * kGolden));
+  return s ? s : 1;
+}
+
+uint64_t farmStimulusSeed(uint64_t rootSeed, uint64_t lane, uint64_t cycle) {
+  uint64_t s = splitmix(splitmix(rootSeed ^ ((lane + 1) * kGolden)) ^
+                        ((cycle + 1) * 0xBF58476D1CE4E5B9ull));
+  return s ? s : 1;
+}
+
+uint64_t FarmReport::mergedChecksum() const {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (uint64_t c : checksums) h = (h ^ c) * kFnvPrime;
+  return h;
+}
+
+double FarmReport::laneCyclesPerSec() const {
+  if (seconds <= 0) return 0;
+  return static_cast<double>(cycles) * static_cast<double>(lanes) / seconds;
+}
+
+FarmReport runFarm(const SimGraph& graph, const FarmOptions& opts,
+                   const FarmSnapshot* resume) {
+  ZEUS_TRACE_SPAN("farm-run", "sim");
+  validateOptions(opts);
+  const size_t lanes = opts.lanes;
+  const size_t perBlock = opts.lanesPerBlock;
+  const size_t blocks = (lanes + perBlock - 1) / perBlock;
+  const uint64_t designHash = designContentHash(*graph.design);
+
+  uint64_t startCycle = 0;
+  EvalStats baseStats;
+  if (resume) {
+    if (resume->designHash != designHash) {
+      throw std::invalid_argument(
+          "farm snapshot was taken on a different design");
+    }
+    if (resume->totalLanes != lanes || resume->lanesPerBlock != perBlock ||
+        resume->seed != opts.seed) {
+      throw std::invalid_argument(
+          "farm snapshot does not match this run (lanes, block size or "
+          "seed differ)");
+    }
+    if (resume->cycle > opts.cycles) {
+      throw std::invalid_argument(
+          "farm snapshot is further along than the requested cycle count");
+    }
+    if (resume->lanes.size() != lanes || resume->checksums.size() != lanes) {
+      throw std::invalid_argument("farm snapshot lane state is incomplete");
+    }
+    startCycle = resume->cycle;
+    baseStats = resume->stats;
+  }
+
+  const std::vector<Observable> outputs = observableOutputs(graph);
+  const std::vector<const Port*> inputs = stimulusInputs(graph);
+  const bool checkpointing = opts.checkpointAtCycle > startCycle &&
+                             opts.checkpointAtCycle <= opts.cycles &&
+                             opts.onCheckpoint;
+
+  FarmReport report;
+  report.cycles = opts.cycles;
+  report.lanes = lanes;
+  report.blocks = blocks;
+  report.threads = std::max<size_t>(1, std::min(opts.threads, blocks));
+  report.checksums.assign(lanes, 0);
+  report.rngStates.assign(lanes, 0);
+  if (resume) report.checksums = resume->checksums;
+
+  // Per-block result slots: each worker writes only its claimed block's
+  // slot (and its block's disjoint lane range), so the merge below needs
+  // no locks — just the joins.
+  std::vector<std::vector<SimError>> blockErrors(blocks);
+  std::vector<EvalStats> blockStats(blocks);
+  std::vector<EvalStats> checkpointStats(checkpointing ? blocks : 0);
+  std::vector<SimSnapshot> checkpointLanes(checkpointing ? lanes : 0);
+  std::vector<uint64_t> checkpointSums(checkpointing ? lanes : 0);
+
+  std::atomic<size_t> nextBlock{0};
+  std::mutex failMutex;
+  std::string firstFailure;
+
+  auto runBlock = [&](size_t b) {
+    const size_t first = b * perBlock;
+    const size_t n = std::min(perBlock, lanes - first);
+    BatchSimulation batch(graph, n);
+    if (resume) {
+      for (size_t l = 0; l < n; ++l) {
+        batch.restoreSnapshot(l, resume->lanes[first + l]);
+      }
+    } else {
+      for (size_t l = 0; l < n; ++l) {
+        batch.setRandomSeed(l, farmLaneRngSeed(opts.seed, first + l));
+      }
+    }
+    std::vector<uint64_t> streams(n);
+    std::vector<Logic> bits;
+    for (uint64_t c = startCycle; c < opts.cycles; ++c) {
+      batch.setRset(c == 0);  // cycle 0 is the reset pulse
+      for (size_t l = 0; l < n; ++l) {
+        streams[l] = farmStimulusSeed(opts.seed, first + l, c);
+      }
+      for (const Port* p : inputs) {
+        bits.resize(p->nets.size());
+        for (size_t l = 0; l < n; ++l) {
+          stimulusBits(streams[l], bits);
+          batch.setInput(l, p->name, bits);
+        }
+      }
+      batch.step(1);
+      for (size_t l = 0; l < n; ++l) {
+        uint64_t& h = report.checksums[first + l];
+        for (const Observable& obs : outputs) {
+          foldChecksum(h, batch.netValue(l, obs.net));
+        }
+      }
+      if (checkpointing && c + 1 == opts.checkpointAtCycle) {
+        checkpointStats[b] = batch.stats();
+        for (size_t l = 0; l < n; ++l) {
+          checkpointLanes[first + l] = batch.saveSnapshot(l);
+          checkpointSums[first + l] = report.checksums[first + l];
+        }
+      }
+    }
+    for (size_t l = 0; l < n; ++l) {
+      report.rngStates[first + l] = batch.randomState(l);
+    }
+    blockStats[b] = batch.stats();
+    std::vector<SimError>& errs = blockErrors[b];
+    errs = batch.errors();
+    for (SimError& e : errs) {
+      e.lane = static_cast<int32_t>(first) + std::max<int32_t>(e.lane, 0);
+    }
+    farmBlocks.add();
+  };
+
+  auto worker = [&]() {
+    for (;;) {
+      size_t b = nextBlock.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks) return;
+      try {
+        runBlock(b);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(failMutex);
+        if (firstFailure.empty()) firstFailure = e.what();
+      }
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(report.threads - 1);
+    for (size_t t = 1; t < report.threads; ++t) pool.emplace_back(worker);
+    worker();  // the calling thread is worker 0
+    for (std::thread& t : pool) t.join();
+  }
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!firstFailure.empty()) {
+    throw std::runtime_error("farm block failed: " + firstFailure);
+  }
+
+  report.stats = baseStats;
+  for (const EvalStats& s : blockStats) mergeStats(report.stats, s);
+  size_t total = 0;
+  for (const auto& errs : blockErrors) total += errs.size();
+  report.errors.reserve(total);
+  for (auto& errs : blockErrors) {
+    report.errors.insert(report.errors.end(),
+                         std::make_move_iterator(errs.begin()),
+                         std::make_move_iterator(errs.end()));
+  }
+  sortCanonical(report.errors);
+  farmRuns.add();
+
+  if (checkpointing) {
+    FarmSnapshot snap;
+    snap.designHash = designHash;
+    snap.cycle = opts.checkpointAtCycle;
+    snap.seed = opts.seed;
+    snap.totalLanes = static_cast<uint32_t>(lanes);
+    snap.lanesPerBlock = static_cast<uint32_t>(perBlock);
+    snap.stats = baseStats;
+    for (const EvalStats& s : checkpointStats) mergeStats(snap.stats, s);
+    snap.checksums = std::move(checkpointSums);
+    snap.lanes = std::move(checkpointLanes);
+    opts.onCheckpoint(snap);
+  }
+  return report;
+}
+
+FarmReport runFarmScalarOracle(const SimGraph& graph,
+                               const FarmOptions& opts) {
+  ZEUS_TRACE_SPAN("farm-oracle", "sim");
+  validateOptions(opts);
+  const size_t lanes = opts.lanes;
+  const std::vector<Observable> outputs = observableOutputs(graph);
+  const std::vector<const Port*> inputs = stimulusInputs(graph);
+
+  FarmReport report;
+  report.cycles = opts.cycles;
+  report.lanes = lanes;
+  report.blocks = lanes;  // one scalar sim per lane
+  report.threads = 1;
+  report.checksums.assign(lanes, 0);
+  report.rngStates.assign(lanes, 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Logic> bits;
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    Simulation sim(graph, EvaluatorKind::Levelized);
+    sim.setRandomSeed(farmLaneRngSeed(opts.seed, lane));
+    uint64_t& h = report.checksums[lane];
+    for (uint64_t c = 0; c < opts.cycles; ++c) {
+      sim.setRset(c == 0);
+      uint64_t stream = farmStimulusSeed(opts.seed, lane, c);
+      for (const Port* p : inputs) {
+        bits.resize(p->nets.size());
+        stimulusBits(stream, bits);
+        sim.setInput(p->name, bits);
+      }
+      sim.step(1);
+      for (const Observable& obs : outputs) {
+        foldChecksum(h, sim.netValue(obs.net));
+      }
+    }
+    report.rngStates[lane] = sim.randomState();
+    for (const SimError& e : sim.errors()) {
+      SimError tagged = e;
+      tagged.lane = static_cast<int32_t>(lane);
+      report.errors.push_back(std::move(tagged));
+    }
+    mergeStats(report.stats, sim.stats());
+  }
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  sortCanonical(report.errors);
+  return report;
+}
+
+metrics::SimCounters farmMetricsCounters(const FarmReport& r) {
+  metrics::SimCounters c;
+  c.ran = true;
+  c.evaluator = "farm";
+  c.cycles = r.cycles;
+  c.lanes = r.lanes;
+  c.laneCycles = r.cycles * r.lanes;
+  c.nodeFirings = r.stats.nodeFirings;
+  c.inputEvents = r.stats.inputEvents;
+  c.sweeps = r.stats.sweeps;
+  c.netResolutions = r.stats.netResolutions;
+  c.shortCircuitSkips = r.stats.shortCircuitSkips;
+  c.contentionChecks = r.stats.contentionChecks;
+  c.epochResets = r.stats.epochResets;
+  c.faults = r.errors.size();
+  for (const SimError& e : r.errors) {
+    if (e.code == Diag::SimContention) ++c.contentionFaults;
+  }
+  return c;
+}
+
+}  // namespace zeus

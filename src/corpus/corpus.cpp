@@ -61,4 +61,46 @@ const CorpusEntry* find(const std::string& name) {
   return nullptr;
 }
 
+bool instantiate(const std::string& name, std::string& source,
+                 std::string& top) {
+  const CorpusEntry* e = find(name);
+  if (!e) return false;
+  source = e->source;
+  top = e->top;
+  if (!top.empty()) return true;
+  // Parameterized families need an instantiation; these are the defaults
+  // the zeusc --example path has always used.
+  if (name == "adders") {
+    source += "SIGNAL adder: rippleCarry(8);\n";
+    top = "adder";
+  } else if (name.rfind("tree", 0) == 0) {
+    source += "SIGNAL a: tree(8);\n";
+    top = "a";
+  } else if (name == "htree") {
+    source += "SIGNAL a: htree(64);\n";
+    top = "a";
+  } else if (name == "routing") {
+    source += "SIGNAL net: routingnetwork(8);\n";
+    top = "net";
+  } else if (name == "systolic-stack") {
+    source += "SIGNAL st: systolicstack(8);\n";
+    top = "st";
+  } else if (name == "dictionary") {
+    source += "SIGNAL dict: dicttree(8);\n";
+    top = "dict";
+  } else if (name == "snake") {
+    source += "SIGNAL s: snake(4,6);\n";
+    top = "s";
+  } else if (name == "sorter") {
+    source += "SIGNAL s: sorter(8);\n";
+    top = "s";
+  } else if (name == "matvec") {
+    source += "SIGNAL m: matvec(4);\n";
+    top = "m";
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace zeus::corpus

@@ -402,4 +402,11 @@ const std::vector<CorpusEntry>& all();
 /// Looks up an entry by name; nullptr if unknown.
 const CorpusEntry* find(const std::string& name);
 
+/// Directly elaboratable form of an entry: `source` receives the program
+/// text (with a default instantiation line appended for the parameterized
+/// families) and `top` the SIGNAL to elaborate — the same defaults the
+/// zeusc --example path uses.  Returns false for unknown names.
+bool instantiate(const std::string& name, std::string& source,
+                 std::string& top);
+
 }  // namespace zeus::corpus

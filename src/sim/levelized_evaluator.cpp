@@ -221,6 +221,16 @@ void LevelizedBatchEvaluator::evaluate(const BatchSeeds& seeds,
   const Netlist& nl = g_.design->netlist;
   ++epoch_;
   ++stats_.epochResets;
+  if (seeds.rngStates) {
+    // Seed-0 normalization parity with the scalar evaluators, which
+    // substitute kDefaultRngSeed for a zero rngState.  Without this a
+    // lane whose stream was restored to 0 (xorshift's absorbing state)
+    // would draw all-zero RANDOM bits while its scalar oracle draws the
+    // default sequence.
+    for (uint64_t& s : *seeds.rngStates) {
+      if (s == 0) s = kDefaultRngSeed;
+    }
+  }
   if (out.netValues.size() != g_.denseCount) {
     out.netValues.assign(g_.denseCount, {});
     out.activeAny.assign(g_.denseCount, 0);

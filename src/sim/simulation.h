@@ -95,6 +95,8 @@ class Simulation {
   void setRset(bool active);
   /// Seed for RANDOM components (deterministic runs).
   void setRandomSeed(uint64_t seed);
+  /// Current position of the RANDOM stream (what a snapshot would carry).
+  [[nodiscard]] uint64_t randomState() const { return rngState_; }
 
   // -- fault injection --
   /// Injects a hardware fault (src/sim/fault.h).  The fault applies on

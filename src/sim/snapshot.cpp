@@ -120,7 +120,7 @@ bool readHeader(Reader& r, SnapshotKind expected, uint64_t& designHash) {
   if (!r.u32(version)) return false;
   if (version != kSnapshotVersion) return r.fail("unsupported version");
   if (!r.u8(kind)) return false;
-  if (kind > static_cast<uint8_t>(SnapshotKind::CampaignProgress)) {
+  if (kind > static_cast<uint8_t>(SnapshotKind::FarmState)) {
     return r.fail("unknown snapshot kind");
   }
   if (kind != static_cast<uint8_t>(expected)) {
@@ -196,6 +196,39 @@ bool readLogicVec(Reader& r, std::vector<Logic>& v) {
     v[i] = static_cast<Logic>(b);
   }
   return true;
+}
+
+/// Header-less SimSnapshot payload, shared between the standalone
+/// SimState format and the per-lane entries of a FarmState checkpoint.
+void writeSimBody(Writer& w, const SimSnapshot& snap) {
+  w.u64(snap.cycle);
+  w.u64(snap.rngState);
+  writeStats(w, snap.stats);
+  writeLogicVec(w, snap.regValues);
+  writeLogicVec(w, snap.inputValues);
+  w.u64(snap.inputSet.size());
+  for (char c : snap.inputSet) w.u8(c ? 1 : 0);
+  writeErrors(w, snap.errors);
+}
+
+bool readSimBody(Reader& r, SimSnapshot& out) {
+  bool ok = r.u64(out.cycle) && r.u64(out.rngState) &&
+            readStats(r, out.stats) && readLogicVec(r, out.regValues) &&
+            readLogicVec(r, out.inputValues);
+  if (ok) {
+    uint64_t n;
+    ok = r.count(n, 1);
+    if (ok) {
+      out.inputSet.resize(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n && ok; ++i) {
+        uint8_t b;
+        ok = r.u8(b);
+        if (ok && b > 1) ok = r.fail("invalid input-set flag");
+        if (ok) out.inputSet[i] = static_cast<char>(b);
+      }
+    }
+  }
+  return ok && readErrors(r, out.errors);
 }
 
 bool writeFile(const std::string& path, const std::vector<uint8_t>& bytes,
@@ -277,7 +310,7 @@ bool snapshotKindOfBytes(const uint8_t* data, size_t size, SnapshotKind& out,
   uint8_t kind;
   bool ok = r.u32(magic) && magic == kSnapshotMagic && r.u32(version) &&
             version == kSnapshotVersion && r.u8(kind) &&
-            kind <= static_cast<uint8_t>(SnapshotKind::CampaignProgress);
+            kind <= static_cast<uint8_t>(SnapshotKind::FarmState);
   if (!ok) {
     error = r.error.empty() ? "not a ZSNP checkpoint (bad magic, version "
                               "or kind)"
@@ -292,14 +325,7 @@ std::vector<uint8_t> snapshotToBytes(const SimSnapshot& snap) {
   ZEUS_TRACE_SPAN("checkpoint-save", "sim");
   Writer w;
   writeHeader(w, SnapshotKind::SimState, snap.designHash);
-  w.u64(snap.cycle);
-  w.u64(snap.rngState);
-  writeStats(w, snap.stats);
-  writeLogicVec(w, snap.regValues);
-  writeLogicVec(w, snap.inputValues);
-  w.u64(snap.inputSet.size());
-  for (char c : snap.inputSet) w.u8(c ? 1 : 0);
-  writeErrors(w, snap.errors);
+  writeSimBody(w, snap);
   return std::move(w.bytes);
 }
 
@@ -308,23 +334,7 @@ bool snapshotFromBytes(const uint8_t* data, size_t size, SimSnapshot& out,
   ZEUS_TRACE_SPAN("checkpoint-load", "sim");
   Reader r{data, size, 0, {}};
   bool ok = readHeader(r, SnapshotKind::SimState, out.designHash) &&
-            r.u64(out.cycle) && r.u64(out.rngState) &&
-            readStats(r, out.stats) && readLogicVec(r, out.regValues) &&
-            readLogicVec(r, out.inputValues);
-  if (ok) {
-    uint64_t n;
-    ok = r.count(n, 1);
-    if (ok) {
-      out.inputSet.resize(static_cast<size_t>(n));
-      for (uint64_t i = 0; i < n && ok; ++i) {
-        uint8_t b;
-        ok = r.u8(b);
-        if (ok && b > 1) ok = r.fail("invalid input-set flag");
-        if (ok) out.inputSet[i] = static_cast<char>(b);
-      }
-    }
-  }
-  ok = ok && readErrors(r, out.errors);
+            readSimBody(r, out);
   if (ok && r.pos != r.size) ok = r.fail("trailing bytes");
   if (!ok) {
     error = r.error.empty() ? "corrupt snapshot" : r.error;
@@ -344,6 +354,76 @@ bool loadSnapshotFile(const std::string& path, SimSnapshot& out,
   std::vector<uint8_t> bytes;
   if (!readFile(path, bytes, error)) return false;
   return snapshotFromBytes(bytes.data(), bytes.size(), out, error);
+}
+
+std::vector<uint8_t> farmToBytes(const FarmSnapshot& snap) {
+  ZEUS_TRACE_SPAN("checkpoint-save", "sim");
+  Writer w;
+  writeHeader(w, SnapshotKind::FarmState, snap.designHash);
+  w.u64(snap.cycle);
+  w.u64(snap.seed);
+  w.u32(snap.totalLanes);
+  w.u32(snap.lanesPerBlock);
+  writeStats(w, snap.stats);
+  w.u64(snap.checksums.size());
+  for (uint64_t c : snap.checksums) w.u64(c);
+  w.u64(snap.lanes.size());
+  for (const SimSnapshot& lane : snap.lanes) writeSimBody(w, lane);
+  return std::move(w.bytes);
+}
+
+bool farmFromBytes(const uint8_t* data, size_t size, FarmSnapshot& out,
+                   std::string& error) {
+  ZEUS_TRACE_SPAN("checkpoint-load", "sim");
+  Reader r{data, size, 0, {}};
+  bool ok = readHeader(r, SnapshotKind::FarmState, out.designHash) &&
+            r.u64(out.cycle) && r.u64(out.seed) && r.u32(out.totalLanes) &&
+            r.u32(out.lanesPerBlock) && readStats(r, out.stats);
+  if (ok && out.totalLanes == 0) ok = r.fail("zero farm lanes");
+  if (ok && (out.lanesPerBlock < 1 || out.lanesPerBlock > 64)) {
+    ok = r.fail("bad lanes-per-block");
+  }
+  uint64_t n = 0;
+  ok = ok && r.count(n, 8);
+  if (ok && n != out.totalLanes) ok = r.fail("checksum count != lane count");
+  if (ok) {
+    out.checksums.resize(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n && ok; ++i) ok = r.u64(out.checksums[i]);
+  }
+  // Each lane body is at least 16 (cycle+rng) + 64 (stats) + 3*8 (vector
+  // counts) + 8 (error count) bytes.
+  ok = ok && r.count(n, 112);
+  if (ok && n != out.totalLanes) ok = r.fail("lane count mismatch");
+  if (ok) {
+    out.lanes.clear();
+    out.lanes.resize(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n && ok; ++i) {
+      ok = readSimBody(r, out.lanes[i]);
+      if (ok && out.lanes[i].cycle != out.cycle) {
+        ok = r.fail("lane cycle disagrees with farm cycle");
+      }
+      if (ok) out.lanes[i].designHash = out.designHash;
+    }
+  }
+  if (ok && r.pos != r.size) ok = r.fail("trailing bytes");
+  if (!ok) {
+    error = r.error.empty() ? "corrupt farm checkpoint" : r.error;
+    return false;
+  }
+  snapshotLoads.add();
+  return true;
+}
+
+bool saveFarmFile(const std::string& path, const FarmSnapshot& snap,
+                  std::string& error) {
+  return writeFile(path, farmToBytes(snap), error);
+}
+
+bool loadFarmFile(const std::string& path, FarmSnapshot& out,
+                  std::string& error) {
+  std::vector<uint8_t> bytes;
+  if (!readFile(path, bytes, error)) return false;
+  return farmFromBytes(bytes.data(), bytes.size(), out, error);
 }
 
 std::vector<uint8_t> campaignToBytes(const CampaignProgress& progress) {

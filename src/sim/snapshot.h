@@ -33,6 +33,24 @@ inline constexpr uint32_t kSnapshotVersion = 1;
 enum class SnapshotKind : uint8_t {
   SimState = 0,          ///< full Simulation / per-lane BatchSimulation state
   CampaignProgress = 1,  ///< fault-campaign sweep position + outcomes
+  FarmState = 2,         ///< multi-threaded SimFarm state (all lanes)
+};
+
+/// Complete SimFarm state at a cycle boundary (src/core/sim_farm.h):
+/// the farm configuration plus one full SimSnapshot and one running
+/// output checksum per global lane.  A farm resumed from this snapshot
+/// is bit-identical to one that never stopped — for ANY worker-thread
+/// count, because per-lane stimulus and RANDOM streams are pure
+/// functions of (seed, lane, cycle).
+struct FarmSnapshot {
+  uint64_t designHash = 0;
+  uint64_t cycle = 0;         ///< cycles already evaluated on every lane
+  uint64_t seed = 0;          ///< root seed of the run being checkpointed
+  uint32_t totalLanes = 0;
+  uint32_t lanesPerBlock = 0;
+  EvalStats stats;                 ///< merged block counters at save time
+  std::vector<uint64_t> checksums; ///< per global lane, running
+  std::vector<SimSnapshot> lanes;  ///< per global lane (scalar convention)
 };
 
 /// Order-insensitive-free structural hash of an elaborated design: nets
@@ -55,6 +73,15 @@ bool saveSnapshotFile(const std::string& path, const SimSnapshot& snap,
                       std::string& error);
 bool loadSnapshotFile(const std::string& path, SimSnapshot& out,
                       std::string& error);
+
+// -- farm state --
+[[nodiscard]] std::vector<uint8_t> farmToBytes(const FarmSnapshot& snap);
+bool farmFromBytes(const uint8_t* data, size_t size, FarmSnapshot& out,
+                   std::string& error);
+bool saveFarmFile(const std::string& path, const FarmSnapshot& snap,
+                  std::string& error);
+bool loadFarmFile(const std::string& path, FarmSnapshot& out,
+                  std::string& error);
 
 // -- fault-campaign progress --
 [[nodiscard]] std::vector<uint8_t> campaignToBytes(

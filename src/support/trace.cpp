@@ -11,6 +11,12 @@ namespace {
 
 std::atomic<bool> g_enabled{false};
 
+/// Buffer generation: bumped by clear() and setEnabled(false).  A span
+/// records only when the epoch it captured at entry is still current, so
+/// spans straddling a clear/disable are dropped instead of resurrecting
+/// events into a supposedly-empty buffer.
+std::atomic<uint64_t> g_epoch{1};
+
 uint64_t nowUs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -18,10 +24,13 @@ uint64_t nowUs() {
           .count());
 }
 
-/// Per-thread event buffer.  Recording appends without any lock; the
+/// Per-thread event buffer.  The owning thread appends under `mutex`
+/// (uncontended except while a snapshot/clear touches this buffer); the
 /// registry mutex is taken only on a thread's first event and when the
-/// buffers are read or cleared.
+/// set of buffers is enumerated.  Lock order: registry mutex, then buffer
+/// mutex — the recording path takes only the buffer mutex.
 struct ThreadBuffer {
+  std::mutex mutex;
   std::vector<Event> events;
   uint32_t tid = 0;
 };
@@ -49,20 +58,33 @@ ThreadBuffer& localBuffer() {
 }  // namespace
 
 void setEnabled(bool on) {
+  if (!on) g_epoch.fetch_add(1, std::memory_order_seq_cst);
   g_enabled.store(on, std::memory_order_relaxed);
 }
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void clear() {
+  // Invalidate open spans FIRST: a span that loads the epoch after this
+  // bump drops itself; one that loaded it before either appends while we
+  // wait for its buffer mutex (and is cleared below) or re-checks under
+  // the mutex after we release it and drops itself.  Either way no
+  // pre-clear span survives into the emptied buffers.
+  g_epoch.fetch_add(1, std::memory_order_seq_cst);
   std::lock_guard<std::mutex> lock(g_registryMutex);
-  for (ThreadBuffer* b : registry()) b->events.clear();
+  for (ThreadBuffer* b : registry()) {
+    std::lock_guard<std::mutex> bufLock(b->mutex);
+    b->events.clear();
+  }
 }
 
 size_t eventCount() {
   std::lock_guard<std::mutex> lock(g_registryMutex);
   size_t n = 0;
-  for (ThreadBuffer* b : registry()) n += b->events.size();
+  for (ThreadBuffer* b : registry()) {
+    std::lock_guard<std::mutex> bufLock(b->mutex);
+    n += b->events.size();
+  }
   return n;
 }
 
@@ -71,6 +93,7 @@ std::vector<Event> snapshot() {
   {
     std::lock_guard<std::mutex> lock(g_registryMutex);
     for (ThreadBuffer* b : registry()) {
+      std::lock_guard<std::mutex> bufLock(b->mutex);
       all.insert(all.end(), b->events.begin(), b->events.end());
     }
   }
@@ -99,8 +122,9 @@ std::string renderChromeJson() {
 }
 
 Span::Span(const char* name, const char* category)
-    : name_(name), category_(category), startUs_(0) {
+    : name_(name), category_(category), startUs_(0), epoch_(0) {
   if (enabled()) {
+    epoch_ = g_epoch.load(std::memory_order_seq_cst);
     startUs_ = nowUs();
     if (startUs_ == 0) startUs_ = 1;  // 0 means "off"; never record it
   }
@@ -108,8 +132,13 @@ Span::Span(const char* name, const char* category)
 
 Span::~Span() {
   if (startUs_ == 0) return;
+  if (!enabled()) return;  // disabled mid-span: drop
   uint64_t end = nowUs();
   ThreadBuffer& buf = localBuffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  // Re-check under the lock: clear()/setEnabled(false) since entry means
+  // this span belongs to a discarded generation.
+  if (g_epoch.load(std::memory_order_seq_cst) != epoch_) return;
   buf.events.push_back(
       {name_, category_, startUs_, end > startUs_ ? end - startUs_ : 0,
        buf.tid});

@@ -11,9 +11,15 @@
 //   * runtime: while tracing is not enabled (the default) a span is one
 //     relaxed atomic load and no clock reads — nothing is allocated and
 //     nothing is locked;
-//   * enabled: events append to a thread-local buffer (no lock on the
-//     recording path; the registry lock is taken once per thread and at
-//     render/clear time).
+//   * enabled: events append to a thread-local buffer under that buffer's
+//     own (uncontended) mutex; the registry lock is taken once per thread
+//     and at render/clear time.
+//
+// Thread-safety contract (docs/observability.md): every function here may
+// be called from any thread at any time.  A span that is still open when
+// clear() or setEnabled(false) runs records NOTHING when it closes — the
+// buffers stay empty after a clear even if worker spans straddle it, so
+// phaseTimings never sees resurrected events.
 //
 // Spans are deliberately phase-grained, never per-cycle or per-node: the
 // simulation hot loops stay untouched (per-cycle observability is the
@@ -28,11 +34,14 @@
 namespace zeus::trace {
 
 /// Globally enables/disables span recording.  Disabled spans cost one
-/// relaxed atomic load.  Thread-safe.
+/// relaxed atomic load.  Thread-safe.  Disabling drops every span still
+/// open at that moment (they record nothing when they close, even if
+/// tracing is re-enabled before then).
 void setEnabled(bool on);
 [[nodiscard]] bool enabled();
 
-/// Discards every recorded event (all threads).
+/// Discards every recorded event (all threads).  Spans still open when
+/// clear() runs are dropped too: they record nothing when they close.
 void clear();
 
 /// Number of completed spans recorded so far (all threads).
@@ -71,6 +80,7 @@ class Span {
   const char* name_;
   const char* category_;
   uint64_t startUs_;  ///< 0 = tracing was off at entry; record nothing
+  uint64_t epoch_;    ///< buffer generation at entry; stale = dropped
 };
 
 }  // namespace zeus::trace

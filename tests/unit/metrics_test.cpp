@@ -48,8 +48,11 @@ TEST_F(TraceFixture, EnabledSpansRecordNameCategoryAndDuration) {
 
 TEST_F(TraceFixture, ToggleMidSpanNeverHalfRecords) {
   // A span that starts disabled records nothing even if tracing turns on
-  // before it closes (no bogus start timestamp), and vice versa a span
-  // that starts enabled completes its event.
+  // before it closes (no bogus start timestamp).  A span that starts
+  // enabled but is disabled mid-span is dropped too: setEnabled(false)
+  // retires the buffer generation, so straddling spans cannot resurrect
+  // events into buffers the caller believes are quiescent (the
+  // thread-safety contract in src/support/trace.h).
   {
     ZEUS_TRACE_SPAN("started-off", "test");
     trace::setEnabled(true);
@@ -58,6 +61,13 @@ TEST_F(TraceFixture, ToggleMidSpanNeverHalfRecords) {
   {
     ZEUS_TRACE_SPAN("started-on", "test");
     trace::setEnabled(false);
+  }
+  EXPECT_EQ(trace::eventCount(), 0u);
+  // A span fully inside one enabled generation records normally.
+  trace::setEnabled(true);
+  {
+    ZEUS_TRACE_SPAN("clean", "test");
+    (void)0;
   }
   EXPECT_EQ(trace::eventCount(), 1u);
 }

@@ -1,0 +1,92 @@
+// Unit tests for the batch-request mode (src/core/batch_serve.h): the
+// strict JSON request parser, the content-hash compile cache, per-request
+// error isolation and the zeus-serve-v1 response shape.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/batch_serve.h"
+
+namespace zeus::test {
+namespace {
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(Serve, MalformedJsonYieldsStructuredError) {
+  ServeStats stats;
+  for (const char* bad :
+       {"", "{", "not json", "{\"requests\": 3}", "[1,2]",
+        "{\"requests\": [{\"id\": \"x\", \"cycles\": -1}]}",
+        "{\"requests\": [\"nope\"]}"}) {
+    std::string resp = runServeBatch(bad, ServeOptions{}, &stats);
+    EXPECT_TRUE(contains(resp, "zeus-serve-v1")) << bad;
+    EXPECT_TRUE(contains(resp, "\"error\"")) << bad;
+    EXPECT_GE(stats.failures, 1u) << bad;
+  }
+}
+
+TEST(Serve, RequestsShareOneCompilePerDesign) {
+  const std::string req = R"({"requests": [
+    {"id": "r1", "example": "adders", "cycles": 4, "lanes": 8},
+    {"id": "r2", "example": "adders", "cycles": 4, "lanes": 8, "threads": 2},
+    {"id": "r3", "example": "mux4", "cycles": 2, "lanes": 4}
+  ]})";
+  ServeStats stats;
+  std::string resp = runServeBatch(req, ServeOptions{}, &stats);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.compiles, 2u);   // adders once, mux4 once
+  EXPECT_EQ(stats.cacheHits, 1u);  // r2 reuses r1's design
+  EXPECT_TRUE(contains(resp, "\"id\": \"r1\", \"ok\": true"));
+  EXPECT_TRUE(contains(resp, "\"cache\": \"hit\""));
+}
+
+TEST(Serve, DeterministicChecksumAcrossThreadCounts) {
+  const std::string req = R"({"requests": [
+    {"id": "a", "example": "adders", "cycles": 6, "lanes": 96, "threads": 1},
+    {"id": "b", "example": "adders", "cycles": 6, "lanes": 96, "threads": 4}
+  ]})";
+  ServeStats stats;
+  std::string resp = runServeBatch(req, ServeOptions{}, &stats);
+  ASSERT_EQ(stats.failures, 0u) << resp;
+  // Both rows must print the same checksum token.
+  const std::string key = "\"checksum\": ";
+  size_t p1 = resp.find(key);
+  ASSERT_NE(p1, std::string::npos);
+  size_t p2 = resp.find(key, p1 + 1);
+  ASSERT_NE(p2, std::string::npos);
+  EXPECT_EQ(resp.substr(p1, resp.find(',', p1) - p1),
+            resp.substr(p2, resp.find(',', p2) - p2));
+}
+
+TEST(Serve, BadRequestsDoNotPoisonGoodOnes) {
+  const std::string req = R"({"requests": [
+    {"id": "good", "example": "mux4", "cycles": 2},
+    {"id": "unknown", "example": "no-such-example"},
+    {"id": "nosource", "cycles": 2},
+    {"id": "both", "example": "mux4", "source": "x", "top": "t"},
+    {"id": "badopt", "example": "mux4", "opt": 9}
+  ]})";
+  ServeStats stats;
+  std::string resp = runServeBatch(req, ServeOptions{}, &stats);
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.failures, 4u);
+  EXPECT_TRUE(contains(resp, "\"id\": \"good\", \"ok\": true"));
+  EXPECT_TRUE(contains(resp, "unknown example"));
+}
+
+TEST(Serve, InlineSourceCompilesAndFailsGracefully) {
+  const std::string req = R"({"requests": [
+    {"id": "broken", "source": "THIS IS NOT ZEUS", "top": "t", "cycles": 2}
+  ]})";
+  ServeStats stats;
+  std::string resp = runServeBatch(req, ServeOptions{}, &stats);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_TRUE(contains(resp, "\"ok\": false"));
+  EXPECT_TRUE(contains(resp, "compile failed"));
+}
+
+}  // namespace
+}  // namespace zeus::test

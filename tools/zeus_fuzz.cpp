@@ -67,6 +67,8 @@ bool runOne(const uint8_t* data, size_t size) {
     (void)zeus::snapshotFromBytes(data, size, snap, err);
     zeus::CampaignProgress progress;
     (void)zeus::campaignFromBytes(data, size, progress, err);
+    zeus::FarmSnapshot farm;
+    (void)zeus::farmFromBytes(data, size, farm, err);
   }
   std::string text(reinterpret_cast<const char*>(data), size);
   auto comp = zeus::Compilation::fromSource("fuzz.zeus", std::move(text),
