@@ -30,6 +30,7 @@
 #include "src/core/sim_farm.h"
 #include "src/core/zeus.h"
 #include "src/corpus/corpus.h"
+#include "src/support/buildinfo.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 
@@ -259,6 +260,9 @@ struct FarmBenchResult {
   unsigned hostCores = 0;
   std::vector<FarmThreadRun> runs;  ///< threads = 1, 2, 4
   uint64_t oracleChecksum = 0;
+  /// Per-block wall times merged over the whole thread sweep, for the
+  /// BENCH_sim.json latency block.
+  zeus::histogram::Histogram blockUs;
 
   [[nodiscard]] double speedup4v1() const {
     return !runs.empty() && runs.front().laneCyclesPerSec > 0
@@ -283,6 +287,7 @@ bool runFarmBench(const zeus::SimGraph& g, uint64_t totalCycles,
     zeus::FarmReport rep = zeus::runFarm(g, opts);
     r.runs.push_back({threads, rep.seconds, rep.laneCyclesPerSec(),
                       rep.mergedChecksum()});
+    r.blockUs.merge(rep.blockUs);
   }
   zeus::FarmReport oracle = zeus::runFarmScalarOracle(g, opts);
   r.oracleChecksum = oracle.mergedChecksum();
@@ -328,6 +333,7 @@ void emitJson(const std::string& path, int width, uint64_t cycles,
   std::ofstream out(path);
   out << "{\n"
       << "  \"schema\": \"zeus-bench-sim-v1\",\n"
+      << "  \"build\": " << zeus::buildinfo::renderJson() << ",\n"
       << "  \"design\": \"rippleCarry\",\n"
       << "  \"width\": " << width << ",\n"
       << "  \"cycles\": " << cycles << ",\n"
@@ -386,11 +392,16 @@ void emitJson(const std::string& path, int width, uint64_t cycles,
         << ", \"checksum\": " << t.checksum << "}"
         << (i + 1 < farm.runs.size() ? "," : "") << "\n";
   }
+  std::vector<zeus::histogram::Snapshot> latency;
+  latency.push_back(
+      zeus::histogram::snapshot(farm.blockUs, "farm.block_us", "us"));
   out << "    ],\n"
       << "    \"oracle_checksum\": " << farm.oracleChecksum << ",\n"
       << "    \"speedup_4_vs_1\": " << farm.speedup4v1() << ",\n"
       << "    \"speedup_vs_batch64\": " << farmVsBatch << "\n"
       << "  },\n"
+      << "  \"latency\": "
+      << zeus::histogram::renderLatencyBlock(latency, "  ") << ",\n"
       << "  \"speedup_levelized_vs_firing\": " << speedupLevelized << ",\n"
       << "  \"speedup_batch_vs_firing\": " << speedupBatch << "\n"
       << "}\n";

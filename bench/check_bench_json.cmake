@@ -206,4 +206,53 @@ else()
   message(STATUS "farm speedup check skipped: only ${fcores} host core(s)")
 endif()
 
-message(STATUS "BENCH_sim.json schema OK (${nevals} evaluators + fault campaign + optimization + farm; opt ${onodes_before} -> ${onodes_after} nodes)")
+# build: the attribution stamp (PR 8) — who compiled the binary that
+# produced these numbers.
+foreach(field git compiler build_type trace_compiled_out)
+  string(JSON v ERROR_VARIABLE jerr GET "${content}" build ${field})
+  if(jerr)
+    message(FATAL_ERROR "build missing '${field}': ${jerr}")
+  endif()
+endforeach()
+string(JSON bgit GET "${content}" build git)
+if(bgit STREQUAL "")
+  message(FATAL_ERROR "build.git is empty")
+endif()
+
+# latency: the farm.block_us histogram collected across the whole thread
+# sweep.  The summary quartet must be internally consistent and the
+# bucket counts must sum to the total.
+foreach(field unit count sum max p50 p90 p99 buckets)
+  string(JSON v ERROR_VARIABLE jerr GET "${content}" latency farm.block_us ${field})
+  if(jerr)
+    message(FATAL_ERROR "latency.farm.block_us missing '${field}': ${jerr}")
+  endif()
+endforeach()
+string(JSON lcount GET "${content}" latency farm.block_us count)
+string(JSON lmax GET "${content}" latency farm.block_us max)
+string(JSON lp50 GET "${content}" latency farm.block_us p50)
+string(JSON lp99 GET "${content}" latency farm.block_us p99)
+# 3 thread rows x 4 blocks each.
+if(NOT lcount EQUAL 12)
+  message(FATAL_ERROR "latency.farm.block_us.count = ${lcount}, expected 12")
+endif()
+if(lp50 GREATER lp99 OR lp99 GREATER lmax)
+  message(FATAL_ERROR
+          "latency percentiles not ordered: p50=${lp50} p99=${lp99} max=${lmax}")
+endif()
+string(JSON nbuckets LENGTH "${content}" latency farm.block_us buckets)
+if(nbuckets LESS 1)
+  message(FATAL_ERROR "latency.farm.block_us has no occupied buckets")
+endif()
+set(bsum 0)
+math(EXPR blast "${nbuckets} - 1")
+foreach(i RANGE ${blast})
+  string(JSON bn GET "${content}" latency farm.block_us buckets ${i} 1)
+  math(EXPR bsum "${bsum} + ${bn}")
+endforeach()
+if(NOT bsum EQUAL lcount)
+  message(FATAL_ERROR
+          "latency bucket counts sum to ${bsum}, total says ${lcount}")
+endif()
+
+message(STATUS "BENCH_sim.json schema OK (${nevals} evaluators + fault campaign + optimization + farm + build/latency; opt ${onodes_before} -> ${onodes_after} nodes)")

@@ -43,8 +43,19 @@
 //   --sim-budget-ms <n>  wall-clock budget; a trip writes the checkpoint
 //                        and partial metrics, then exits with code 12
 //                        (11 = evaluator watchdog, docs/fault-injection.md)
-//   --die-at-cycle <n>   raise SIGKILL after n evaluated cycles (crash-
-//                        recovery testing)
+//   --die-at-cycle <n>   raise a fatal signal after n evaluated cycles
+//                        (crash-recovery testing)
+//   --die-signal <s>     signal for --die-at-cycle: "kill" (default; the
+//                        unbufferable power-cut) or "abort" (SIGABRT, so
+//                        the flight recorder writes its crash dump first)
+//   --sim-watchdog <n>   evaluator watchdog: abort a cycle after n
+//                        firing events (0 = the design-derived default)
+//   --log <file>         write the structured event log as zeus-log-v1
+//                        JSONL (docs/observability.md)
+//   --crash-dump <file>  flight-recorder dump path (default
+//                        .zeus-crash.json); written on SIGSEGV/SIGABRT
+//                        and on watchdog/budget faults
+//   --version            print the build-info stamp and exit
 //   --farm-threads <n>   run --sim through the multi-core simulation farm
 //                        with n worker threads (docs/simulator.md)
 //   --lanes <n>          total farm lanes (default 64; split into 64-lane
@@ -75,6 +86,8 @@
 #include "src/core/sim_farm.h"
 #include "src/layout/render.h"
 #include "src/sim/snapshot.h"
+#include "src/support/buildinfo.h"
+#include "src/support/eventlog.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 
@@ -90,6 +103,8 @@ int usage() {
                "[--metrics out.json] [--fault-campaign] [--fault-out f.json] "
                "[--fault-seed N] [--checkpoint f.snap] [--checkpoint-every N] "
                "[--resume f.snap] [--sim-budget-ms N] [--die-at-cycle N] "
+               "[--die-signal kill|abort] [--sim-watchdog N] "
+               "[--log out.jsonl] [--crash-dump f.json] "
                "[--farm-threads N] [--lanes N] [--farm-seed N]\n"
                "       zeusc --example <name> [options]\n"
                "       zeusc --serve-batch requests.json [--serve-out r.json]\n"
@@ -159,8 +174,12 @@ int main(int argc, char** argv) {
   std::string faultOut, checkpointFile, resumeFile;
   long faultSeed = -1, checkpointEvery = -1, simBudgetMs = -1;
   long dieAtCycle = -1;
+  bool dieAbort = false;
+  long simWatchdog = -1;
   long farmThreads = -1, farmLanes = -1, farmSeed = -1;
   std::string serveBatchFile, serveOutFile;
+  std::string logOut;
+  std::string crashDump = ".zeus-crash.json";
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -265,6 +284,32 @@ int main(int argc, char** argv) {
     } else if (arg == "--die-at-cycle") {
       const char* v = next();
       if (!parseCount("--die-at-cycle", v, dieAtCycle, kMaxCycles)) return 2;
+    } else if (arg == "--die-signal") {
+      const char* v = next();
+      if (!v) return usage();
+      if (std::strcmp(v, "kill") == 0) {
+        dieAbort = false;
+      } else if (std::strcmp(v, "abort") == 0) {
+        dieAbort = true;
+      } else {
+        std::fprintf(stderr,
+                     "zeusc: --die-signal expects 'kill' or 'abort'\n");
+        return 2;
+      }
+    } else if (arg == "--sim-watchdog") {
+      const char* v = next();
+      if (!parseCount("--sim-watchdog", v, simWatchdog, kMaxU32)) return 2;
+    } else if (arg == "--log") {
+      const char* v = next();
+      if (!v) return usage();
+      logOut = v;
+    } else if (arg == "--crash-dump") {
+      const char* v = next();
+      if (!v) return usage();
+      crashDump = v;
+    } else if (arg == "--version") {
+      std::printf("%s\n", zeus::buildinfo::versionLine().c_str());
+      return 0;
     } else if (arg == "--farm-threads") {
       const char* v = next();
       if (!parseCount("--farm-threads", v, farmThreads, 256)) return 2;
@@ -298,6 +343,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The flight recorder is always armed: any zeusc that dies on
+  // SIGSEGV/SIGABRT — or trips a watchdog/budget fault below — leaves a
+  // zeus-crash-v1 post-mortem behind.  (--die-at-cycle's default SIGKILL
+  // is uncatchable by design: the crash-recovery tests want a power cut.)
+  zeus::flightrec::arm(crashDump.c_str());
+  if (!logOut.empty()) zeus::eventlog::setEnabled(true);
+  auto emitLog = [&]() {
+    if (logOut.empty()) return;
+    if (writeFile(logOut, zeus::eventlog::renderJsonl())) {
+      std::printf("wrote %s\n", logOut.c_str());
+    }
+  };
+
   // Batch-request mode stands alone: it compiles and simulates per
   // request, so the usual <file>/--top requirement does not apply.
   if (!serveBatchFile.empty()) {
@@ -327,6 +385,7 @@ int main(int argc, char** argv) {
                  "hit(s), %zu failure(s)\n",
                  sstats.requests, sstats.compiles, sstats.cacheHits,
                  sstats.failures);
+    emitLog();
     return sstats.failures == 0 ? 0 : 1;
   }
 
@@ -383,6 +442,7 @@ int main(int argc, char** argv) {
     if (!metricsOut.empty() && writeFile(metricsOut, mreport.renderJson())) {
       std::printf("wrote %s\n", metricsOut.c_str());
     }
+    emitLog();
   };
   // Failure exit: show how close the run came to its resource budgets
   // (the usual first question when a compile or simulation dies), then
@@ -546,7 +606,9 @@ int main(int argc, char** argv) {
       fopts.onCycle = [&](uint64_t evaluated) {
         if (evaluated >= static_cast<uint64_t>(dieAtCycle)) {
           std::fflush(nullptr);
-          raise(SIGKILL);
+          // "abort" dies through the flight-recorder handler (crash dump,
+          // then SIGABRT); "kill" stays the uncatchable power cut.
+          raise(dieAbort ? SIGABRT : SIGKILL);
         }
       };
     }
@@ -603,6 +665,7 @@ int main(int argc, char** argv) {
                    "with --resume %s\n",
                    checkpointFile.empty() ? "<checkpoint>"
                                           : checkpointFile.c_str());
+      zeus::flightrec::dumpNow("budget");
       return 12;
     }
     return 0;
@@ -674,6 +737,8 @@ int main(int argc, char** argv) {
         fr.threads, static_cast<unsigned long long>(fr.mergedChecksum()),
         fr.errors.size(), fr.laneCyclesPerSec());
     mreport.sim = zeus::farmMetricsCounters(fr);
+    mreport.latency.push_back(
+        zeus::histogram::snapshot(fr.blockUs, "farm.block_us", "us"));
     if (stats) {
       mreport.resources = comp->resourceReport();
       mreport.phases = zeus::metrics::phaseTimings();
@@ -693,13 +758,18 @@ int main(int argc, char** argv) {
     sopts.evaluator = evalKind;
     sopts.profileActivity = wantActivity;
     if (simBudgetMs >= 0) sopts.maxSimMillis = static_cast<uint64_t>(simBudgetMs);
+    if (simWatchdog >= 0) {
+      sopts.maxEventsPerCycle = static_cast<uint64_t>(simWatchdog);
+    }
     zeus::Simulation sim(graph, sopts);
     // Checkpoint/resume/budget/crash flags switch the run from one big
     // step() into cycle-by-cycle stepping so state can be saved (and the
-    // wall clock checked) at every cycle boundary.
+    // wall clock checked) at every cycle boundary.  An explicit
+    // --sim-watchdog opts into the same budget-fault handling (exit 11 +
+    // flight-recorder dump).
     const bool chunked = !checkpointFile.empty() || checkpointEvery > 0 ||
                          !resumeFile.empty() || simBudgetMs >= 0 ||
-                         dieAtCycle >= 0;
+                         dieAtCycle >= 0 || simWatchdog >= 0;
     int simRc = 0;
     if (!resumeFile.empty()) {
       zeus::SimSnapshot snap;
@@ -750,7 +820,14 @@ int main(int argc, char** argv) {
       };
       const uint64_t total = static_cast<uint64_t>(simCycles);
       while (sim.cycle() < total) {
+        const size_t errsBefore = sim.errors().size();
         sim.step(1);
+        // A tripped watchdog aborts the cycle WITHOUT advancing
+        // sim.cycle(); re-stepping would trip it identically forever.
+        if (sim.errors().size() > errsBefore &&
+            sim.errors().back().code == zeus::Diag::SimWatchdog) {
+          break;
+        }
         if (checkpointEvery > 0 &&
             sim.cycle() % static_cast<uint64_t>(checkpointEvery) == 0) {
           writeCheckpoint();
@@ -758,7 +835,7 @@ int main(int argc, char** argv) {
         if (dieAtCycle >= 0 &&
             sim.cycle() >= static_cast<uint64_t>(dieAtCycle)) {
           std::fflush(nullptr);
-          raise(SIGKILL);
+          raise(dieAbort ? SIGABRT : SIGKILL);
         }
         // Simulation::step's own guard only trips between cycles of one
         // multi-cycle call, so the chunked loop keeps its own clock.
@@ -790,6 +867,11 @@ int main(int argc, char** argv) {
     comp->recordSimulation(sim);
     mreport.sim = sim.metricsCounters();
     mreport.activity = sim.activityReport();
+    zeus::eventlog::emit(
+        zeus::eventlog::Severity::Info, "sim", "run-done",
+        {zeus::eventlog::num("cycles", sim.cycle()),
+         zeus::eventlog::num("faults",
+                             static_cast<uint64_t>(sim.errors().size()))});
     bool budgetFault = false;
     for (const zeus::SimError& e : sim.errors()) {
       std::printf("  runtime error, cycle %llu, %s: %s\n",
@@ -825,6 +907,12 @@ int main(int argc, char** argv) {
                    simRc,
                    checkpointFile.empty() ? "not requested (--checkpoint)"
                                           : checkpointFile.c_str());
+      zeus::eventlog::emit(
+          zeus::eventlog::Severity::Error, "sim",
+          simRc == 11 ? "watchdog-fault" : "budget-fault",
+          {zeus::eventlog::num("cycle", sim.cycle()),
+           zeus::eventlog::num("exit", static_cast<uint64_t>(simRc))});
+      zeus::flightrec::dumpNow(simRc == 11 ? "watchdog" : "budget");
       emitSinks();
       return simRc;
     }

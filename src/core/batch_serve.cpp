@@ -1,6 +1,7 @@
 #include "src/core/batch_serve.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -11,6 +12,8 @@
 #include "src/core/sim_farm.h"
 #include "src/corpus/corpus.h"
 #include "src/sim/graph.h"
+#include "src/support/buildinfo.h"
+#include "src/support/eventlog.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 
@@ -304,6 +307,36 @@ std::string fmt(double v) {
   return buf;
 }
 
+uint64_t elapsedUs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+/// Per-request counter isolation: the delta of every process-wide
+/// metrics::Counter across one request, as a JSON object of only the
+/// counters that moved.  A long-lived serve loop reports what THIS
+/// request did, not the process-cumulative totals.
+std::string counterDeltaJson(
+    const std::vector<std::pair<std::string, uint64_t>>& before,
+    const std::vector<std::pair<std::string, uint64_t>>& after) {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < after.size(); ++i) {
+    // Counters only register (never unregister) in a stable order, so
+    // `before` is a prefix of `after` name-for-name.
+    const uint64_t prev = i < before.size() ? before[i].second : 0;
+    if (after[i].second == prev) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + metrics::jsonEscape(after[i].first) +
+           "\": " + std::to_string(after[i].second - prev);
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 std::string runServeBatch(const std::string& requestJson,
@@ -313,6 +346,7 @@ std::string runServeBatch(const std::string& requestJson,
   JsonValue root;
   std::string parseError;
   std::string out = "{\n  \"schema\": \"zeus-serve-v1\",\n";
+  out += "  \"build\": " + buildinfo::renderJson() + ",\n";
   if (!parseJson(requestJson, root, parseError) ||
       root.kind != JsonValue::Kind::Object) {
     if (parseError.empty()) parseError = "top level must be an object";
@@ -342,6 +376,8 @@ std::string runServeBatch(const std::string& requestJson,
   std::string results;
   for (size_t i = 0; i < entries.size(); ++i) {
     const JsonValue& e = *entries[i];
+    const auto reqT0 = std::chrono::steady_clock::now();
+    const auto countersBefore = metrics::Counter::allValues();
     ++local.requests;
     serveRequests.add();
 
@@ -382,7 +418,12 @@ std::string runServeBatch(const std::string& requestJson,
       req.threads = static_cast<size_t>(threads);
       req.optLevel = static_cast<int>(optLevel);
     }
-    if (ok && req.id.empty()) req.id = "request-" + std::to_string(i);
+    if (req.id.empty()) req.id = "request-" + std::to_string(i);
+
+    // Propagate the request id: every event emitted while this request
+    // runs — including from inside the farm workers — carries it.
+    eventlog::setRequestId(req.id);
+    eventlog::emit(eventlog::Severity::Info, "serve", "request-start", {});
 
     // Resolve the design selector: a corpus example or inline source.
     if (ok) {
@@ -406,6 +447,7 @@ std::string runServeBatch(const std::string& requestJson,
     std::string cacheState = "miss";
     const CachedDesign* cached = nullptr;
     if (ok) {
+      const auto cacheT0 = std::chrono::steady_clock::now();
       const uint64_t key = designKey(req.source, req.top, req.optLevel);
       auto it = cache.find(key);
       if (it == cache.end()) {
@@ -414,10 +456,12 @@ std::string runServeBatch(const std::string& requestJson,
         it = cache.emplace(key, compileDesign(req.source, req.top,
                                               req.optLevel))
                  .first;
+        local.cacheMissUs.record(elapsedUs(cacheT0));
       } else {
         cacheState = "hit";
         ++local.cacheHits;
         serveCacheHits.add();
+        local.cacheHitUs.record(elapsedUs(cacheT0));
       }
       cached = &it->second;
       if (!cached->error.empty()) {
@@ -458,11 +502,36 @@ std::string runServeBatch(const std::string& requestJson,
       line += ", \"ok\": false, \"error\": \"" + metrics::jsonEscape(err) +
               "\"";
     }
+    const uint64_t reqUs = elapsedUs(reqT0);
+    local.requestUs.record(reqUs);
+    line += ", \"latency_us\": " + std::to_string(reqUs);
+    line += ", \"counters\": " +
+            counterDeltaJson(countersBefore, metrics::Counter::allValues());
     line += "}";
     if (!results.empty()) results += ",\n";
     results += line;
+    eventlog::emit(eventlog::Severity::Info, "serve", "request-done",
+                   {eventlog::boolean("ok", ok),
+                    eventlog::str("cache", cacheState),
+                    eventlog::num("latency_us", reqUs)});
   }
+  eventlog::setRequestId("");
+  eventlog::emit(
+      eventlog::Severity::Info, "serve", "batch-done",
+      {eventlog::num("requests", static_cast<uint64_t>(local.requests)),
+       eventlog::num("failures", static_cast<uint64_t>(local.failures)),
+       eventlog::num("cache_hits", static_cast<uint64_t>(local.cacheHits)),
+       eventlog::num("request_us_p99", local.requestUs.percentile(99))});
 
+  std::vector<histogram::Snapshot> latency;
+  latency.push_back(
+      histogram::snapshot(local.requestUs, "serve.request_us", "us"));
+  latency.push_back(
+      histogram::snapshot(local.cacheHitUs, "serve.cache_hit_us", "us"));
+  latency.push_back(
+      histogram::snapshot(local.cacheMissUs, "serve.cache_miss_us", "us"));
+  out += "  \"latency\": " + histogram::renderLatencyBlock(latency, "  ") +
+         ",\n";
   out += "  \"requests\": " + std::to_string(local.requests) +
          ", \"compiles\": " + std::to_string(local.compiles) +
          ", \"cache_hits\": " + std::to_string(local.cacheHits) +

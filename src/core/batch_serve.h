@@ -25,6 +25,7 @@
 #include <string>
 
 #include "src/core/batch_sim.h"
+#include "src/support/histogram.h"
 
 namespace zeus {
 
@@ -36,12 +37,18 @@ struct ServeOptions {
   int defaultOptLevel = 1;
 };
 
-/// Aggregate outcome, for the CLI summary line.
+/// Aggregate outcome, for the CLI summary line and the metrics latency
+/// block.
 struct ServeStats {
   size_t requests = 0;
   size_t failures = 0;
   size_t compiles = 0;   ///< distinct designs actually compiled
   size_t cacheHits = 0;  ///< requests served from the compile cache
+  /// Latency distributions over the batch (zeus-metrics-v1 names
+  /// "serve.request_us", "serve.cache_hit_us", "serve.cache_miss_us").
+  histogram::Histogram requestUs;   ///< whole-request wall time
+  histogram::Histogram cacheHitUs;  ///< design resolution on a cache hit
+  histogram::Histogram cacheMissUs;  ///< ... on a miss (the compile)
 };
 
 /// Runs a whole request file and returns the zeus-serve-v1 response JSON.

@@ -4,6 +4,7 @@
 #include "src/parser/parser.h"
 #include "src/sim/graph.h"
 #include "src/sim/simulation.h"
+#include "src/support/eventlog.h"
 #include "src/support/trace.h"
 
 namespace zeus {
@@ -27,6 +28,12 @@ std::unique_ptr<Compilation> Compilation::fromSource(std::string name,
     Checker checker(*comp->diags_, *comp->types_);
     comp->checked_ = checker.check(comp->program_);
   }
+  eventlog::emit(comp->ok() ? eventlog::Severity::Info
+                            : eventlog::Severity::Error,
+                 "compile", "front-end-done",
+                 {eventlog::boolean("ok", comp->ok()),
+                  eventlog::num("tokens", static_cast<uint64_t>(
+                                              comp->usage_.tokens))});
   return comp;
 }
 
@@ -45,7 +52,16 @@ std::unique_ptr<Design> Compilation::elaborate(const std::string& topName,
   }
   ZEUS_TRACE_SPAN("elab", "compile");
   Elaborator elab(*diags_, *types_, options);
-  return elab.elaborate(program_, *checked_.rootEnv, topName);
+  auto design = elab.elaborate(program_, *checked_.rootEnv, topName);
+  eventlog::emit(
+      design ? eventlog::Severity::Info : eventlog::Severity::Error,
+      "compile", "elab-done",
+      {eventlog::str("top", topName), eventlog::boolean("ok", !!design),
+       eventlog::num("nets", static_cast<uint64_t>(
+                                 design ? design->netlist.netCount() : 0)),
+       eventlog::num("nodes", static_cast<uint64_t>(
+                                  design ? design->netlist.nodeCount() : 0))});
+  return design;
 }
 
 LintReport Compilation::lint(const Design& design, const LintOptions& opts) {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/support/eventlog.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
 
@@ -182,11 +183,19 @@ FarmReport runFarm(const SimGraph& graph, const FarmOptions& opts,
   report.rngStates.assign(lanes, 0);
   if (resume) report.checksums = resume->checksums;
 
+  eventlog::emit(eventlog::Severity::Info, "farm", "run-start",
+                 {eventlog::num("lanes", static_cast<uint64_t>(lanes)),
+                  eventlog::num("blocks", static_cast<uint64_t>(blocks)),
+                  eventlog::num("threads",
+                                static_cast<uint64_t>(report.threads)),
+                  eventlog::num("cycles", opts.cycles)});
+
   // Per-block result slots: each worker writes only its claimed block's
   // slot (and its block's disjoint lane range), so the merge below needs
   // no locks — just the joins.
   std::vector<std::vector<SimError>> blockErrors(blocks);
   std::vector<EvalStats> blockStats(blocks);
+  std::vector<uint64_t> blockWallUs(blocks, 0);
   std::vector<EvalStats> checkpointStats(checkpointing ? blocks : 0);
   std::vector<SimSnapshot> checkpointLanes(checkpointing ? lanes : 0);
   std::vector<uint64_t> checkpointSums(checkpointing ? lanes : 0);
@@ -196,6 +205,7 @@ FarmReport runFarm(const SimGraph& graph, const FarmOptions& opts,
   std::string firstFailure;
 
   auto runBlock = [&](size_t b) {
+    const auto blockT0 = std::chrono::steady_clock::now();
     const size_t first = b * perBlock;
     const size_t n = std::min(perBlock, lanes - first);
     BatchSimulation batch(graph, n);
@@ -246,6 +256,14 @@ FarmReport runFarm(const SimGraph& graph, const FarmOptions& opts,
     for (SimError& e : errs) {
       e.lane = static_cast<int32_t>(first) + std::max<int32_t>(e.lane, 0);
     }
+    blockWallUs[b] = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - blockT0)
+            .count());
+    eventlog::emit(eventlog::Severity::Debug, "farm", "block-done",
+                   {eventlog::num("block", static_cast<uint64_t>(b)),
+                    eventlog::num("lanes", static_cast<uint64_t>(n)),
+                    eventlog::num("wall_us", blockWallUs[b])});
     farmBlocks.add();
   };
 
@@ -288,7 +306,15 @@ FarmReport runFarm(const SimGraph& graph, const FarmOptions& opts,
                          std::make_move_iterator(errs.end()));
   }
   sortCanonical(report.errors);
+  // Merge in block order; per-bucket sums make the result independent of
+  // which worker ran which block anyway.
+  for (uint64_t us : blockWallUs) report.blockUs.record(us);
   farmRuns.add();
+  eventlog::emit(
+      eventlog::Severity::Info, "farm", "run-done",
+      {eventlog::num("seconds", report.seconds),
+       eventlog::num("faults", static_cast<uint64_t>(report.errors.size())),
+       eventlog::num("block_us_p99", report.blockUs.percentile(99))});
 
   if (checkpointing) {
     FarmSnapshot snap;

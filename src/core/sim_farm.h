@@ -31,6 +31,7 @@
 
 #include "src/core/batch_sim.h"
 #include "src/sim/snapshot.h"
+#include "src/support/histogram.h"
 
 namespace zeus {
 
@@ -67,6 +68,12 @@ struct FarmReport {
   std::vector<SimError> errors;     ///< canonical (cycle, lane, net) order
   EvalStats stats;                  ///< merged across blocks
   double seconds = 0;               ///< wall clock of the parallel section
+  /// Per-block wall time (microseconds), one record per block, merged
+  /// after the workers join.  The merge is per-bucket sums, so the
+  /// histogram state is a pure function of the recorded values — the
+  /// thread count moves the values themselves (physical time), never the
+  /// merge.  Snapshot name: "farm.block_us".
+  histogram::Histogram blockUs;
 
   /// Order-sensitive fold of the per-lane checksums: one word that equals
   /// iff every lane's full output history equals.

@@ -1,0 +1,63 @@
+#include "src/support/buildinfo.h"
+
+#include "src/support/metrics.h"
+
+// Baked in by src/CMakeLists.txt for this one translation unit; default
+// so the file still compiles standalone (e.g. in a fuzzer driver build).
+#ifndef ZEUS_GIT_DESCRIBE
+#define ZEUS_GIT_DESCRIBE "unknown"
+#endif
+#ifndef ZEUS_BUILD_TYPE
+#define ZEUS_BUILD_TYPE "unspecified"
+#endif
+
+namespace zeus::buildinfo {
+
+const char* gitDescribe() { return ZEUS_GIT_DESCRIBE; }
+
+const char* compiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const char* buildType() {
+  const char* t = ZEUS_BUILD_TYPE;
+  return *t ? t : "unspecified";
+}
+
+bool traceCompiledOut() {
+#ifdef ZEUS_TRACE_DISABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::string renderJson() {
+  std::string out = "{\"git\": \"" + metrics::jsonEscape(gitDescribe()) + "\"";
+  out += ", \"compiler\": \"" + metrics::jsonEscape(compiler()) + "\"";
+  out += ", \"build_type\": \"" + metrics::jsonEscape(buildType()) + "\"";
+  out += ", \"trace_compiled_out\": ";
+  out += traceCompiledOut() ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+std::string versionLine() {
+  std::string out = "zeusc ";
+  out += gitDescribe();
+  out += " (";
+  out += compiler();
+  out += ", ";
+  out += buildType();
+  out += traceCompiledOut() ? ", trace spans compiled out)"
+                            : ", trace spans compiled in)";
+  return out;
+}
+
+}  // namespace zeus::buildinfo

@@ -1,0 +1,39 @@
+// Build-info stamp: which zeusc produced this artifact?
+//
+// Benchmark JSON, metrics reports, serve responses and crash dumps all
+// embed the same small "build" object so a number on a dashboard can be
+// traced back to the exact tree, compiler and instrumentation state that
+// produced it.  The git describe string is baked in by CMake at
+// configure time (see src/CMakeLists.txt); everything else comes from
+// predefined compiler macros, so the stamp is consistent across every
+// translation unit of one build.
+#pragma once
+
+#include <string>
+
+namespace zeus::buildinfo {
+
+/// `git describe --always --dirty --tags` at configure time, or
+/// "unknown" outside a git checkout.
+[[nodiscard]] const char* gitDescribe();
+
+/// Compiler id + version, e.g. "gcc 13.2.0".
+[[nodiscard]] const char* compiler();
+
+/// CMAKE_BUILD_TYPE at configure time ("Release", "Debug", ...), or
+/// "unspecified".
+[[nodiscard]] const char* buildType();
+
+/// True when ZEUS_TRACE_DISABLED compiled the trace spans out.
+[[nodiscard]] bool traceCompiledOut();
+
+/// The stamp as a JSON object (single line, no trailing newline):
+///   {"git": "...", "compiler": "...", "build_type": "...",
+///    "trace_compiled_out": false}
+[[nodiscard]] std::string renderJson();
+
+/// Human line for `zeusc --version`:
+///   zeusc <git> (<compiler>, <build_type>, trace spans compiled in)
+[[nodiscard]] std::string versionLine();
+
+}  // namespace zeus::buildinfo

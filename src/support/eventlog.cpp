@@ -1,0 +1,455 @@
+#include "src/support/eventlog.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "src/support/buildinfo.h"
+#include "src/support/metrics.h"
+
+namespace zeus::flightrec {
+namespace {
+std::atomic<bool> g_armed{false};
+}
+namespace detail {
+void recordLine(const std::string& line);
+}
+}  // namespace zeus::flightrec
+
+namespace zeus::eventlog {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_epoch{1};  // generation stamp, as trace.cpp
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One serialized JSONL line, timestamped for the cross-thread merge.
+struct Line {
+  uint64_t tsUs;
+  std::string text;
+};
+
+/// Per-thread line buffer — same shape and lock order as the trace
+/// buffer: own mutex for appends, registry mutex only on first use and
+/// at enumerate/clear time.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Line> lines;
+};
+
+std::mutex g_registryMutex;
+std::vector<ThreadBuffer*>& registry() {
+  // Heap-allocated, never freed: must survive static destruction for
+  // LeakSanitizer's post-exit scan (same rule as trace.cpp).
+  static auto* r = new std::vector<ThreadBuffer*>;
+  return *r;
+}
+
+ThreadBuffer& localBuffer() {
+  thread_local ThreadBuffer* buf = [] {
+    auto* b = new ThreadBuffer;  // leaked on purpose: outlives the thread
+    std::lock_guard<std::mutex> lock(g_registryMutex);
+    registry().push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::mutex g_requestIdMutex;
+std::string& requestIdStorage() {
+  static auto* s = new std::string;  // never freed: read at any emit
+  return *s;
+}
+
+std::string formatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string serializeLine(uint64_t tsUs, Severity sev, const char* subsystem,
+                          const char* event, const std::string& req,
+                          std::initializer_list<Field> fields) {
+  std::string out = "{\"v\": 1, \"ts_us\": " + std::to_string(tsUs);
+  out += ", \"sev\": \"";
+  out += severityName(sev);
+  out += "\", \"sub\": \"" + metrics::jsonEscape(subsystem) + "\"";
+  out += ", \"ev\": \"" + metrics::jsonEscape(event) + "\"";
+  if (!req.empty()) out += ", \"req\": \"" + metrics::jsonEscape(req) + "\"";
+  if (fields.size()) {
+    out += ", \"fields\": {";
+    bool first = true;
+    for (const Field& f : fields) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + metrics::jsonEscape(f.key) + "\": ";
+      if (f.quoted) {
+        out += "\"" + metrics::jsonEscape(f.value) + "\"";
+      } else {
+        out += f.value;
+      }
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+const char* severityName(Severity sev) {
+  switch (sev) {
+    case Severity::Debug: return "debug";
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "info";
+}
+
+Field str(const char* key, std::string_view value) {
+  return {key, std::string(value), true};
+}
+Field num(const char* key, uint64_t value) {
+  return {key, std::to_string(value), false};
+}
+Field num(const char* key, int64_t value) {
+  return {key, std::to_string(value), false};
+}
+Field num(const char* key, double value) {
+  return {key, formatDouble(value), false};
+}
+Field boolean(const char* key, bool value) {
+  return {key, value ? "true" : "false", false};
+}
+
+void setEnabled(bool on) {
+  if (!on) g_epoch.fetch_add(1, std::memory_order_seq_cst);
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void clear() {
+  // Invalidate in-flight emits FIRST (see trace::clear for the full
+  // argument): an emit that captured the old generation re-checks under
+  // its buffer mutex and drops its line.
+  g_epoch.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(g_registryMutex);
+  for (ThreadBuffer* b : registry()) {
+    std::lock_guard<std::mutex> bufLock(b->mutex);
+    b->lines.clear();
+  }
+}
+
+size_t eventCount() {
+  std::lock_guard<std::mutex> lock(g_registryMutex);
+  size_t n = 0;
+  for (ThreadBuffer* b : registry()) {
+    std::lock_guard<std::mutex> bufLock(b->mutex);
+    n += b->lines.size();
+  }
+  return n;
+}
+
+void setRequestId(std::string_view id) {
+  std::lock_guard<std::mutex> lock(g_requestIdMutex);
+  requestIdStorage().assign(id);
+}
+
+std::string requestId() {
+  std::lock_guard<std::mutex> lock(g_requestIdMutex);
+  return requestIdStorage();
+}
+
+void emit(Severity sev, const char* subsystem, const char* event,
+          std::initializer_list<Field> fields) {
+  const bool toLog = enabled();
+  const bool toRing = flightrec::armed();
+  if (!toLog && !toRing) return;  // the cost when telemetry is off
+
+  const uint64_t epoch = g_epoch.load(std::memory_order_seq_cst);
+  const uint64_t ts = nowUs();
+  const std::string line =
+      serializeLine(ts, sev, subsystem, event, requestId(), fields);
+
+  if (toRing) flightrec::detail::recordLine(line);
+  if (!toLog) return;
+
+  ThreadBuffer& buf = localBuffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  // Re-check under the lock: clear()/setEnabled(false) since the capture
+  // means this line belongs to a discarded generation.
+  if (g_epoch.load(std::memory_order_seq_cst) != epoch) return;
+  buf.lines.push_back({ts, line});
+}
+
+std::string renderJsonl() {
+  std::vector<Line> all;
+  {
+    std::lock_guard<std::mutex> lock(g_registryMutex);
+    for (ThreadBuffer* b : registry()) {
+      std::lock_guard<std::mutex> bufLock(b->mutex);
+      all.insert(all.end(), b->lines.begin(), b->lines.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Line& a, const Line& b) {
+    return a.tsUs != b.tsUs ? a.tsUs < b.tsUs : a.text < b.text;
+  });
+  std::string out = "{\"v\": 1, \"schema\": \"zeus-log-v1\", \"build\": " +
+                    buildinfo::renderJson() + "}\n";
+  for (const Line& l : all) {
+    out += l.text;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace zeus::eventlog
+
+namespace zeus::flightrec {
+
+namespace {
+
+// ---- crash ring -----------------------------------------------------
+//
+// Fixed slots holding pre-serialized event lines.  Writers claim a slot
+// with one fetch_add and copy bytes under the slot's mutex; the signal
+// handler reads len (acquire) and data with no locks — best-effort by
+// design, a torn slot mid-overwrite is skipped via the len==0 window.
+// dumpNow() (normal context) takes the slot mutexes and is exact.
+
+constexpr size_t kRingSlots = 128;
+constexpr size_t kSlotBytes = 512;
+
+struct Slot {
+  std::mutex mutex;  // writers + dumpNow(); the signal handler skips it
+  std::atomic<uint32_t> len{0};
+  char data[kSlotBytes];
+};
+
+Slot g_ring[kRingSlots];
+std::atomic<uint64_t> g_ringHead{0};  // total events ever recorded
+
+// ---- open-span stacks -----------------------------------------------
+
+constexpr size_t kMaxSpanDepth = 16;
+constexpr size_t kMaxSpanThreads = 64;
+
+struct SpanStack {
+  std::atomic<uint32_t> depth{0};
+  std::atomic<const char*> names[kMaxSpanDepth];
+  std::atomic<const char*> cats[kMaxSpanDepth];
+};
+
+SpanStack g_spanStacks[kMaxSpanThreads];
+std::atomic<uint32_t> g_spanThreads{0};
+
+SpanStack* localSpanStack() {
+  thread_local SpanStack* s = []() -> SpanStack* {
+    uint32_t idx = g_spanThreads.fetch_add(1, std::memory_order_relaxed);
+    return idx < kMaxSpanThreads ? &g_spanStacks[idx] : nullptr;
+  }();
+  return s;
+}
+
+// ---- dump target, pre-serialized at arm() ---------------------------
+
+constexpr size_t kPathBytes = 512;
+char g_dumpPath[kPathBytes];
+char g_buildJson[kSlotBytes];
+
+// ---- async-signal-safe writer ---------------------------------------
+
+void writeAll(int fd, const char* data, size_t n) {
+  while (n) {
+    ssize_t w = ::write(fd, data, n);
+    if (w <= 0) return;  // nothing more we can do in a handler
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void writeStr(int fd, const char* s) { writeAll(fd, s, std::strlen(s)); }
+
+void writeU64(int fd, uint64_t v) {
+  char buf[20];
+  size_t i = sizeof buf;
+  do {
+    buf[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v);
+  writeAll(fd, buf + i, sizeof buf - i);
+}
+
+/// The dump writer.  From a signal handler (`fromSignal`) it uses only
+/// open/write on pre-serialized bytes; from normal context it also takes
+/// the slot mutexes so the event list is exact.
+bool writeDump(const char* reason, int sig, bool fromSignal) {
+  if (!g_dumpPath[0]) return false;
+  int fd = ::open(g_dumpPath, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  writeStr(fd, "{\"schema\": \"zeus-crash-v1\", \"reason\": \"");
+  writeStr(fd, reason);
+  writeStr(fd, "\", \"signal\": ");
+  writeU64(fd, sig > 0 ? static_cast<uint64_t>(sig) : 0);
+  writeStr(fd, ", \"build\": ");
+  writeStr(fd, g_buildJson[0] ? g_buildJson : "{}");
+
+  const uint64_t head = g_ringHead.load(std::memory_order_acquire);
+  const uint64_t dropped = head > kRingSlots ? head - kRingSlots : 0;
+  writeStr(fd, ", \"dropped\": ");
+  writeU64(fd, dropped);
+
+  writeStr(fd, ",\n \"events\": [");
+  bool first = true;
+  for (uint64_t seq = dropped; seq < head; ++seq) {
+    Slot& slot = g_ring[seq % kRingSlots];
+    if (!fromSignal) slot.mutex.lock();
+    const uint32_t len = slot.len.load(std::memory_order_acquire);
+    if (len > 0 && len < kSlotBytes) {
+      writeStr(fd, first ? "\n  " : ",\n  ");
+      first = false;
+      writeAll(fd, slot.data, len);
+    }
+    if (!fromSignal) slot.mutex.unlock();
+  }
+  writeStr(fd, first ? "]" : "\n ]");
+
+  writeStr(fd, ",\n \"open_spans\": [");
+  first = true;
+  const uint32_t nthreads =
+      std::min<uint32_t>(g_spanThreads.load(std::memory_order_acquire),
+                         kMaxSpanThreads);
+  for (uint32_t t = 0; t < nthreads; ++t) {
+    SpanStack& s = g_spanStacks[t];
+    const uint32_t depth = std::min<uint32_t>(
+        s.depth.load(std::memory_order_acquire), kMaxSpanDepth);
+    for (uint32_t d = 0; d < depth; ++d) {
+      const char* name = s.names[d].load(std::memory_order_relaxed);
+      const char* cat = s.cats[d].load(std::memory_order_relaxed);
+      if (!name || !cat) continue;  // torn push in another thread: skip
+      writeStr(fd, first ? "\n  " : ",\n  ");
+      first = false;
+      writeStr(fd, "{\"tid\": ");
+      writeU64(fd, t + 1);
+      writeStr(fd, ", \"depth\": ");
+      writeU64(fd, d);
+      // name/cat are phase-name string literals (trace contract): no
+      // escaping needed, and none is possible in a handler anyway.
+      writeStr(fd, ", \"name\": \"");
+      writeStr(fd, name);
+      writeStr(fd, "\", \"cat\": \"");
+      writeStr(fd, cat);
+      writeStr(fd, "\"}");
+    }
+  }
+  writeStr(fd, first ? "]}\n" : "\n ]}\n");
+  ::close(fd);
+  return true;
+}
+
+void crashHandler(int sig) {
+  writeDump("signal", sig, /*fromSignal=*/true);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void installHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = crashHandler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+}
+
+}  // namespace
+
+namespace detail {
+
+void recordLine(const std::string& line) {
+  const uint64_t seq = g_ringHead.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = g_ring[seq % kRingSlots];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.len.store(0, std::memory_order_release);  // close the torn window
+  const size_t n = std::min(line.size(), kSlotBytes - 1);
+  std::memcpy(slot.data, line.data(), n);
+  slot.data[n] = '\0';
+  slot.len.store(static_cast<uint32_t>(n), std::memory_order_release);
+}
+
+}  // namespace detail
+
+void arm(const char* path) {
+  if (!path || !*path) return;
+  std::snprintf(g_dumpPath, sizeof g_dumpPath, "%s", path);
+  std::snprintf(g_buildJson, sizeof g_buildJson, "%s",
+                buildinfo::renderJson().c_str());
+  installHandlers();
+  g_armed.store(true, std::memory_order_release);
+}
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void disarm() {
+  g_armed.store(false, std::memory_order_release);
+  ::signal(SIGSEGV, SIG_DFL);
+  ::signal(SIGABRT, SIG_DFL);
+  const uint64_t head = g_ringHead.load(std::memory_order_acquire);
+  for (uint64_t seq = head > kRingSlots ? head - kRingSlots : 0; seq < head;
+       ++seq) {
+    Slot& slot = g_ring[seq % kRingSlots];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.len.store(0, std::memory_order_release);
+  }
+  g_ringHead.store(0, std::memory_order_release);
+  g_dumpPath[0] = '\0';
+}
+
+bool dumpNow(const char* reason) {
+  if (!armed()) return false;
+  return writeDump(reason, 0, /*fromSignal=*/false);
+}
+
+void pushSpan(const char* name, const char* category) {
+  SpanStack* s = localSpanStack();
+  if (!s) return;  // more live threads than stacks: drop, never block
+  const uint32_t d = s->depth.load(std::memory_order_relaxed);
+  if (d < kMaxSpanDepth) {
+    s->names[d].store(name, std::memory_order_relaxed);
+    s->cats[d].store(category, std::memory_order_relaxed);
+  }
+  // Count past capacity so pops balance; the reader clamps.
+  s->depth.store(d + 1, std::memory_order_release);
+}
+
+void popSpan() {
+  SpanStack* s = localSpanStack();
+  if (!s) return;
+  const uint32_t d = s->depth.load(std::memory_order_relaxed);
+  if (d) s->depth.store(d - 1, std::memory_order_release);
+}
+
+size_t ringCount() {
+  const uint64_t head = g_ringHead.load(std::memory_order_acquire);
+  return head > kRingSlots ? kRingSlots : static_cast<size_t>(head);
+}
+
+}  // namespace zeus::flightrec

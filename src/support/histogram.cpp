@@ -1,0 +1,72 @@
+#include "src/support/histogram.h"
+
+#include "src/support/metrics.h"
+
+namespace zeus::histogram {
+
+uint64_t Histogram::percentile(unsigned p) const {
+  if (count_ == 0 || p == 0) return 0;
+  if (p > 100) p = 100;
+  // ceil(count * p / 100) in integers; count*p cannot overflow for any
+  // realistic recording volume (count < 2^57).
+  const uint64_t rank = (count_ * p + 99) / 100;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      const uint64_t bound = bucketUpperBound(i);
+      return bound < max_ ? bound : max_;
+    }
+  }
+  return max_;
+}
+
+Snapshot snapshot(const Histogram& h, std::string name, std::string unit) {
+  Snapshot s;
+  s.name = std::move(name);
+  s.unit = std::move(unit);
+  s.count = h.count();
+  s.sum = h.sum();
+  s.max = h.max();
+  s.p50 = h.percentile(50);
+  s.p90 = h.percentile(90);
+  s.p99 = h.percentile(99);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (h.bucketCount(i)) {
+      s.buckets.emplace_back(static_cast<uint32_t>(i), h.bucketCount(i));
+    }
+  }
+  return s;
+}
+
+std::string renderJson(const Snapshot& s) {
+  std::string out = "{\"unit\": \"" + metrics::jsonEscape(s.unit) + "\"";
+  out += ", \"count\": " + std::to_string(s.count);
+  out += ", \"sum\": " + std::to_string(s.sum);
+  out += ", \"max\": " + std::to_string(s.max);
+  out += ", \"p50\": " + std::to_string(s.p50);
+  out += ", \"p90\": " + std::to_string(s.p90);
+  out += ", \"p99\": " + std::to_string(s.p99);
+  out += ", \"buckets\": [";
+  for (size_t i = 0; i < s.buckets.size(); ++i) {
+    if (i) out += ", ";
+    out += "[" + std::to_string(s.buckets[i].first) + ", " +
+           std::to_string(s.buckets[i].second) + "]";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string renderLatencyBlock(const std::vector<Snapshot>& snapshots,
+                               const std::string& indent) {
+  std::string out = "{";
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    out += indent + "  \"" + metrics::jsonEscape(snapshots[i].name) +
+           "\": " + renderJson(snapshots[i]);
+  }
+  out += snapshots.empty() ? "}" : "\n" + indent + "}";
+  return out;
+}
+
+}  // namespace zeus::histogram

@@ -1,0 +1,123 @@
+// Fixed-bucket log-scale latency histograms for the Zeus service stack.
+//
+// A Histogram is 64 power-of-two buckets over uint64 values (bucket i
+// holds every value whose bit width is i, i.e. [2^(i-1), 2^i); bucket 0
+// holds the value 0) plus exact count/sum/max.  Everything about it is
+// deterministic integer arithmetic:
+//
+//   * record() touches one bucket — no allocation, no floating point;
+//   * merge() is a per-bucket sum, so it is commutative and associative:
+//     merging the same per-block histograms in ANY order (any farm thread
+//     count, any block schedule) produces the same merged state — the
+//     same rule that makes the PR 7 farm checksum thread-count-invariant;
+//   * percentile() walks the merged buckets with integer rank math and
+//     returns a bucket boundary (clamped to the recorded max), so
+//     p50/p90/p99 are bit-identical wherever the merge happened.
+//
+// The tradeoff is resolution: a percentile is exact only up to its 2x
+// bucket, which is the right fidelity for "where did the latency go"
+// dashboards and exactly what makes cross-worker determinism possible.
+//
+// Histograms are plain values — no internal locking.  The farm records
+// into per-block locals and merges after the workers join; the serve loop
+// is sequential.  Concurrent record() into one instance is a data race by
+// design (use one instance per thread and merge).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zeus::histogram {
+
+constexpr size_t kBuckets = 65;  ///< bit widths 0..64
+
+/// Bucket index of a value: 0 for 0, otherwise the value's bit width
+/// (bucket i covers [2^(i-1), 2^i)).
+[[nodiscard]] constexpr size_t bucketOf(uint64_t v) {
+  size_t w = 0;
+  while (v) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+/// Inclusive upper bound of a bucket (2^i - 1); the value percentile()
+/// reports when the rank lands in bucket i.
+[[nodiscard]] constexpr uint64_t bucketUpperBound(size_t bucket) {
+  return bucket >= 64 ? ~uint64_t{0} : (uint64_t{1} << bucket) - 1;
+}
+
+class Histogram {
+ public:
+  void record(uint64_t value) {
+    ++counts_[bucketOf(value)];
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Per-bucket sum; commutative and associative, so the merged state is
+  /// independent of merge order and thread count.
+  void merge(const Histogram& other) {
+    for (size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+  [[nodiscard]] uint64_t sum() const { return sum_; }
+  [[nodiscard]] uint64_t max() const { return max_; }
+  [[nodiscard]] uint64_t bucketCount(size_t bucket) const {
+    return bucket < kBuckets ? counts_[bucket] : 0;
+  }
+
+  /// Value at percentile p (0..100]: integer rank = ceil(count * p / 100),
+  /// walked through the buckets; returns the containing bucket's upper
+  /// bound clamped to the exact recorded max.  Pure integer arithmetic —
+  /// bit-identical for any merge order of the same recordings.  0 when
+  /// empty.
+  [[nodiscard]] uint64_t percentile(unsigned p) const;
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+ private:
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// One named histogram ready for rendering: the stable summary quartet
+/// (count/sum/max + p50/p90/p99) plus the occupied buckets.
+struct Snapshot {
+  std::string name;  ///< e.g. "farm.block_us"
+  std::string unit;  ///< e.g. "us"
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  /// (bucket index, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+};
+
+[[nodiscard]] Snapshot snapshot(const Histogram& h, std::string name,
+                                std::string unit);
+
+/// One snapshot as a JSON object:
+///   {"unit": "us", "count": N, "sum": N, "max": N,
+///    "p50": N, "p90": N, "p99": N, "buckets": [[i, n], ...]}
+[[nodiscard]] std::string renderJson(const Snapshot& s);
+
+/// The zeus-metrics-v1 "latency" block: an object keyed by histogram
+/// name, one renderJson() value each.  Empty list renders as {}.
+[[nodiscard]] std::string renderLatencyBlock(
+    const std::vector<Snapshot>& snapshots, const std::string& indent);
+
+}  // namespace zeus::histogram

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "src/support/buildinfo.h"
 #include "src/support/trace.h"
 
 namespace zeus::metrics {
@@ -237,6 +238,11 @@ std::string MetricsReport::renderJson() const {
   out += "},\n";
 
   out += "  \"sim\": " + simCountersJson(sim) + ",\n";
+
+  // Additive v1 blocks (PR 8): build-info stamp + latency histograms.
+  out += "  \"build\": " + buildinfo::renderJson() + ",\n";
+  out += "  \"latency\": " + histogram::renderLatencyBlock(latency, "  ") +
+         ",\n";
 
   out += "  \"activity\": {";
   out += std::string("\"ran\": ") + (activity.ran ? "true" : "false");

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/support/histogram.h"
 #include "src/support/limits.h"
 
 namespace zeus::metrics {
@@ -105,6 +106,10 @@ struct MetricsReport {
   ResourceReport resources;
   SimCounters sim;
   ActivityReport activity;
+  /// Latency histograms recorded during the run (farm block wall time,
+  /// serve request latency, cache hit/miss timing...).  Additive
+  /// zeus-metrics-v1 "latency" block; renders as {} when empty.
+  std::vector<histogram::Snapshot> latency;
 
   /// zeus-metrics-v1 JSON object (docs/observability.md).
   [[nodiscard]] std::string renderJson() const;

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <mutex>
 
+#include "src/support/eventlog.h"
+
 namespace zeus::trace {
 
 namespace {
@@ -122,7 +124,15 @@ std::string renderChromeJson() {
 }
 
 Span::Span(const char* name, const char* category)
-    : name_(name), category_(category), startUs_(0), epoch_(0) {
+    : name_(name), category_(category), startUs_(0), epoch_(0),
+      frPushed_(false) {
+  // The flight recorder tracks open spans independently of whether span
+  // recording is enabled: the crash dump wants "where was each thread"
+  // even in a run that never asked for a trace file.
+  if (flightrec::armed()) {
+    flightrec::pushSpan(name, category);
+    frPushed_ = true;
+  }
   if (enabled()) {
     epoch_ = g_epoch.load(std::memory_order_seq_cst);
     startUs_ = nowUs();
@@ -131,6 +141,7 @@ Span::Span(const char* name, const char* category)
 }
 
 Span::~Span() {
+  if (frPushed_) flightrec::popSpan();
   if (startUs_ == 0) return;
   if (!enabled()) return;  // disabled mid-span: drop
   uint64_t end = nowUs();

@@ -81,6 +81,7 @@ class Span {
   const char* category_;
   uint64_t startUs_;  ///< 0 = tracing was off at entry; record nothing
   uint64_t epoch_;    ///< buffer generation at entry; stale = dropped
+  bool frPushed_;     ///< on the flight-recorder open-span stack
 };
 
 }  // namespace zeus::trace

@@ -1,0 +1,109 @@
+# ctest driver: the flight recorder's two dump paths end-to-end
+# (docs/observability.md).
+#
+#   cmake -DZEUSC=<path-to-zeusc> -DWORKDIR=<scratch dir> -P crash_dump.cmake
+#
+# 1. `--die-at-cycle N --die-signal abort` raises SIGABRT mid-sim; the
+#    armed signal handler must write a schema-valid .zeus-crash.json
+#    (async-signal-safe path: pre-serialized ring slots only) before the
+#    process dies with the signal.
+# 2. `--sim-watchdog 1` trips the evaluator watchdog; zeusc exits 11 and
+#    writes the same dump from normal context via dumpNow("watchdog").
+# 3. The default `--die-signal kill` stays SIGKILL — uncatchable, so NO
+#    dump may appear (this is what crash_recovery.cmake relies on).
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ZEUSC)
+  message(FATAL_ERROR "pass -DZEUSC=<path to the zeusc binary>")
+endif()
+if(NOT DEFINED WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+# Shared schema validation for both dump flavours.
+function(check_dump file want_reason)
+  if(NOT EXISTS ${file})
+    message(FATAL_ERROR "no flight-recorder dump at ${file}")
+  endif()
+  file(READ ${file} json)
+  string(JSON schema GET "${json}" "schema")
+  if(NOT schema STREQUAL "zeus-crash-v1")
+    message(FATAL_ERROR "dump schema '${schema}', expected zeus-crash-v1\n${json}")
+  endif()
+  string(JSON reason GET "${json}" "reason")
+  if(NOT reason STREQUAL "${want_reason}")
+    message(FATAL_ERROR "dump reason '${reason}', expected '${want_reason}'\n${json}")
+  endif()
+  foreach(field git compiler build_type trace_compiled_out)
+    string(JSON v ERROR_VARIABLE jerr GET "${json}" "build" ${field})
+    if(jerr)
+      message(FATAL_ERROR "dump missing build.${field}: ${jerr}\n${json}")
+    endif()
+  endforeach()
+  string(JSON nevents LENGTH "${json}" "events")
+  if(nevents LESS 1)
+    message(FATAL_ERROR "dump carries no ring events\n${json}")
+  endif()
+  # Every ring event is a full zeus-log-v1 object.
+  math(EXPR last "${nevents} - 1")
+  foreach(i RANGE 0 ${last})
+    string(JSON v GET "${json}" "events" ${i} "v")
+    string(JSON ev GET "${json}" "events" ${i} "ev")
+    if(NOT v EQUAL 1 OR ev STREQUAL "")
+      message(FATAL_ERROR "dump event ${i} malformed\n${json}")
+    endif()
+  endforeach()
+  string(JSON nspans ERROR_VARIABLE jerr LENGTH "${json}" "open_spans")
+  if(jerr)
+    message(FATAL_ERROR "dump missing open_spans: ${jerr}\n${json}")
+  endif()
+endfunction()
+
+# ---------------------------------------------------------------------
+# 1. SIGABRT through the async-signal-safe handler.
+# ---------------------------------------------------------------------
+set(abortdump "${WORKDIR}/crash_dump_abort.json")
+file(REMOVE ${abortdump})
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8
+                        --die-at-cycle 4 --die-signal abort
+                        --crash-dump ${abortdump}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--die-signal abort run exited 0; it was supposed to crash")
+endif()
+check_dump(${abortdump} "signal")
+file(READ ${abortdump} json)
+string(JSON sig GET "${json}" "signal")
+if(NOT sig EQUAL 6)
+  message(FATAL_ERROR "abort dump recorded signal ${sig}, expected 6 (SIGABRT)")
+endif()
+
+# ---------------------------------------------------------------------
+# 2. Watchdog fault: deliberate exit 11 + dumpNow from normal context.
+# ---------------------------------------------------------------------
+set(wddump "${WORKDIR}/crash_dump_watchdog.json")
+file(REMOVE ${wddump})
+execute_process(COMMAND ${ZEUSC} --example adders --sim 4 --sim-watchdog 1
+                        --crash-dump ${wddump}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 11)
+  message(FATAL_ERROR "--sim-watchdog 1 exited ${rc}, expected 11\n${out}\n${err}")
+endif()
+check_dump(${wddump} "watchdog")
+
+# ---------------------------------------------------------------------
+# 3. Default SIGKILL is uncatchable: no dump.
+# ---------------------------------------------------------------------
+set(killdump "${WORKDIR}/crash_dump_kill.json")
+file(REMOVE ${killdump})
+execute_process(COMMAND ${ZEUSC} --example adders --sim 8
+                        --die-at-cycle 4 --crash-dump ${killdump}
+                OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--die-at-cycle SIGKILL run exited 0")
+endif()
+if(EXISTS ${killdump})
+  message(FATAL_ERROR "SIGKILL left a dump at ${killdump}; it must be uncatchable")
+endif()
+
+message(STATUS "crash_dump: SIGABRT handler + watchdog dumpNow both wrote zeus-crash-v1; SIGKILL left nothing")

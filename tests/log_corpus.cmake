@@ -1,0 +1,130 @@
+# ctest driver: run `zeusc --sim 8 --log` over every built-in corpus
+# entry and validate the emitted zeus-log-v1 JSONL (docs/observability.md).
+#
+#   cmake -DZEUSC=<path-to-zeusc> -DWORKDIR=<scratch dir> -P log_corpus.cmake
+#
+# Checks, per entry:
+#   * zeusc exits 0 and writes the log file;
+#   * line 1 is the zeus-log-v1 header with a build stamp
+#     (git/compiler/build_type/trace_compiled_out);
+#   * every following line is one valid JSON object (string(JSON ...)
+#     hard-errors on malformed lines) with the full envelope: v == 1, a
+#     monotonically non-decreasing ts_us, a known severity, non-empty
+#     subsystem and event names;
+#   * the pipeline actually logged: the compile front-end and the sim
+#     run both show up.
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ZEUSC)
+  message(FATAL_ERROR "pass -DZEUSC=<path to the zeusc binary>")
+endif()
+if(NOT DEFINED WORKDIR)
+  set(WORKDIR ${CMAKE_CURRENT_BINARY_DIR})
+endif()
+
+execute_process(COMMAND ${ZEUSC} --list-examples
+                OUTPUT_VARIABLE listing
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "zeusc --list-examples failed (rc=${rc})")
+endif()
+
+string(REPLACE "\n" ";" lines "${listing}")
+set(entries "")
+foreach(line IN LISTS lines)
+  if(line MATCHES "^([a-z0-9-]+)[ \t]")
+    list(APPEND entries "${CMAKE_MATCH_1}")
+  endif()
+endforeach()
+list(LENGTH entries count)
+if(count LESS 10)
+  message(FATAL_ERROR "expected at least 10 corpus entries, got ${count}: ${entries}")
+endif()
+
+foreach(entry IN LISTS entries)
+  set(lfile "${WORKDIR}/log_${entry}.jsonl")
+  file(REMOVE ${lfile})
+  execute_process(COMMAND ${ZEUSC} --example ${entry} --sim 8 --log ${lfile}
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${entry}: zeusc --sim 8 --log exited ${rc}\n${out}\n${err}")
+  endif()
+  if(NOT EXISTS ${lfile})
+    message(FATAL_ERROR "${entry}: ${lfile} was not written")
+  endif()
+
+  file(STRINGS ${lfile} loglines)
+  list(LENGTH loglines nlines)
+  if(nlines LESS 2)
+    message(FATAL_ERROR "${entry}: log has ${nlines} line(s), expected header + events")
+  endif()
+
+  # Header line: schema + build stamp.
+  list(GET loglines 0 header)
+  string(JSON schema GET "${header}" "schema")
+  if(NOT schema STREQUAL "zeus-log-v1")
+    message(FATAL_ERROR "${entry}: header schema '${schema}', expected zeus-log-v1")
+  endif()
+  foreach(field git compiler build_type trace_compiled_out)
+    string(JSON v ERROR_VARIABLE jerr GET "${header}" "build" ${field})
+    if(jerr)
+      message(FATAL_ERROR "${entry}: header missing build.${field}: ${jerr}")
+    endif()
+  endforeach()
+
+  # Event lines: full envelope, monotonic timestamps, known severities.
+  set(lastts 0)
+  set(sawfrontend 0)
+  set(sawsim 0)
+  math(EXPR last "${nlines} - 1")
+  foreach(i RANGE 1 ${last})
+    list(GET loglines ${i} eline)
+    string(JSON v GET "${eline}" "v")
+    if(NOT v EQUAL 1)
+      message(FATAL_ERROR "${entry}: line ${i} has v=${v}\n${eline}")
+    endif()
+    string(JSON ts GET "${eline}" "ts_us")
+    if(ts LESS lastts)
+      message(FATAL_ERROR
+              "${entry}: line ${i} ts_us=${ts} < previous ${lastts}\n${eline}")
+    endif()
+    set(lastts ${ts})
+    string(JSON sev GET "${eline}" "sev")
+    if(NOT sev MATCHES "^(debug|info|warn|error)$")
+      message(FATAL_ERROR "${entry}: line ${i} bad severity '${sev}'\n${eline}")
+    endif()
+    string(JSON sub GET "${eline}" "sub")
+    string(JSON ev GET "${eline}" "ev")
+    if(sub STREQUAL "" OR ev STREQUAL "")
+      message(FATAL_ERROR "${entry}: line ${i} empty sub/ev\n${eline}")
+    endif()
+    if(ev STREQUAL "front-end-done")
+      set(sawfrontend 1)
+      string(JSON toks GET "${eline}" "fields" "tokens")
+      if(toks LESS_EQUAL 0)
+        message(FATAL_ERROR "${entry}: front-end-done tokens=${toks}\n${eline}")
+      endif()
+    endif()
+    if(sub STREQUAL "sim" AND ev STREQUAL "run-done")
+      set(sawsim 1)
+      string(JSON c GET "${eline}" "fields" "cycles")
+      if(NOT c EQUAL 8)
+        message(FATAL_ERROR "${entry}: sim run-done cycles=${c}, expected 8\n${eline}")
+      endif()
+    endif()
+  endforeach()
+  if(NOT sawfrontend)
+    message(FATAL_ERROR "${entry}: no compile front-end-done event logged")
+  endif()
+  if(NOT sawsim)
+    message(FATAL_ERROR "${entry}: no sim run-done event logged")
+  endif()
+
+  math(EXPR nevents "${nlines} - 1")
+  message(STATUS "${entry}: ok (${nevents} event(s))")
+endforeach()
+
+message(STATUS "log_corpus: ${count} corpus entries validated")

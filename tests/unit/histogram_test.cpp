@@ -1,0 +1,144 @@
+// Latency-histogram unit tests.  The property the farm depends on is
+// merge determinism: partitioning the same recordings across any number
+// of per-thread histograms and merging in any order must produce
+// bit-identical state, so the p50/p90/p99 in BENCH_sim.json and
+// zeus-metrics-v1 do not depend on the farm thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/histogram.h"
+
+namespace zeus::test {
+namespace {
+
+using histogram::bucketOf;
+using histogram::bucketUpperBound;
+using histogram::Histogram;
+using histogram::Snapshot;
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(bucketOf(0), 0u);
+  EXPECT_EQ(bucketOf(1), 1u);
+  EXPECT_EQ(bucketOf(2), 2u);
+  EXPECT_EQ(bucketOf(3), 2u);
+  EXPECT_EQ(bucketOf(4), 3u);
+  EXPECT_EQ(bucketOf(255), 8u);
+  EXPECT_EQ(bucketOf(256), 9u);
+  EXPECT_EQ(bucketOf(~uint64_t{0}), 64u);
+
+  EXPECT_EQ(bucketUpperBound(0), 0u);
+  EXPECT_EQ(bucketUpperBound(1), 1u);
+  EXPECT_EQ(bucketUpperBound(8), 255u);
+  EXPECT_EQ(bucketUpperBound(64), ~uint64_t{0});
+
+  // Every bucket's upper bound maps back into that bucket.
+  for (size_t b = 0; b < histogram::kBuckets; ++b) {
+    EXPECT_EQ(bucketOf(bucketUpperBound(b)), b) << "bucket " << b;
+  }
+}
+
+TEST(Histogram, RecordAndPercentiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);  // empty: 0, not UB
+
+  // 100 values 1..100: p50 rank 50 -> value 50 lives in bucket 6
+  // ([32, 64)), upper bound 63; p99 rank 99 -> bucket 7, bound 127
+  // clamped to the recorded max 100.
+  for (uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.percentile(50), 63u);
+  EXPECT_EQ(h.percentile(99), 100u);
+  EXPECT_EQ(h.percentile(100), 100u);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(777);
+  EXPECT_EQ(h.percentile(50), 777u);  // clamped to max
+  EXPECT_EQ(h.percentile(99), 777u);
+  EXPECT_EQ(h.max(), 777u);
+}
+
+// The farm-determinism property: the same per-block wall times, split
+// across 1, 2 and 4 "worker" histograms (the way different thread counts
+// partition blocks) and merged, yield bit-identical histograms and
+// snapshots — including across different merge orders.
+TEST(Histogram, MergeIsThreadCountInvariant) {
+  std::vector<uint64_t> samples;
+  uint64_t x = 0x2545F4914F6CDD1Dull;
+  for (int i = 0; i < 500; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    samples.push_back(x % 100000);  // plausible µs latencies
+  }
+
+  auto partitioned = [&](size_t workers) {
+    std::vector<Histogram> per(workers);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      per[i % workers].record(samples[i]);
+    }
+    Histogram merged;
+    for (const Histogram& h : per) merged.merge(h);
+    return merged;
+  };
+
+  const Histogram h1 = partitioned(1);
+  const Histogram h2 = partitioned(2);
+  const Histogram h4 = partitioned(4);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1, h4);
+
+  // Reverse merge order: still identical (commutativity).
+  {
+    std::vector<Histogram> per(4);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      per[i % 4].record(samples[i]);
+    }
+    Histogram rev;
+    for (size_t i = per.size(); i-- > 0;) rev.merge(per[i]);
+    EXPECT_EQ(rev, h1);
+  }
+
+  // Snapshots (what lands in the JSON) are bit-identical too.
+  const Snapshot s1 = histogram::snapshot(h1, "t", "us");
+  const Snapshot s4 = histogram::snapshot(h4, "t", "us");
+  EXPECT_EQ(s1.count, s4.count);
+  EXPECT_EQ(s1.sum, s4.sum);
+  EXPECT_EQ(s1.max, s4.max);
+  EXPECT_EQ(s1.p50, s4.p50);
+  EXPECT_EQ(s1.p90, s4.p90);
+  EXPECT_EQ(s1.p99, s4.p99);
+  EXPECT_EQ(s1.buckets, s4.buckets);
+  EXPECT_EQ(histogram::renderJson(s1), histogram::renderJson(s4));
+}
+
+TEST(Histogram, SnapshotListsOnlyOccupiedBuckets) {
+  Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  const Snapshot s = histogram::snapshot(h, "x", "us");
+  ASSERT_EQ(s.buckets.size(), 2u);
+  EXPECT_EQ(s.buckets[0], (std::pair<uint32_t, uint64_t>{0, 1}));
+  EXPECT_EQ(s.buckets[1], (std::pair<uint32_t, uint64_t>{3, 2}));
+}
+
+TEST(Histogram, RenderLatencyBlock) {
+  EXPECT_EQ(histogram::renderLatencyBlock({}, ""), "{}");
+  Histogram h;
+  h.record(10);
+  const std::string block = histogram::renderLatencyBlock(
+      {histogram::snapshot(h, "serve.request_us", "us")}, "");
+  EXPECT_NE(block.find("\"serve.request_us\""), std::string::npos);
+  EXPECT_NE(block.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(block.find("\"unit\": \"us\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zeus::test

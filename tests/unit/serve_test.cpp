@@ -3,6 +3,7 @@
 // error isolation and the zeus-serve-v1 response shape.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <string>
 
 #include "src/core/batch_serve.h"
@@ -75,6 +76,46 @@ TEST(Serve, BadRequestsDoNotPoisonGoodOnes) {
   EXPECT_EQ(stats.failures, 4u);
   EXPECT_TRUE(contains(resp, "\"id\": \"good\", \"ok\": true"));
   EXPECT_TRUE(contains(resp, "unknown example"));
+}
+
+TEST(Serve, ResponseCarriesBuildLatencyAndCounterDeltas) {
+  const std::string req = R"({"requests": [
+    {"id": "r1", "example": "adders", "cycles": 4, "lanes": 8},
+    {"id": "r2", "example": "adders", "cycles": 4, "lanes": 8}
+  ]})";
+  ServeStats stats;
+  std::string resp = runServeBatch(req, ServeOptions{}, &stats);
+  ASSERT_EQ(stats.failures, 0u) << resp;
+
+  // Build-info stamp: attributable artifacts (satellite of PR 8).
+  EXPECT_TRUE(contains(resp, "\"build\": {\"git\": "));
+
+  // Per-request wall time and counter DELTAS — r1 compiled, r2 hit the
+  // cache, and each row reports only its own work, not process totals.
+  EXPECT_TRUE(contains(resp, "\"latency_us\": "));
+  EXPECT_TRUE(contains(resp, "\"serve-compiles\": 1"));
+  EXPECT_TRUE(contains(resp, "\"serve-cache-hits\": 1"));
+  // Every row's serve-requests delta is exactly 1 (never cumulative).
+  size_t rows = 0;
+  for (size_t at = resp.find("\"serve-requests\": ");
+       at != std::string::npos;
+       at = resp.find("\"serve-requests\": ", at + 1)) {
+    ++rows;
+    EXPECT_EQ(resp[at + 18], '1');
+    EXPECT_FALSE(std::isdigit(static_cast<unsigned char>(resp[at + 19])));
+  }
+  EXPECT_EQ(rows, 2u);
+
+  // Batch-level latency histograms.
+  EXPECT_TRUE(contains(resp, "\"latency\": "));
+  EXPECT_TRUE(contains(resp, "\"serve.request_us\""));
+  EXPECT_TRUE(contains(resp, "\"serve.cache_hit_us\""));
+  EXPECT_TRUE(contains(resp, "\"serve.cache_miss_us\""));
+
+  // Stats mirror the response: 2 requests recorded, 1 hit, 1 miss.
+  EXPECT_EQ(stats.requestUs.count(), 2u);
+  EXPECT_EQ(stats.cacheHitUs.count(), 1u);
+  EXPECT_EQ(stats.cacheMissUs.count(), 1u);
 }
 
 TEST(Serve, InlineSourceCompilesAndFailsGracefully) {

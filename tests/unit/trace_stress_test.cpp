@@ -138,6 +138,39 @@ TEST(TraceStress, ConcurrentEnableDisableClear) {
   for (std::thread& w : writers) w.join();
 }
 
+TEST(TraceStress, PhaseTimingsVsConcurrentClear) {
+  // phaseTimings() aggregates a snapshot of the trace buffers; here it
+  // races writers AND a dedicated clear() thread.  The aggregation must
+  // never see torn events (name/category stay intact) and must not
+  // deadlock against clear's registry+buffer lock order.
+  TraceGuard guard;
+  trace::setEnabled(true);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&stop] {
+      for (uint64_t n = 0; n < kMaxSpansPerWriter &&
+                           !stop.load(std::memory_order_relaxed);
+           ++n) {
+        ZEUS_TRACE_SPAN("phase-span", "stress");
+      }
+    });
+  }
+  std::thread clearer([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) trace::clear();
+  });
+  for (int i = 0; i < kObserverIters; ++i) {
+    for (const metrics::PhaseTiming& p : metrics::phaseTimings()) {
+      ASSERT_EQ(p.name, "phase-span");
+      ASSERT_EQ(p.category, "stress");
+      ASSERT_GE(p.count, 1u);
+    }
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  clearer.join();
+}
+
 TEST(MetricsStress, CounterIsExactAcrossThreads) {
   static metrics::Counter counter("stress-counter");
   const uint64_t before = counter.value();
