@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/codegen/compiled.h"
 #include "src/core/sim_farm.h"
 #include "src/core/zeus.h"
 #include "src/corpus/corpus.h"
@@ -60,8 +61,13 @@ uint64_t xorshift(uint64_t& s) {
 }
 
 RunResult runScalar(const zeus::SimGraph& g, zeus::EvaluatorKind kind,
-                    const char* name, int width, uint64_t cycles) {
-  zeus::Simulation sim(g, kind);
+                    const char* name, int width, uint64_t cycles,
+                    std::shared_ptr<const zeus::codegen::CompiledDesign>
+                        compiled = nullptr) {
+  zeus::Simulation::Options sopts;
+  sopts.evaluator = kind;
+  sopts.compiled = std::move(compiled);
+  zeus::Simulation sim(g, sopts);
   const uint64_t mask =
       width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
   uint64_t rng = 0xFEED;
@@ -83,14 +89,17 @@ RunResult runScalar(const zeus::SimGraph& g, zeus::EvaluatorKind kind,
   return r;
 }
 
-RunResult runBatch(const zeus::SimGraph& g, int width, uint64_t cycles) {
+RunResult runBatch(const zeus::SimGraph& g, int width, uint64_t cycles,
+                   const char* name = "levelized-batch",
+                   std::shared_ptr<const zeus::codegen::CompiledDesign>
+                       compiled = nullptr) {
   constexpr size_t kLanes = zeus::BatchSimulation::kMaxLanes;
-  zeus::BatchSimulation sim(g, kLanes);
+  zeus::BatchSimulation sim(g, kLanes, std::move(compiled));
   const uint64_t mask =
       width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
   uint64_t rng = 0xFEED;
   RunResult r;
-  r.name = "levelized-batch";
+  r.name = name;
   r.lanes = kLanes;
   sim.setInputAll("cin", zeus::Logic::Zero);
   const uint64_t evalCycles = (cycles + kLanes - 1) / kLanes;
@@ -111,6 +120,64 @@ RunResult runBatch(const zeus::SimGraph& g, int width, uint64_t cycles) {
   r.laneCycles = evalCycles * kLanes;
   r.counters = sim.metricsCounters();
   return r;
+}
+
+// ---------------------------------------------------------------------
+// Native codegen backend (src/codegen/): the same stimulus through the
+// hot-loaded compiled engine, scalar (lane 0 of the batch kernel) and
+// full 64-lane batch.  Checksums must match the interpreters exactly —
+// the tentpole claim is "faster, bit-identical".  On hosts without a
+// C++ toolchain the block records available=false and the interpreter
+// rows stand alone; the bench itself never fails for that.
+// ---------------------------------------------------------------------
+
+struct CodegenBenchResult {
+  bool available = false;
+  std::string error;      ///< why unavailable (verbatim loader error)
+  bool cachedLoad = false;  ///< artifact came from the on-disk cache
+  uint32_t optLevel = 1;
+  double emitMs = 0, compileMs = 0, loadMs = 0;
+  RunResult scalar;  ///< compiled engine, 1 live lane
+  RunResult batch;   ///< compiled engine, 64 lanes
+  bool checksumEqual = false;
+};
+
+/// Returns false only on a checksum divergence (a correctness bug); a
+/// missing toolchain is recorded in `r` and the bench carries on.
+bool runCodegenBench(const zeus::SimGraph& g, int width, uint64_t cycles,
+                     uint64_t expectedChecksum, CodegenBenchResult& r) {
+  zeus::codegen::CodegenOptions copts;
+  std::string err;
+  auto compiled = zeus::codegen::CompiledDesign::load(g, copts, err);
+  if (!compiled) {
+    r.error = err;
+    std::fprintf(stderr,
+                 "codegen unavailable (%s); skipping the compiled rows\n",
+                 err.c_str());
+    return true;
+  }
+  r.available = true;
+  r.cachedLoad = compiled->cacheHit();
+  r.optLevel = copts.optLevel;
+  r.emitMs = static_cast<double>(compiled->emitUs()) / 1000.0;
+  r.compileMs = static_cast<double>(compiled->compileUs()) / 1000.0;
+  r.loadMs = static_cast<double>(compiled->loadUs()) / 1000.0;
+  r.scalar = runScalar(g, zeus::EvaluatorKind::Compiled, "compiled", width,
+                       cycles, compiled);
+  r.batch = runBatch(g, width, cycles, "compiled-batch", compiled);
+  r.checksumEqual = r.scalar.checksum == expectedChecksum &&
+                    (r.batch.laneCycles != cycles ||
+                     r.batch.checksum == expectedChecksum);
+  if (!r.checksumEqual) {
+    std::fprintf(stderr,
+                 "codegen checksum mismatch: scalar %llx batch %llx != "
+                 "interpreter %llx\n",
+                 static_cast<unsigned long long>(r.scalar.checksum),
+                 static_cast<unsigned long long>(r.batch.checksum),
+                 static_cast<unsigned long long>(expectedChecksum));
+    return false;
+  }
+  return true;
 }
 
 /// Parallel fault simulation throughput: sweep the full stuck-at universe
@@ -325,11 +392,27 @@ CampaignResult runCampaign(const zeus::SimGraph& g, uint64_t cycles) {
   return r;
 }
 
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 void emitJson(const std::string& path, int width, uint64_t cycles,
               const std::vector<RunResult>& runs,
               const CampaignResult& campaign, const OptBenchResult& opt,
-              const FarmBenchResult& farm, double farmVsBatch,
-              double speedupBatch, double speedupLevelized) {
+              const FarmBenchResult& farm, const CodegenBenchResult& cg,
+              double farmVsBatch, double speedupBatch,
+              double speedupLevelized) {
   std::ofstream out(path);
   out << "{\n"
       << "  \"schema\": \"zeus-bench-sim-v1\",\n"
@@ -399,6 +482,42 @@ void emitJson(const std::string& path, int width, uint64_t cycles,
       << "    \"oracle_checksum\": " << farm.oracleChecksum << ",\n"
       << "    \"speedup_4_vs_1\": " << farm.speedup4v1() << ",\n"
       << "    \"speedup_vs_batch64\": " << farmVsBatch << "\n"
+      << "  },\n";
+  const double levelizedCps = runs.size() > 2 ? runs[2].cyclesPerSec() : 0;
+  const double batchCps = runs.size() > 3 ? runs[3].cyclesPerSec() : 0;
+  out << "  \"codegen\": {\n"
+      << "    \"available\": " << (cg.available ? "true" : "false") << ",\n"
+      << "    \"error\": \"" << jsonEscape(cg.error) << "\",\n"
+      << "    \"opt_level\": " << cg.optLevel
+      << ", \"cached_load\": " << (cg.cachedLoad ? "true" : "false")
+      << ",\n"
+      << "    \"emit_ms\": " << cg.emitMs
+      << ", \"compile_ms\": " << cg.compileMs
+      << ", \"load_ms\": " << cg.loadMs << ",\n"
+      << "    \"scalar\": {\"name\": \"" << cg.scalar.name
+      << "\", \"lanes\": " << cg.scalar.lanes
+      << ", \"lane_cycles\": " << cg.scalar.laneCycles
+      << ", \"seconds\": " << cg.scalar.seconds
+      << ", \"cycles_per_sec\": " << cg.scalar.cyclesPerSec()
+      << ", \"checksum\": " << cg.scalar.checksum << ",\n     \"metrics\": "
+      << zeus::metrics::simCountersJson(cg.scalar.counters) << "},\n"
+      << "    \"batch\": {\"name\": \"" << cg.batch.name
+      << "\", \"lanes\": " << cg.batch.lanes
+      << ", \"lane_cycles\": " << cg.batch.laneCycles
+      << ", \"seconds\": " << cg.batch.seconds
+      << ", \"cycles_per_sec\": " << cg.batch.cyclesPerSec()
+      << ", \"checksum\": " << cg.batch.checksum << ",\n     \"metrics\": "
+      << zeus::metrics::simCountersJson(cg.batch.counters) << "},\n"
+      << "    \"checksum_equal\": " << (cg.checksumEqual ? "true" : "false")
+      << ",\n"
+      << "    \"speedup_scalar_vs_levelized\": "
+      << (levelizedCps > 0 ? cg.scalar.cyclesPerSec() / levelizedCps : 0)
+      << ",\n"
+      << "    \"speedup_vs_levelized\": "
+      << (levelizedCps > 0 ? cg.batch.cyclesPerSec() / levelizedCps : 0)
+      << ",\n"
+      << "    \"speedup_vs_batch64\": "
+      << (batchCps > 0 ? cg.batch.cyclesPerSec() / batchCps : 0) << "\n"
       << "  },\n"
       << "  \"latency\": "
       << zeus::histogram::renderLatencyBlock(latency, "  ") << ",\n"
@@ -557,6 +676,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The native codegen backend against the same stimulus; bit-identical
+  // checksums are a hard requirement, a missing toolchain is not.
+  CodegenBenchResult cg;
+  if (!runCodegenBench(g, width, cycles, runs[0].checksum, cg)) return 1;
+
   // Fault-campaign throughput on the same design: 16 stimulus cycles per
   // fault keeps the smoke run fast while exercising full batches.
   CampaignResult campaign = runCampaign(g, /*cycles=*/16);
@@ -581,8 +705,8 @@ int main(int argc, char** argv) {
       batch64 > 0 && !farm.runs.empty()
           ? farm.runs.back().laneCyclesPerSec / batch64
           : 0;
-  emitJson(outPath, width, cycles, runs, campaign, opt, farm, farmVsBatch,
-           speedupBatch, speedupLevelized);
+  emitJson(outPath, width, cycles, runs, campaign, opt, farm, cg,
+           farmVsBatch, speedupBatch, speedupLevelized);
 
   for (const RunResult& r : runs) {
     std::printf("%-18s %12.0f cycles/s  (%llu lane-cycles in %.3fs)\n",
@@ -591,6 +715,23 @@ int main(int argc, char** argv) {
   }
   std::printf("levelized vs firing: %.2fx\n", speedupLevelized);
   std::printf("batch-64  vs firing: %.2fx\n", speedupBatch);
+  if (cg.available) {
+    const double lvl = runs[2].cyclesPerSec();
+    std::printf("%-18s %12.0f cycles/s  (%llu lane-cycles in %.3fs)\n",
+                cg.scalar.name.c_str(), cg.scalar.cyclesPerSec(),
+                static_cast<unsigned long long>(cg.scalar.laneCycles),
+                cg.scalar.seconds);
+    std::printf("%-18s %12.0f cycles/s  (%llu lane-cycles in %.3fs)\n",
+                cg.batch.name.c_str(), cg.batch.cyclesPerSec(),
+                static_cast<unsigned long long>(cg.batch.laneCycles),
+                cg.batch.seconds);
+    std::printf("compiled  vs levelized: %.2fx scalar, %.2fx batch "
+                "(emit %.1fms, compile %.1fms, load %.1fms%s)\n",
+                lvl > 0 ? cg.scalar.cyclesPerSec() / lvl : 0,
+                lvl > 0 ? cg.batch.cyclesPerSec() / lvl : 0, cg.emitMs,
+                cg.compileMs, cg.loadMs,
+                cg.cachedLoad ? ", cached" : "");
+  }
   for (const FarmThreadRun& t : farm.runs) {
     std::printf("farm %zut            %12.0f lane-cycles/s  (%zu lanes in "
                 "%.3fs)\n",

@@ -1,19 +1,42 @@
-# ctest smoke harness for bench_levelized: runs the bench with a tiny
-# cycle count and validates the emitted BENCH_sim.json against the
-# zeus-bench-sim-v1 schema.
+# ctest harness for bench_levelized, two modes:
 #
-# Usage: cmake -DBENCH=<bench_levelized> -DJSON=<out.json> -P check_bench_json.cmake
-if(NOT BENCH OR NOT JSON)
-  message(FATAL_ERROR "pass -DBENCH=<binary> and -DJSON=<output path>")
+#   smoke      cmake -DBENCH=<bench_levelized> -DJSON=<out.json> \
+#                    -P check_bench_json.cmake
+#              Runs the bench with a tiny cycle count and validates the
+#              emitted BENCH_sim.json against the zeus-bench-sim-v1
+#              schema.  (Host compiles for the codegen block run at -O0
+#              to keep the smoke run fast; a toolchain-less host records
+#              available=false, which smoke mode accepts.)
+#
+#   checked-in cmake -DCHECKED_IN=ON -DJSON=<repo bench/BENCH_sim.json> \
+#                    -P check_bench_json.cmake
+#              Validates the committed artifact without running anything,
+#              plus the claims only a real run from a clean tree can
+#              make: the build stamp must not be -dirty, the codegen
+#              block must come from an actual compile, and the compiled
+#              engine must beat the levelized interpreter by >= 5x.
+if(NOT JSON)
+  message(FATAL_ERROR "pass -DJSON=<path to BENCH_sim.json>")
 endif()
 
-execute_process(
-  COMMAND ${BENCH} --cycles 128 --width 16 --out ${JSON}
-  RESULT_VARIABLE rv
-  OUTPUT_VARIABLE out
-  ERROR_VARIABLE err)
-if(NOT rv EQUAL 0)
-  message(FATAL_ERROR "bench_levelized failed (${rv}):\n${out}\n${err}")
+if(CHECKED_IN)
+  set(expect_cycles 20480)
+else()
+  if(NOT BENCH)
+    message(FATAL_ERROR "pass -DBENCH=<binary> (or -DCHECKED_IN=ON)")
+  endif()
+  set(expect_cycles 128)
+  get_filename_component(jsondir ${JSON} DIRECTORY)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ZEUS_CODEGEN_CXXFLAGS=-O0
+            ZEUS_CODEGEN_CACHE_DIR=${jsondir}/codegen-smoke-cache
+            ${BENCH} --cycles 128 --width 16 --out ${JSON}
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "bench_levelized failed (${rv}):\n${out}\n${err}")
+  endif()
 endif()
 
 file(READ ${JSON} content)
@@ -24,8 +47,8 @@ if(jerr OR NOT schema STREQUAL "zeus-bench-sim-v1")
 endif()
 
 string(JSON ncyc GET "${content}" cycles)
-if(NOT ncyc EQUAL 128)
-  message(FATAL_ERROR "cycles field ${ncyc} != 128")
+if(NOT ncyc EQUAL expect_cycles)
+  message(FATAL_ERROR "cycles field ${ncyc} != ${expect_cycles}")
 endif()
 
 string(JSON nevals LENGTH "${content}" evaluators)
@@ -206,6 +229,50 @@ else()
   message(STATUS "farm speedup check skipped: only ${fcores} host core(s)")
 endif()
 
+# codegen: the native backend block (docs/codegen.md).  Field presence
+# is unconditional; the run itself is optional in smoke mode (a host
+# without a C++ toolchain records available=false) but mandatory for the
+# checked-in artifact — and there the compiled engine must actually beat
+# the levelized interpreter by the claimed margin, with checksum
+# equality against every interpreter row.
+foreach(field available error opt_level cached_load emit_ms compile_ms
+              load_ms checksum_equal speedup_scalar_vs_levelized
+              speedup_vs_levelized speedup_vs_batch64)
+  string(JSON v ERROR_VARIABLE jerr GET "${content}" codegen ${field})
+  if(jerr)
+    message(FATAL_ERROR "codegen missing '${field}': ${jerr}")
+  endif()
+endforeach()
+string(JSON cgavail GET "${content}" codegen available)
+if(cgavail STREQUAL "ON")
+  string(JSON cgeq GET "${content}" codegen checksum_equal)
+  if(NOT cgeq STREQUAL "ON")
+    message(FATAL_ERROR "codegen.checksum_equal = ${cgeq}")
+  endif()
+  string(JSON ck0 GET "${content}" evaluators 0 checksum)
+  string(JSON cgsck GET "${content}" codegen scalar checksum)
+  string(JSON cgbck GET "${content}" codegen batch checksum)
+  if(NOT cgsck EQUAL ck0 OR NOT cgbck EQUAL ck0)
+    message(FATAL_ERROR
+            "codegen checksums (scalar ${cgsck}, batch ${cgbck}) != "
+            "interpreter ${ck0}")
+  endif()
+  foreach(row scalar batch)
+    string(JSON cps GET "${content}" codegen ${row} cycles_per_sec)
+    if(cps LESS_EQUAL 0)
+      message(FATAL_ERROR "codegen.${row}.cycles_per_sec = ${cps}")
+    endif()
+  endforeach()
+elseif(CHECKED_IN)
+  string(JSON cgerr GET "${content}" codegen error)
+  message(FATAL_ERROR
+          "checked-in BENCH_sim.json must carry a real codegen run, got "
+          "available=false (${cgerr})")
+else()
+  string(JSON cgerr GET "${content}" codegen error)
+  message(STATUS "codegen block: unavailable on this host (${cgerr})")
+endif()
+
 # build: the attribution stamp (PR 8) — who compiled the binary that
 # produced these numbers.
 foreach(field git compiler build_type trace_compiled_out)
@@ -217,6 +284,24 @@ endforeach()
 string(JSON bgit GET "${content}" build git)
 if(bgit STREQUAL "")
   message(FATAL_ERROR "build.git is empty")
+endif()
+
+if(CHECKED_IN)
+  # A committed artifact must come from a clean tree: a -dirty stamp
+  # means the numbers cannot be reproduced from any commit.
+  if(bgit MATCHES "-dirty")
+    message(FATAL_ERROR
+            "checked-in BENCH_sim.json carries a dirty build stamp "
+            "'${bgit}'; regenerate it from a clean tree")
+  endif()
+  # The tentpole claim: compiled engine throughput >= 5x the levelized
+  # interpreter on the ripple-carry bench design.
+  string(JSON cgspeed GET "${content}" codegen speedup_vs_levelized)
+  if(cgspeed LESS 5)
+    message(FATAL_ERROR
+            "codegen.speedup_vs_levelized = ${cgspeed} (< 5x) in the "
+            "checked-in artifact")
+  endif()
 endif()
 
 # latency: the farm.block_us histogram collected across the whole thread

@@ -1,0 +1,90 @@
+// Versioned ABI between the host and a hot-loaded compiled design.
+//
+// A compiled design is one shared object built from emitted C++
+// (src/codegen/emit.h) that exports a single C symbol,
+// `zeus_compiled_design_v1`, returning a static descriptor.  The
+// descriptor carries everything the host needs to validate the artifact
+// before trusting it — ABI version, design content hash, state sizes —
+// plus the per-cycle EvalStats constants and the evaluate entry point.
+//
+// The generated translation unit re-declares these structs textually (it
+// must compile standalone, with no include path into this tree), so any
+// change here MUST bump kAbiVersion and be mirrored in emit.cpp: the
+// loader rejects descriptors whose version or design hash differ, which
+// turns a stale on-disk artifact into a cache miss instead of a crash.
+//
+// Everything is standard-layout with fixed-width types; LanePlanes
+// (src/sim/levelized_evaluator.h) is layout-compatible with
+// ZeusCompiledLanesV1 by construction (static_asserts in compiled.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace zeus::codegen {
+
+inline constexpr uint32_t kAbiVersion = 1;
+inline constexpr const char* kEntrySymbol = "zeus_compiled_design_v1";
+
+/// 64 lanes of four-valued logic in two bit planes (p0 = "can be 0",
+/// p1 = "can be 1"); mirrors zeus::LanePlanes.
+struct ZeusCompiledLanesV1 {
+  uint64_t p0;
+  uint64_t p1;
+};
+
+/// Per-net fault overlay masks, each an array of denseCount lane masks
+/// (mirrors zeus::BatchFaultPlan's vectors).  A null ZeusCompiledFaultsV1*
+/// passed to evaluate() means fault-free.
+struct ZeusCompiledFaultsV1 {
+  const uint64_t* force0;
+  const uint64_t* force1;
+  const uint64_t* forceUndef;
+  const uint64_t* flip;
+  const uint64_t* contend;
+};
+
+/// One compiled cycle: the exact contract of
+/// LevelizedBatchEvaluator::evaluate flattened into raw arrays.
+///   inputs     per dense net, externally driven lanes (NOINFL = none)
+///   regs       per graph.regNodes index, stored lane values
+///   rng        64 per-lane RANDOM streams, advanced in place
+///   laneMask   lanes in use (collisions reported only for these)
+///   faults     per-net overlay masks, or null for fault-free
+///   netValues  out: per dense net, resolved lanes (may be NOINFL)
+///   activeAny  out: per dense net, lanes with >=1 active driver
+///   activeMulti out: per dense net, lanes with >=2 active drivers
+///   collisions out: dense nets with activeMulti∩laneMask ≠ ∅, in
+///              schedule order; capacity must be >= denseCount
+///   collisionCount out: number of entries written to collisions
+///   scratch    caller-provided node-output scratch, >= nodeSlots entries
+using ZeusCompiledEvalFn = void (*)(
+    const ZeusCompiledLanesV1* inputs, const ZeusCompiledLanesV1* regs,
+    uint64_t* rng, uint64_t laneMask, const ZeusCompiledFaultsV1* faults,
+    ZeusCompiledLanesV1* netValues, uint64_t* activeAny,
+    uint64_t* activeMulti, uint32_t* collisions, uint32_t* collisionCount,
+    ZeusCompiledLanesV1* scratch);
+
+struct ZeusCompiledDesignV1 {
+  uint32_t abiVersion;  ///< kAbiVersion of the emitting build
+  uint32_t optLevel;    ///< zeus optimizer level the graph was built at
+  uint64_t designHash;  ///< designContentHash() of the source design
+  uint32_t denseCount;  ///< dense nets (sizes of the per-net arrays)
+  uint32_t regCount;    ///< graph.regNodes.size()
+  uint32_t nodeSlots;   ///< scratch entries evaluate() needs
+  uint32_t randomNodes; ///< RANDOM draws per cycle (diagnostic)
+  /// Per-cycle EvalStats constants: the levelized schedule is static, so
+  /// the interpreter's counters advance by fixed deltas every cycle; the
+  /// host adds these after each evaluate() so compiled runs stay
+  /// engine-invariant (epochResets advances by 1).
+  uint64_t nodeFiringsPerCycle;
+  uint64_t netResolutionsPerCycle;
+  uint64_t contentionChecksPerCycle;
+  const char* buildStamp;  ///< git describe of the emitting build
+  const char* designName;  ///< top name (diagnostic)
+  ZeusCompiledEvalFn evaluate;
+};
+
+/// Signature of the entry symbol.
+using ZeusCompiledEntryFn = const ZeusCompiledDesignV1* (*)();
+
+}  // namespace zeus::codegen

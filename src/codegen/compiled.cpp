@@ -1,0 +1,538 @@
+#include "src/codegen/compiled.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <type_traits>
+
+#include "src/codegen/emit.h"
+#include "src/sim/snapshot.h"
+#include "src/support/buildinfo.h"
+#include "src/support/eventlog.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
+
+namespace zeus::codegen {
+
+// The host hands LanePlanes arrays straight across the ABI boundary.
+static_assert(sizeof(LanePlanes) == sizeof(ZeusCompiledLanesV1));
+static_assert(sizeof(LanePlanes) == 16);
+static_assert(std::is_standard_layout_v<LanePlanes>);
+static_assert(offsetof(ZeusCompiledLanesV1, p1) == 8);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+metrics::Counter codegenCompiles("codegen-compiles");
+metrics::Counter codegenCacheHits("codegen-cache-hits");
+metrics::Counter codegenFallbacks("codegen-fallbacks");
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t fnv1a(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+uint64_t fnv1a(uint64_t h, uint64_t v) { return fnv1a(h, &v, sizeof v); }
+
+std::string hexKey(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool isExecutable(const std::string& p) {
+  return !p.empty() && ::access(p.c_str(), X_OK) == 0;
+}
+
+std::string searchPath(const std::string& name) {
+  const char* path = std::getenv("PATH");
+  if (!path) return {};
+  std::string dirs(path);
+  size_t pos = 0;
+  while (pos <= dirs.size()) {
+    size_t end = dirs.find(':', pos);
+    if (end == std::string::npos) end = dirs.size();
+    std::string dir = dirs.substr(pos, end - pos);
+    if (!dir.empty()) {
+      std::string cand = dir + "/" + name;
+      if (isExecutable(cand)) return cand;
+    }
+    pos = end + 1;
+  }
+  return {};
+}
+
+/// Resolves a compiler spec: an absolute/relative path must be
+/// executable; a bare name is searched on PATH.  Empty when unusable.
+std::string resolveCompiler(const std::string& spec) {
+  if (spec.empty()) return {};
+  if (spec.find('/') != std::string::npos) {
+    return isExecutable(spec) ? spec : std::string{};
+  }
+  return searchPath(spec);
+}
+
+bool writeFileAtomic(const std::string& path, const std::string& content,
+                     std::string& error) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      error = "cannot write " + tmp;
+      return false;
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out) {
+      error = "short write to " + tmp;
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    error = "cannot rename " + tmp + " into place: " + ec.message();
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::string readTail(const std::string& path, size_t maxBytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (all.size() > maxBytes) all = all.substr(all.size() - maxBytes);
+  // Keep the error single-line-ish for JSON/CLI surfaces.
+  for (char& c : all) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  return all;
+}
+
+/// dlopen + entry lookup + descriptor validation.  On failure the handle
+/// is closed and null returned with `why` set.
+const ZeusCompiledDesignV1* openAndValidate(const std::string& soPath,
+                                            uint64_t designHash,
+                                            const SimGraph& g, void*& handle,
+                                            std::string& why) {
+  handle = ::dlopen(soPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) {
+    const char* e = ::dlerror();
+    why = "dlopen failed: " + std::string(e ? e : "unknown error");
+    return nullptr;
+  }
+  auto close = [&handle]() {
+    ::dlclose(handle);
+    handle = nullptr;
+  };
+  void* sym = ::dlsym(handle, kEntrySymbol);
+  if (!sym) {
+    why = "artifact exports no " + std::string(kEntrySymbol);
+    close();
+    return nullptr;
+  }
+  const ZeusCompiledDesignV1* d =
+      reinterpret_cast<ZeusCompiledEntryFn>(sym)();
+  if (!d || !d->evaluate) {
+    why = "artifact descriptor is null";
+    close();
+    return nullptr;
+  }
+  if (d->abiVersion != kAbiVersion) {
+    why = "artifact ABI v" + std::to_string(d->abiVersion) +
+          " != expected v" + std::to_string(kAbiVersion);
+    close();
+    return nullptr;
+  }
+  if (d->designHash != designHash) {
+    why = "artifact was compiled for a different design (hash mismatch)";
+    close();
+    return nullptr;
+  }
+  if (d->denseCount != g.denseCount ||
+      d->regCount != g.regNodes.size()) {
+    why = "artifact state sizes do not match this graph";
+    close();
+    return nullptr;
+  }
+  return d;
+}
+
+/// In-process registry: one dlopen'd artifact per cache key, shared by
+/// every BatchSimulation / farm block / serve request using the design.
+std::mutex& registryMutex() {
+  static std::mutex m;
+  return m;
+}
+std::map<std::string, std::weak_ptr<const CompiledDesign>>& registry() {
+  static std::map<std::string, std::weak_ptr<const CompiledDesign>> r;
+  return r;
+}
+
+}  // namespace
+
+std::string codegenCacheDir(const CodegenOptions& opts) {
+  if (!opts.cacheDir.empty()) return opts.cacheDir;
+  if (const char* env = std::getenv("ZEUS_CODEGEN_CACHE_DIR");
+      env && *env) {
+    return env;
+  }
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  if (ec) return "zeus-codegen-cache";
+  return (tmp / "zeus-codegen-cache").string();
+}
+
+std::string codegenCompiler(const CodegenOptions& opts) {
+  if (!opts.compiler.empty()) return resolveCompiler(opts.compiler);
+  if (const char* env = std::getenv("ZEUS_CXX"); env && *env) {
+    return resolveCompiler(env);
+  }
+#ifdef ZEUS_CODEGEN_CXX
+  if (std::string baked = resolveCompiler(ZEUS_CODEGEN_CXX);
+      !baked.empty()) {
+    return baked;
+  }
+#endif
+  for (const char* name : {"g++", "c++", "clang++"}) {
+    if (std::string found = searchPath(name); !found.empty()) return found;
+  }
+  return {};
+}
+
+bool toolchainAvailable(const CodegenOptions& opts) {
+  return !codegenCompiler(opts).empty();
+}
+
+std::string codegenCxxFlags(const CodegenOptions& opts) {
+  if (!opts.cxxflags.empty()) return opts.cxxflags;
+  if (const char* env = std::getenv("ZEUS_CODEGEN_CXXFLAGS"); env && *env) {
+    return env;
+  }
+  return "-O2";
+}
+
+CompiledDesign::~CompiledDesign() {
+  if (handle_) ::dlclose(handle_);
+}
+
+std::shared_ptr<const CompiledDesign> CompiledDesign::load(
+    const SimGraph& graph, const CodegenOptions& opts, std::string& error) {
+  ZEUS_TRACE_SPAN("codegen-load", "codegen");
+  error.clear();
+  auto failed = [&error](const std::string& why) {
+    error = why;
+    codegenFallbacks.add();
+    eventlog::emit(eventlog::Severity::Warn, "codegen", "load-failed",
+                   {eventlog::str("error", why)});
+    return std::shared_ptr<const CompiledDesign>{};
+  };
+
+  if (!graph.design) return failed("graph has no design");
+  if (graph.hasCycle) {
+    return failed("cannot compile a cyclic design: " +
+                  graph.cycleDescription);
+  }
+  const std::string cxx = codegenCompiler(opts);
+  if (cxx.empty()) {
+    return failed(
+        "no host C++ toolchain available (set ZEUS_CXX or install g++)");
+  }
+
+  const uint64_t emitT0 = nowUs();
+  EmitOptions eopts;
+  eopts.optLevel = opts.optLevel;
+  EmitResult emit = emitCompiledCpp(graph, eopts);
+  if (!emit.ok) return failed("emit refused: " + emit.error);
+  const uint64_t emitUs = nowUs() - emitT0;
+
+  // Artifact key: designContentHash ⊕ opt level ⊕ build stamp ⊕ ABI
+  // version ⊕ emitted-source hash ⊕ host flags.  The source hash guards
+  // dev trees where the stamp is stable but the emitter changed; the
+  // flags guard ZEUS_CODEGEN_CXXFLAGS flips between runs.
+  const std::string cxxflags = codegenCxxFlags(opts);
+  uint64_t key = 0xCBF29CE484222325ull;
+  key = fnv1a(key, emit.designHash);
+  key = fnv1a(key, static_cast<uint64_t>(opts.optLevel));
+  key = fnv1a(key, static_cast<uint64_t>(kAbiVersion));
+  const char* stamp = buildinfo::gitDescribe();
+  key = fnv1a(key, stamp, std::char_traits<char>::length(stamp));
+  key = fnv1a(key, emit.source.data(), emit.source.size());
+  key = fnv1a(key, cxxflags.data(), cxxflags.size());
+  const std::string keyHex = hexKey(key);
+
+  std::lock_guard<std::mutex> lock(registryMutex());
+  if (auto it = registry().find(keyHex); it != registry().end()) {
+    if (auto live = it->second.lock()) {
+      codegenCacheHits.add();
+      return live;
+    }
+  }
+
+  const std::string dir = codegenCacheDir(opts);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return failed("cannot create codegen cache dir " + dir + ": " +
+                  ec.message());
+  }
+  const std::string base = dir + "/zeus-" + keyHex;
+  const std::string cppPath = base + ".cpp";
+  const std::string soPath = base + ".so";
+  const std::string logPath = base + ".log";
+
+  std::shared_ptr<CompiledDesign> obj(new CompiledDesign());
+  obj->soPath_ = soPath;
+  obj->emitUs_ = emitUs;
+
+  // On-disk cache probe: a present .so that validates is a hit; one that
+  // does not (stale, truncated, foreign) is rebuilt in place.
+  std::string why;
+  if (fs::exists(soPath, ec) && !ec) {
+    const uint64_t loadT0 = nowUs();
+    obj->abi_ = openAndValidate(soPath, emit.designHash, graph,
+                                obj->handle_, why);
+    obj->loadUs_ = nowUs() - loadT0;
+    if (obj->abi_) {
+      obj->cacheHit_ = true;
+      codegenCacheHits.add();
+    }
+  }
+
+  if (!obj->abi_) {
+    const uint64_t compileT0 = nowUs();
+    {
+      ZEUS_TRACE_SPAN("codegen-compile", "codegen");
+      if (!writeFileAtomic(cppPath, emit.source, why)) {
+        return failed("cannot stage generated source: " + why);
+      }
+      const std::string tmpSo =
+          soPath + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+      const std::string cmd = "\"" + cxx + "\" -std=c++17 " + cxxflags +
+                              " -fPIC -shared \"" + cppPath + "\" -o \"" +
+                              tmpSo + "\" 2> \"" + logPath + "\"";
+      const int rc = std::system(cmd.c_str());
+      if (rc != 0 || !fs::exists(tmpSo, ec) || ec) {
+        fs::remove(tmpSo, ec);
+        return failed("host compile failed (exit " + std::to_string(rc) +
+                      "): " + readTail(logPath, 400));
+      }
+      fs::rename(tmpSo, soPath, ec);
+      if (ec) {
+        fs::remove(tmpSo, ec);
+        return failed("cannot move compiled artifact into place: " +
+                      ec.message());
+      }
+    }
+    obj->compileUs_ = nowUs() - compileT0;
+    codegenCompiles.add();
+
+    const uint64_t loadT0 = nowUs();
+    obj->abi_ = openAndValidate(soPath, emit.designHash, graph,
+                                obj->handle_, why);
+    obj->loadUs_ = nowUs() - loadT0;
+    if (!obj->abi_) {
+      fs::remove(soPath, ec);  // never leave a known-bad artifact behind
+      return failed("freshly compiled artifact failed validation: " + why);
+    }
+  }
+
+  registry()[keyHex] = obj;
+  eventlog::emit(
+      eventlog::Severity::Info, "codegen", "load-done",
+      {eventlog::str("design", graph.design->topName),
+       eventlog::str("artifact", soPath),
+       eventlog::boolean("cache_hit", obj->cacheHit_),
+       eventlog::num("emit_us", obj->emitUs_),
+       eventlog::num("compile_us", obj->compileUs_),
+       eventlog::num("load_us", obj->loadUs_)});
+  return obj;
+}
+
+// ---------------------------------------------------------------------
+// Batch evaluator
+// ---------------------------------------------------------------------
+
+CompiledBatchEvaluator::CompiledBatchEvaluator(
+    const SimGraph& graph, std::shared_ptr<const CompiledDesign> design)
+    : g_(graph), design_(std::move(design)) {
+  if (!design_ || !design_->abi()) {
+    throw std::invalid_argument("compiled evaluator needs a loaded design");
+  }
+  const ZeusCompiledDesignV1* d = design_->abi();
+  if (d->denseCount != g_.denseCount ||
+      d->regCount != g_.regNodes.size()) {
+    throw std::invalid_argument(
+        "compiled design does not match this graph");
+  }
+  scratch_.assign(std::max<uint32_t>(1, d->nodeSlots), {});
+  collScratch_.assign(std::max<size_t>(1, g_.denseCount), 0);
+  localRng_.fill(kDefaultRngSeed);
+}
+
+void CompiledBatchEvaluator::evaluate(const BatchSeeds& seeds,
+                                      BatchCycleResult& out) {
+  const ZeusCompiledDesignV1* d = design_->abi();
+  // The schedule is static, so the interpreter's counters advance by
+  // fixed per-cycle deltas; replaying them keeps EvalStats
+  // engine-invariant between interpreted and compiled runs.
+  ++stats_.epochResets;
+  stats_.nodeFirings += d->nodeFiringsPerCycle;
+  stats_.netResolutions += d->netResolutionsPerCycle;
+  stats_.contentionChecks += d->contentionChecksPerCycle;
+
+  uint64_t* rng = localRng_.data();
+  if (seeds.rngStates) {
+    // Seed-0 normalization parity with the interpreters (see
+    // LevelizedBatchEvaluator::evaluate).
+    for (uint64_t& s : *seeds.rngStates) {
+      if (s == 0) s = kDefaultRngSeed;
+    }
+    rng = seeds.rngStates->data();
+  }
+
+  if (out.netValues.size() != g_.denseCount) {
+    out.netValues.assign(g_.denseCount, {});
+    out.activeAny.assign(g_.denseCount, 0);
+    out.activeMulti.assign(g_.denseCount, 0);
+  }
+  out.collisions.clear();
+
+  const ZeusCompiledLanesV1* in = nullptr;
+  if (seeds.inputValues && seeds.inputValues->size() == g_.denseCount) {
+    in = reinterpret_cast<const ZeusCompiledLanesV1*>(
+        seeds.inputValues->data());
+  } else {
+    // No seeds = no contributions; an all-NOINFL plane is the identity.
+    if (emptyInputs_.size() != g_.denseCount) {
+      emptyInputs_.assign(g_.denseCount, {});
+    }
+    in = reinterpret_cast<const ZeusCompiledLanesV1*>(emptyInputs_.data());
+  }
+  const ZeusCompiledLanesV1* reg = nullptr;
+  if (seeds.regValues && seeds.regValues->size() == g_.regNodes.size()) {
+    reg = reinterpret_cast<const ZeusCompiledLanesV1*>(
+        seeds.regValues->data());
+  } else {
+    if (emptyRegs_.size() != g_.regNodes.size()) {
+      emptyRegs_.assign(g_.regNodes.size(), {});
+    }
+    reg = reinterpret_cast<const ZeusCompiledLanesV1*>(emptyRegs_.data());
+  }
+
+  ZeusCompiledFaultsV1 faults{};
+  const ZeusCompiledFaultsV1* fp = nullptr;
+  if (seeds.faults && seeds.faults->any &&
+      seeds.faults->force0.size() == g_.denseCount) {
+    faults = {seeds.faults->force0.data(), seeds.faults->force1.data(),
+              seeds.faults->forceUndef.data(), seeds.faults->flip.data(),
+              seeds.faults->contend.data()};
+    fp = &faults;
+  }
+
+  uint32_t nc = 0;
+  d->evaluate(in, reg, rng, seeds.laneMask, fp,
+              reinterpret_cast<ZeusCompiledLanesV1*>(out.netValues.data()),
+              out.activeAny.data(), out.activeMulti.data(),
+              collScratch_.data(), &nc,
+              reinterpret_cast<ZeusCompiledLanesV1*>(scratch_.data()));
+  out.collisions.assign(collScratch_.begin(), collScratch_.begin() + nc);
+}
+
+// ---------------------------------------------------------------------
+// Scalar adapter
+// ---------------------------------------------------------------------
+
+CompiledScalarEvaluator::CompiledScalarEvaluator(
+    const SimGraph& graph, std::shared_ptr<const CompiledDesign> design)
+    : g_(graph), batch_(graph, std::move(design)) {
+  inputLanes_.assign(g_.denseCount, {});
+  regLanes_.assign(g_.regNodes.size(), {});
+  rng_.fill(kDefaultRngSeed);
+}
+
+void CompiledScalarEvaluator::evaluate(const CycleSeeds& seeds,
+                                       CycleResult& out) {
+  // Lane 0 carries the scalar run; lanes 1..63 stay NOINFL and idle.
+  const uint64_t lane0 = 1;
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    Logic v = Logic::NoInfl;
+    if (seeds.inputValues && seeds.inputSet && (*seeds.inputSet)[i]) {
+      v = (*seeds.inputValues)[i];
+    }
+    inputLanes_[i] = lanesBroadcast(v, lane0);
+  }
+  for (size_t k = 0; k < g_.regNodes.size(); ++k) {
+    Logic v = seeds.regValues && k < seeds.regValues->size()
+                  ? (*seeds.regValues)[k]
+                  : Logic::Undef;
+    regLanes_[k] = lanesBroadcast(v, lane0);
+  }
+  rng_[0] = seeds.rngState;  // 0 normalizes to the default seed in batch_
+
+  BatchSeeds bs;
+  bs.inputValues = &inputLanes_;
+  bs.regValues = &regLanes_;
+  bs.rngStates = &rng_;
+  bs.laneMask = lane0;
+  if (seeds.faults && seeds.faults->any &&
+      seeds.faults->mode.size() == g_.denseCount) {
+    faultLanes_.resize(g_.denseCount);
+    faultLanes_.any = false;
+    for (size_t i = 0; i < g_.denseCount; ++i) {
+      switch (seeds.faults->mode[i]) {
+        case FaultMode::None: continue;
+        case FaultMode::Force0: faultLanes_.force0[i] = lane0; break;
+        case FaultMode::Force1: faultLanes_.force1[i] = lane0; break;
+        case FaultMode::ForceUndef:
+          faultLanes_.forceUndef[i] = lane0;
+          break;
+        case FaultMode::Flip: faultLanes_.flip[i] = lane0; break;
+        case FaultMode::Contend: faultLanes_.contend[i] = lane0; break;
+      }
+      faultLanes_.any = true;
+    }
+    if (faultLanes_.any) bs.faults = &faultLanes_;
+  }
+
+  batch_.evaluate(bs, batchOut_);
+
+  if (out.netValues.size() != g_.denseCount) {
+    out.netValues.assign(g_.denseCount, Logic::Undef);
+    out.activeCounts.assign(g_.denseCount, 0);
+  }
+  for (size_t i = 0; i < g_.denseCount; ++i) {
+    out.netValues[i] = laneValue(batchOut_.netValues[i], 0);
+    out.activeCounts[i] = (batchOut_.activeMulti[i] & 1)
+                              ? 2
+                              : ((batchOut_.activeAny[i] & 1) ? 1 : 0);
+  }
+  out.collisions = batchOut_.collisions;
+  out.rngState = rng_[0];
+  out.watchdogTripped = false;  // the static schedule cannot wedge
+}
+
+}  // namespace zeus::codegen

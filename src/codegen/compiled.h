@@ -1,0 +1,147 @@
+// Compile-and-load driver for the native codegen backend.
+//
+// CompiledDesign::load() takes a SimGraph through the full pipeline —
+// emit (src/codegen/emit.h), host-toolchain compile to a shared object,
+// dlopen + ABI validation — behind an on-disk artifact cache keyed by
+// designContentHash ⊕ opt level ⊕ build stamp ⊕ source hash, so repeat
+// compiles in --serve-batch and the farm are cache hits.  Artifacts land
+// atomically (write to "<path>.tmp.<pid>", then rename), and an
+// in-process registry shares one dlopen'd object across concurrent users
+// of the same design (every farm block holds the same shared_ptr).
+//
+// Every failure mode — no toolchain on the host, an emitter refusal, a
+// compile error, a stale or corrupt cache artifact — returns null with a
+// structured error string; callers fall back to the interpreter
+// (docs/codegen.md lists the fallback rules).
+//
+// CompiledBatchEvaluator / CompiledScalarEvaluator wrap the loaded entry
+// point in the exact evaluate() interfaces of LevelizedBatchEvaluator and
+// LevelizedEvaluator, maintaining the engine-invariant EvalStats counters
+// from the per-cycle constants baked into the ABI descriptor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/codegen/abi.h"
+#include "src/sim/levelized_evaluator.h"
+
+namespace zeus::codegen {
+
+struct CodegenOptions {
+  /// Artifact cache directory; empty = ZEUS_CODEGEN_CACHE_DIR env var,
+  /// then a "zeus-codegen-cache" directory under the system temp dir.
+  std::string cacheDir;
+  /// Host C++ compiler; empty = ZEUS_CXX env var, then the compiler this
+  /// build was configured with, then g++/c++/clang++ on PATH.
+  std::string compiler;
+  /// Zeus optimizer level the graph was built at (cache key + metadata).
+  uint32_t optLevel = 1;
+  /// Host compiler flags; empty = ZEUS_CODEGEN_CXXFLAGS env var, then
+  /// "-O2".  Folded into the artifact cache key, so flipping flags never
+  /// reuses a stale .so.  (-std=c++17 -fPIC -shared are always added.)
+  std::string cxxflags;
+};
+
+/// Resolved cache directory for `opts` (created on demand by load()).
+[[nodiscard]] std::string codegenCacheDir(const CodegenOptions& opts = {});
+/// Resolved host compiler, or empty when none is available.
+[[nodiscard]] std::string codegenCompiler(const CodegenOptions& opts = {});
+/// True when a host toolchain is available for compile-and-load.
+[[nodiscard]] bool toolchainAvailable(const CodegenOptions& opts = {});
+/// Resolved host compiler flags (see CodegenOptions::cxxflags).
+[[nodiscard]] std::string codegenCxxFlags(const CodegenOptions& opts = {});
+
+/// One hot-loaded compiled design: owns the dlopen handle and exposes the
+/// validated v1 descriptor.  Immutable and stateless after load, so one
+/// instance is safely shared across threads (each evaluator keeps its own
+/// scratch buffers).
+class CompiledDesign {
+ public:
+  ~CompiledDesign();
+  CompiledDesign(const CompiledDesign&) = delete;
+  CompiledDesign& operator=(const CompiledDesign&) = delete;
+
+  /// Emits, compiles (or cache-hits) and loads the engine for `graph`.
+  /// Null + `error` on any failure; never throws.
+  static std::shared_ptr<const CompiledDesign> load(
+      const SimGraph& graph, const CodegenOptions& opts, std::string& error);
+
+  [[nodiscard]] const ZeusCompiledDesignV1* abi() const { return abi_; }
+  [[nodiscard]] uint64_t designHash() const { return abi_->designHash; }
+  [[nodiscard]] const std::string& artifactPath() const { return soPath_; }
+  /// True when the shared object came from the on-disk cache (no compile).
+  [[nodiscard]] bool cacheHit() const { return cacheHit_; }
+  [[nodiscard]] uint64_t emitUs() const { return emitUs_; }
+  [[nodiscard]] uint64_t compileUs() const { return compileUs_; }
+  [[nodiscard]] uint64_t loadUs() const { return loadUs_; }
+
+ private:
+  CompiledDesign() = default;
+
+  void* handle_ = nullptr;
+  const ZeusCompiledDesignV1* abi_ = nullptr;
+  std::string soPath_;
+  bool cacheHit_ = false;
+  uint64_t emitUs_ = 0;
+  uint64_t compileUs_ = 0;
+  uint64_t loadUs_ = 0;
+};
+
+/// Drop-in replacement for LevelizedBatchEvaluator running the compiled
+/// engine; same evaluate contract, same EvalStats trajectory.
+class CompiledBatchEvaluator {
+ public:
+  CompiledBatchEvaluator(const SimGraph& graph,
+                         std::shared_ptr<const CompiledDesign> design);
+
+  void evaluate(const BatchSeeds& seeds, BatchCycleResult& out);
+  [[nodiscard]] const EvalStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+  void setStats(const EvalStats& s) { stats_ = s; }
+  [[nodiscard]] const CompiledDesign& design() const { return *design_; }
+
+ private:
+  const SimGraph& g_;
+  std::shared_ptr<const CompiledDesign> design_;
+  EvalStats stats_;
+  std::vector<LanePlanes> scratch_;      ///< node-output slots
+  std::vector<uint32_t> collScratch_;    ///< collision list capacity
+  std::vector<LanePlanes> emptyInputs_;  ///< all-NOINFL fallback
+  std::vector<LanePlanes> emptyRegs_;    ///< all-NOINFL fallback
+  std::array<uint64_t, 64> localRng_{};  ///< fallback when seeds carry none
+};
+
+/// Scalar adapter: runs the 64-lane compiled engine with only lane 0
+/// live, presenting the LevelizedEvaluator evaluate(CycleSeeds) contract
+/// so Simulation can use EvaluatorKind::Compiled.  Net values, RANDOM
+/// draws, SimErrors and EvalStats match a scalar levelized run
+/// bit-for-bit; activeCounts reports the 0/1/2+ distinction the scalar
+/// engine's consumers rely on (latch-on-active and collision checks).
+class CompiledScalarEvaluator {
+ public:
+  CompiledScalarEvaluator(const SimGraph& graph,
+                          std::shared_ptr<const CompiledDesign> design);
+
+  void evaluate(const CycleSeeds& seeds, CycleResult& out);
+  [[nodiscard]] const EvalStats& stats() const { return batch_.stats(); }
+  void resetStats() { batch_.resetStats(); }
+  void setStats(const EvalStats& s) { batch_.setStats(s); }
+  [[nodiscard]] const CompiledDesign& design() const {
+    return batch_.design();
+  }
+
+ private:
+  const SimGraph& g_;
+  CompiledBatchEvaluator batch_;
+  std::vector<LanePlanes> inputLanes_;  ///< per dense net, lane 0 only
+  std::vector<LanePlanes> regLanes_;    ///< per reg index, lane 0 only
+  std::array<uint64_t, 64> rng_{};
+  BatchFaultPlan faultLanes_;  ///< scalar FaultPlan widened to lane 0
+  BatchCycleResult batchOut_;
+};
+
+}  // namespace zeus::codegen

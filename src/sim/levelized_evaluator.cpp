@@ -25,49 +25,56 @@ LevelizedEvaluator::LevelizedEvaluator(const SimGraph& graph) : g_(graph) {
   for (size_t k = 0; k < g_.regNodes.size(); ++k) {
     regIndexOf_[g_.regNodes[k]] = static_cast<uint32_t>(k);
   }
+  schedule_ = buildSchedule(graph);
+}
 
+std::vector<LevelizedEvaluator::Op> LevelizedEvaluator::buildSchedule(
+    const SimGraph& g) {
   // Build the interleaved schedule with the same Kahn walk as
   // buildSimGraph, emitting resolve/evaluate steps as they become legal.
   // Source nodes go first in graph.sourceNodes order so RANDOM nodes draw
   // from the rng stream in the same order as the other evaluators.
-  schedule_.reserve(nl.nodeCount() + g_.denseCount);
-  std::vector<uint32_t> netPending(g_.denseCount);
+  const Netlist& nl = g.design->netlist;
+  std::vector<Op> schedule;
+  schedule.reserve(nl.nodeCount() + g.denseCount);
+  std::vector<uint32_t> netPending(g.denseCount);
   std::vector<uint32_t> nodePending(nl.nodeCount(), 0);
-  for (size_t i = 0; i < g_.denseCount; ++i) {
-    netPending[i] = g_.nets[i].nonRegDrivers;
+  for (size_t i = 0; i < g.denseCount; ++i) {
+    netPending[i] = g.nets[i].nonRegDrivers;
   }
   for (NodeId ni = 0; ni < nl.nodeCount(); ++ni) {
     if (nl.node(ni).op != NodeOp::Reg) {
       nodePending[ni] = static_cast<uint32_t>(nl.node(ni).inputs.size());
     }
   }
-  for (NodeId ni : g_.sourceNodes) {
-    schedule_.push_back({ni, /*isNode=*/true});
+  for (NodeId ni : g.sourceNodes) {
+    schedule.push_back({ni, /*isNode=*/true});
     const Node& node = nl.node(ni);
-    if (node.output != kNoNet) --netPending[g_.denseOf[node.output]];
+    if (node.output != kNoNet) --netPending[g.denseOf[node.output]];
   }
   std::deque<uint32_t> readyNets;
-  for (size_t i = 0; i < g_.denseCount; ++i) {
+  for (size_t i = 0; i < g.denseCount; ++i) {
     if (netPending[i] == 0) readyNets.push_back(static_cast<uint32_t>(i));
   }
   while (!readyNets.empty()) {
     uint32_t net = readyNets.front();
     readyNets.pop_front();
-    schedule_.push_back({net, /*isNode=*/false});
-    for (uint32_t e = g_.consumerStart[net]; e < g_.consumerStart[net + 1];
+    schedule.push_back({net, /*isNode=*/false});
+    for (uint32_t e = g.consumerStart[net]; e < g.consumerStart[net + 1];
          ++e) {
-      NodeId ni = g_.consumers[e];
+      NodeId ni = g.consumers[e];
       const Node& node = nl.node(ni);
       if (node.op == NodeOp::Reg) continue;
       if (--nodePending[ni] == 0) {
-        schedule_.push_back({ni, /*isNode=*/true});
+        schedule.push_back({ni, /*isNode=*/true});
         if (node.output != kNoNet) {
-          uint32_t on = g_.denseOf[node.output];
+          uint32_t on = g.denseOf[node.output];
           if (--netPending[on] == 0) readyNets.push_back(on);
         }
       }
     }
   }
+  return schedule;
 }
 
 void LevelizedEvaluator::evaluate(const CycleSeeds& seeds, CycleResult& out) {

@@ -27,6 +27,16 @@ namespace zeus {
 
 class LevelizedEvaluator {
  public:
+  /// One schedule step: resolve a dense net from its drivers, or
+  /// evaluate a node from its (already resolved) input nets.
+  struct Op {
+    uint32_t index;
+    bool isNode;
+  };
+
+  /// NodeId -> index into graph.regNodes, or kNotReg.
+  static constexpr uint32_t kNotReg = 0xFFFFFFFFu;
+
   explicit LevelizedEvaluator(const SimGraph& graph);
 
   void evaluate(const CycleSeeds& seeds, CycleResult& out);
@@ -35,21 +45,20 @@ class LevelizedEvaluator {
   /// Restores a previously captured counter state (snapshot resume).
   void setStats(const EvalStats& s) { stats_ = s; }
 
+  /// Builds the interleaved resolve/evaluate schedule with the same Kahn
+  /// walk as buildSimGraph.  Exposed so the codegen emitter
+  /// (src/codegen/emit.h) replays exactly this order — the compiled
+  /// engine's evaluation order, RANDOM draw order and stats constants all
+  /// derive from it.
+  [[nodiscard]] static std::vector<Op> buildSchedule(const SimGraph& graph);
+  [[nodiscard]] const std::vector<Op>& schedule() const { return schedule_; }
+
  private:
   friend class LevelizedBatchEvaluator;
-
-  /// One schedule step: resolve a dense net from its drivers, or
-  /// evaluate a node from its (already resolved) input nets.
-  struct Op {
-    uint32_t index;
-    bool isNode;
-  };
 
   const SimGraph& g_;
   EvalStats stats_;
   std::vector<Op> schedule_;
-  /// NodeId -> index into graph.regNodes, or kNotReg.
-  static constexpr uint32_t kNotReg = 0xFFFFFFFFu;
   std::vector<uint32_t> regIndexOf_;
 
   // Node outputs, epoch-stamped: an entry is valid only when its stamp

@@ -1,0 +1,435 @@
+// Differential tests for the native codegen backend (src/codegen/):
+// the hot-loaded compiled engine against the levelized interpreter —
+// net values, SimErrors, RANDOM stream position, register trajectories,
+// evaluator counters — plus ZSNP snapshot interchange between the two
+// engines, the design-hash guard, the on-disk artifact cache and the
+// interpreter-fallback rules.
+//
+// Host compiles run at -O0 (CodegenOptions::cxxflags) to keep the suite
+// fast; the generated code is identical modulo host optimization, and
+// runtime performance is bench_levelized's job.  Every test that needs
+// the host toolchain skips with a notice when none is available.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/codegen/compiled.h"
+#include "src/codegen/emit.h"
+#include "src/core/batch_sim.h"
+#include "src/corpus/corpus.h"
+#include "src/sim/snapshot.h"
+#include "tests/support/paper_examples.h"
+#include "tests/support/test_util.h"
+
+namespace zeus::test {
+namespace {
+
+codegen::CodegenOptions testOptions() {
+  codegen::CodegenOptions o;
+  o.cacheDir = ::testing::TempDir() + "zeus-codegen-test-cache";
+  o.cxxflags = "-O0";
+  return o;
+}
+
+#define SKIP_WITHOUT_TOOLCHAIN()                                          \
+  do {                                                                    \
+    if (!codegen::toolchainAvailable(testOptions())) {                    \
+      GTEST_SKIP() << "no host C++ toolchain; codegen tests skipped";     \
+    }                                                                     \
+  } while (0)
+
+std::shared_ptr<const codegen::CompiledDesign> mustLoad(const SimGraph& g,
+                                                        uint32_t optLevel) {
+  codegen::CodegenOptions opts = testOptions();
+  opts.optLevel = optLevel;
+  std::string err;
+  auto cd = codegen::CompiledDesign::load(g, opts, err);
+  EXPECT_NE(cd, nullptr) << err;
+  return cd;
+}
+
+/// A design exercising everything the compiled engine must reproduce:
+/// RANDOM draws, a REG trajectory, and input-dependent multiplex
+/// contention (SimErrors).
+const char* kResumable = R"(
+TYPE t = COMPONENT (IN en, a, b: boolean; OUT o, q: boolean) IS
+  SIGNAL r: REG;
+  SIGNAL m: multiplex;
+BEGIN
+  IF en THEN r.in := RANDOM() END;
+  IF a THEN m := 1 END;
+  IF b THEN m := 0 END;
+  o := r.out;
+  q := m
+END;
+SIGNAL top: t;
+)";
+
+struct Stimulus {
+  Logic en, a, b;
+};
+
+std::vector<Stimulus> randomStimulus(int cycles, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Stimulus> s(cycles);
+  for (Stimulus& x : s) {
+    x.en = logicFromBool(rng() & 1);
+    x.a = logicFromBool(rng() & 1);
+    x.b = logicFromBool(rng() & 1);
+  }
+  return s;
+}
+
+void drive(Simulation& sim, const Stimulus& s) {
+  sim.setInput("en", s.en);
+  sim.setInput("a", s.a);
+  sim.setInput("b", s.b);
+  sim.step();
+}
+
+// ---------------------------------------------------------------------
+// Corpus differential: interpreter vs compiled, scalar and 64-lane
+// batch, on representative corpus entries at zeus -O0 and -O1.  (The
+// codegen_corpus ctest sweeps EVERY entry through the CLI; this test
+// checks the deep invariants the CLI cannot see.)
+// ---------------------------------------------------------------------
+
+void corpusDifferential(const std::string& entryName, int zeusOptLevel) {
+  SCOPED_TRACE(entryName + " at -O" + std::to_string(zeusOptLevel));
+  const corpus::CorpusEntry* e = corpus::find(entryName);
+  ASSERT_NE(e, nullptr);
+  std::string top;
+  std::string src = corpusSource(*e, &top);
+  Built b = buildOk(src, top);
+  if (zeusOptLevel > 0) {
+    OptOptions oo;
+    oo.level = zeusOptLevel;
+    OptReport rep = b.comp->optimize(*b.design, oo);
+    ASSERT_TRUE(rep.verified) << rep.verifyError;
+  }
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  auto cd = mustLoad(g, static_cast<uint32_t>(zeusOptLevel));
+  ASSERT_NE(cd, nullptr);
+
+  constexpr size_t kLanes = 16;
+  constexpr int kCycles = 12;
+  Simulation sInterp(g, EvaluatorKind::Levelized);
+  Simulation::Options sopts;
+  sopts.evaluator = EvaluatorKind::Compiled;
+  sopts.compiled = cd;
+  Simulation sCompiled(g, sopts);
+  BatchSimulation bInterp(g, kLanes);
+  BatchSimulation bCompiled(g, kLanes, cd);
+  ASSERT_TRUE(bCompiled.usingCompiled());
+
+  std::mt19937_64 rng(41);
+  const Netlist& nl = b.design->netlist;
+  for (int cyc = 0; cyc < kCycles; ++cyc) {
+    for (const Port& p : b.design->ports) {
+      if (p.mode != ast::ParamMode::In) continue;
+      uint64_t v = rng();
+      sInterp.setInputUint(p.name, v);
+      sCompiled.setInputUint(p.name, v);
+      for (size_t l = 0; l < kLanes; ++l) {
+        uint64_t lv = rng();
+        bInterp.setInputUint(l, p.name, lv);
+        bCompiled.setInputUint(l, p.name, lv);
+      }
+    }
+    sInterp.step();
+    sCompiled.step();
+    bInterp.step();
+    bCompiled.step();
+    // Net-by-net agreement, scalar and every batch lane.
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+      ASSERT_EQ(sInterp.netValue(n), sCompiled.netValue(n))
+          << "scalar net " << nl.net(n).name << " cycle " << cyc;
+      for (size_t l = 0; l < kLanes; ++l) {
+        ASSERT_EQ(bInterp.netValue(l, n), bCompiled.netValue(l, n))
+            << "net " << nl.net(n).name << " lane " << l << " cycle "
+            << cyc;
+      }
+    }
+    ASSERT_EQ(sInterp.saveRegisters(), sCompiled.saveRegisters());
+    ASSERT_EQ(sInterp.randomState(), sCompiled.randomState());
+    for (size_t l = 0; l < kLanes; ++l) {
+      ASSERT_EQ(bInterp.randomState(l), bCompiled.randomState(l))
+          << "lane " << l;
+    }
+  }
+  // Contention faults and counters match exactly (SimError operator==
+  // compares cycle, code, net, message and lane).
+  EXPECT_EQ(sInterp.errors(), sCompiled.errors());
+  EXPECT_EQ(bInterp.errors(), bCompiled.errors());
+  EXPECT_TRUE(sInterp.stats() == sCompiled.stats());
+  EXPECT_TRUE(bInterp.stats() == bCompiled.stats());
+}
+
+class CodegenCorpus
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(CodegenCorpus, CompiledMatchesInterpreter) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  corpusDifferential(std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Representative, CodegenCorpus,
+    ::testing::Combine(::testing::Values("mux4", "blackjack", "ram",
+                                         "sorter"),
+                       ::testing::Values(0, 1)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + "_O" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// RANDOM stream + SimErrors on the contention-heavy design.
+// ---------------------------------------------------------------------
+
+TEST(Codegen, RandomStreamAndErrorsMatchInterpreter) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  Built b = buildOk(kResumable, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  auto cd = mustLoad(g, 1);
+  ASSERT_NE(cd, nullptr);
+
+  Simulation interp(g, EvaluatorKind::Levelized);
+  Simulation::Options sopts;
+  sopts.evaluator = EvaluatorKind::Compiled;
+  sopts.compiled = cd;
+  Simulation compiled(g, sopts);
+  interp.setRandomSeed(0xABCDEFull);
+  compiled.setRandomSeed(0xABCDEFull);
+
+  std::vector<Stimulus> stim = randomStimulus(32, 7);
+  for (const Stimulus& s : stim) {
+    drive(interp, s);
+    drive(compiled, s);
+    ASSERT_EQ(interp.randomState(), compiled.randomState());
+    ASSERT_EQ(interp.output("o"), compiled.output("o"));
+    ASSERT_EQ(interp.output("q"), compiled.output("q"));
+  }
+  ASSERT_FALSE(interp.errors().empty()) << "stimulus never contended";
+  EXPECT_EQ(interp.errors(), compiled.errors());
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection overlay: a faulty lane in the compiled engine tracks
+// the interpreter's faulty lane exactly.
+// ---------------------------------------------------------------------
+
+TEST(Codegen, FaultyLanesMatchInterpreter) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  Built b = buildOk(kResumable, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  auto cd = mustLoad(g, 1);
+  ASSERT_NE(cd, nullptr);
+
+  constexpr size_t kLanes = 8;
+  BatchSimulation interp(g, kLanes);
+  BatchSimulation compiled(g, kLanes, cd);
+  for (auto [lane, kind] :
+       {std::pair<size_t, FaultKind>{1, FaultKind::StuckAt0},
+        {2, FaultKind::StuckAt1},
+        {3, FaultKind::StuckUndef},
+        {4, FaultKind::ForcedContention}}) {
+    auto f = makeFault(g, kind, "top.m");
+    ASSERT_TRUE(f.has_value());
+    interp.injectFault(lane, *f);
+    compiled.injectFault(lane, *f);
+  }
+  std::vector<Stimulus> stim = randomStimulus(16, 29);
+  const Netlist& nl = b.design->netlist;
+  for (int cyc = 0; cyc < 16; ++cyc) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      interp.setInput(l, "en", stim[cyc].en);
+      interp.setInput(l, "a", stim[cyc].a);
+      interp.setInput(l, "b", stim[cyc].b);
+      compiled.setInput(l, "en", stim[cyc].en);
+      compiled.setInput(l, "a", stim[cyc].a);
+      compiled.setInput(l, "b", stim[cyc].b);
+    }
+    interp.step();
+    compiled.step();
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+      for (size_t l = 0; l < kLanes; ++l) {
+        ASSERT_EQ(interp.netValue(l, n), compiled.netValue(l, n))
+            << "net " << nl.net(n).name << " lane " << l << " cycle "
+            << cyc;
+      }
+    }
+  }
+  EXPECT_EQ(interp.errors(), compiled.errors());
+}
+
+// ---------------------------------------------------------------------
+// ZSNP interchange: snapshots cross engine boundaries bit-identically.
+// ---------------------------------------------------------------------
+
+TEST(Codegen, SnapshotsInterchangeWithInterpreter) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  constexpr int kCycles = 24;
+  constexpr int kStopAt = 10;
+  std::vector<Stimulus> stim = randomStimulus(kCycles, 99);
+  Built b = buildOk(kResumable, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  auto cd = mustLoad(g, 1);
+  ASSERT_NE(cd, nullptr);
+  Simulation::Options copts;
+  copts.evaluator = EvaluatorKind::Compiled;
+  copts.compiled = cd;
+
+  // The oracle: an uninterrupted interpreter run.
+  Simulation straight(g, EvaluatorKind::Levelized);
+  for (int c = 0; c < kCycles; ++c) drive(straight, stim[c]);
+  ASSERT_FALSE(straight.errors().empty()) << "stimulus never contended";
+
+  // Interpreter -> ZSNP bytes -> compiled engine.
+  Simulation first(g, EvaluatorKind::Levelized);
+  for (int c = 0; c < kStopAt; ++c) drive(first, stim[c]);
+  std::vector<uint8_t> bytes = snapshotToBytes(first.saveSnapshot());
+  SimSnapshot snap;
+  std::string err;
+  ASSERT_TRUE(snapshotFromBytes(bytes.data(), bytes.size(), snap, err))
+      << err;
+  Simulation resumed(g, copts);
+  resumed.restoreSnapshot(snap);
+  for (int c = kStopAt; c < kCycles; ++c) drive(resumed, stim[c]);
+  EXPECT_EQ(resumed.cycle(), straight.cycle());
+  EXPECT_EQ(resumed.errors(), straight.errors());
+  EXPECT_EQ(resumed.randomState(), straight.randomState());
+  EXPECT_EQ(resumed.saveRegisters(), straight.saveRegisters());
+  EXPECT_TRUE(resumed.stats() == straight.stats())
+      << "evaluator counters diverged across the engine boundary";
+
+  // Compiled engine -> ZSNP bytes -> interpreter.
+  Simulation cfirst(g, copts);
+  for (int c = 0; c < kStopAt; ++c) drive(cfirst, stim[c]);
+  bytes = snapshotToBytes(cfirst.saveSnapshot());
+  ASSERT_TRUE(snapshotFromBytes(bytes.data(), bytes.size(), snap, err))
+      << err;
+  Simulation back(g, EvaluatorKind::Levelized);
+  back.restoreSnapshot(snap);
+  for (int c = kStopAt; c < kCycles; ++c) drive(back, stim[c]);
+  EXPECT_EQ(back.cycle(), straight.cycle());
+  EXPECT_EQ(back.errors(), straight.errors());
+  EXPECT_EQ(back.randomState(), straight.randomState());
+  EXPECT_EQ(back.saveRegisters(), straight.saveRegisters());
+  EXPECT_TRUE(back.stats() == straight.stats());
+
+  // Compiled batch lane -> scalar interpreter.
+  BatchSimulation bfirst(g, 4, cd);
+  for (int c = 0; c < kStopAt; ++c) {
+    for (size_t l = 0; l < bfirst.lanes(); ++l) {
+      bfirst.setInput(l, "en", stim[c].en);
+      bfirst.setInput(l, "a", stim[c].a);
+      bfirst.setInput(l, "b", stim[c].b);
+    }
+    bfirst.step();
+  }
+  Simulation cont(g, EvaluatorKind::Levelized);
+  cont.restoreSnapshot(bfirst.saveSnapshot(2));
+  for (int c = kStopAt; c < kCycles; ++c) drive(cont, stim[c]);
+  EXPECT_EQ(cont.saveRegisters(), straight.saveRegisters());
+  EXPECT_EQ(cont.randomState(), straight.randomState());
+}
+
+TEST(Codegen, SnapshotDesignHashGuardHoldsOnCompiledEngine) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  Built b = buildOk(kResumable, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  auto cd = mustLoad(g, 1);
+  ASSERT_NE(cd, nullptr);
+  Simulation::Options copts;
+  copts.evaluator = EvaluatorKind::Compiled;
+  copts.compiled = cd;
+  Simulation compiled(g, copts);
+
+  Built other = buildOk(std::string(kMux4), "m");
+  SimGraph og = buildSimGraph(*other.design, other.comp->diags());
+  ASSERT_FALSE(og.hasCycle);
+  Simulation foreign(og, EvaluatorKind::Levelized);
+  foreign.step();
+  EXPECT_THROW(compiled.restoreSnapshot(foreign.saveSnapshot()),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Artifact cache + fallback rules.
+// ---------------------------------------------------------------------
+
+TEST(Codegen, DiskCacheHitsOnReload) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  Built b = buildOk(kResumable, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  codegen::CodegenOptions opts = testOptions();
+  opts.cacheDir = ::testing::TempDir() + "zeus-codegen-cache-hit-test";
+  std::string err;
+  std::string artifact;
+  {
+    auto first = codegen::CompiledDesign::load(g, opts, err);
+    ASSERT_NE(first, nullptr) << err;
+    artifact = first->artifactPath();
+    // Dropping the last reference expires the in-process registry entry,
+    // so the next load must go through the on-disk probe.
+  }
+  auto second = codegen::CompiledDesign::load(g, opts, err);
+  ASSERT_NE(second, nullptr) << err;
+  EXPECT_TRUE(second->cacheHit());
+  EXPECT_EQ(second->artifactPath(), artifact);
+
+  // While a design is live, a third load shares the same object.
+  auto third = codegen::CompiledDesign::load(g, opts, err);
+  EXPECT_EQ(second.get(), third.get());
+}
+
+TEST(Codegen, MissingCompilerFailsStructuredAndSimulationFallsBack) {
+  Built b = buildOk(kResumable, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  codegen::CodegenOptions opts = testOptions();
+  opts.compiler = "/nonexistent/definitely-not-a-compiler";
+  std::string err;
+  auto cd = codegen::CompiledDesign::load(g, opts, err);
+  EXPECT_EQ(cd, nullptr);
+  EXPECT_FALSE(err.empty());
+
+  // EvaluatorKind::Compiled with no loaded design demotes to the
+  // levelized interpreter instead of failing.
+  Simulation::Options sopts;
+  sopts.evaluator = EvaluatorKind::Compiled;
+  Simulation sim(g, sopts);
+  sim.step(4);
+  EXPECT_EQ(sim.metricsCounters().evaluator, "levelized");
+}
+
+// ---------------------------------------------------------------------
+// Emitter-only checks (no toolchain required).
+// ---------------------------------------------------------------------
+
+TEST(Codegen, EmitterIsDeterministic) {
+  Built b = buildOk(kResumable, "top");
+  SimGraph g = buildSimGraph(*b.design, b.comp->diags());
+  ASSERT_FALSE(g.hasCycle);
+  codegen::EmitResult one = codegen::emitCompiledCpp(g);
+  codegen::EmitResult two = codegen::emitCompiledCpp(g);
+  ASSERT_TRUE(one.ok) << one.error;
+  EXPECT_EQ(one.source, two.source);
+  EXPECT_EQ(one.designHash, two.designHash);
+  EXPECT_NE(one.source.find("zeus_compiled_design_v1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zeus::test
